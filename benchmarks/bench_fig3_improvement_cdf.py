@@ -1,0 +1,53 @@
+"""Figure 3: best plans found at the end of optimization with each technique.
+
+For a sample of JOB-analogue queries, every technique (BayesQO, Random, Balsa)
+gets the same per-query execution budget; the bench prints the fraction of
+queries achieving at least each percentage improvement over the best Bao
+hint-set plan — the CDF the paper plots.  The shape to look for: BayesQO's
+curve dominates (it never regresses below Bao because it is initialized with
+the Bao plans, and it finds additional improvement on more queries), Random
+finds no improvement for a sizeable fraction of queries, and Balsa trails.
+"""
+
+from __future__ import annotations
+
+#: Per-query plan-execution budget shared by the comparison benches.
+BENCH_EXECUTIONS = 35
+#: Number of workload queries sampled for the comparison benches.
+BENCH_QUERIES = 4
+
+from repro.harness import BudgetSpec, format_cdf, improvement_cdf, improvement_distribution, run_comparison
+
+
+def run_figure3(job_workload, job_schema_model, bench_bayes_config):
+    queries = job_workload.queries[:BENCH_QUERIES]
+    return run_comparison(
+        job_workload,
+        queries,
+        BudgetSpec(max_executions=BENCH_EXECUTIONS),
+        techniques=["bayesqo", "random", "balsa"],
+        schema_model=job_schema_model,
+        bayes_config=bench_bayes_config,
+    )
+
+
+def test_fig3_improvement_over_bao(benchmark, job_workload, job_schema_model, bench_bayes_config):
+    run = benchmark.pedantic(
+        run_figure3, args=(job_workload, job_schema_model, bench_bayes_config), rounds=1, iterations=1
+    )
+    series = {}
+    improvements_by_technique = {}
+    for technique, results in run.results.items():
+        improvements = improvement_distribution(results, run.bao_latencies)
+        improvements_by_technique[technique] = improvements
+        series[technique] = improvement_cdf(improvements, thresholds=[0.0, 10.0, 25.0, 50.0, 75.0])
+    print()
+    print(format_cdf(series, "Figure 3 (JOB): fraction of queries with >= x% improvement over Bao"))
+    print()
+    for technique, improvements in improvements_by_technique.items():
+        mean = sum(improvements.values()) / len(improvements)
+        print(f"  {technique:8s} mean improvement over Bao: {mean:6.1f}%")
+    # Shape assertions: BayesQO never regresses below Bao; its CDF dominates at 0%.
+    bayes_at_zero = dict(series["bayesqo"])[0.0]
+    assert bayes_at_zero >= dict(series["balsa"])[0.0] - 1e-9
+    assert all(value >= -1e-6 for value in improvements_by_technique["bayesqo"].values())

@@ -1,0 +1,49 @@
+"""Figure 9: per-iteration overhead of the BO loop.
+
+The paper breaks BO overhead into surrogate update, timeout calculation, VAE
+sampling and candidate generation, on CPU and GPU and at 1x / 5x simultaneous
+runs.  Offline we have no GPU, so this bench reports the same breakdown for
+the numpy implementation in two configurations: a single run and five
+sequentially interleaved runs (the aggregate cost of serving five optimizations
+from one process).  The shape to look for: overhead is dominated by the
+surrogate update and stays in the sub-second range per iteration, i.e. small
+relative to query execution for long-running queries.
+"""
+
+from __future__ import annotations
+
+from repro.core import BayesQO, BayesQOConfig
+from repro.harness import format_table
+
+EXECUTIONS = 20
+
+
+def run_overhead(job_workload, job_schema_model, simultaneous: int):
+    database = job_workload.database
+    queries = job_workload.queries[:simultaneous]
+    optimizer = BayesQO(
+        database, job_schema_model, config=BayesQOConfig(max_executions=EXECUTIONS, seed=0)
+    )
+    for query in queries:
+        optimizer.optimize(query)
+    return optimizer.overhead
+
+
+def test_fig9_overhead_breakdown(benchmark, job_workload, job_schema_model):
+    single = run_overhead(job_workload, job_schema_model, simultaneous=1)
+    five = benchmark.pedantic(
+        run_overhead, args=(job_workload, job_schema_model, 5), rounds=1, iterations=1
+    )
+    print()
+    for label, overhead in (("1x simultaneous run", single), ("5x simultaneous runs", five)):
+        per_iteration = overhead.per_iteration()
+        rows = [[component, f"{seconds * 1000:.1f} ms"] for component, seconds in per_iteration.items()]
+        rows.append(["TOTAL", f"{sum(per_iteration.values()) * 1000:.1f} ms"])
+        print(format_table(["component", "per-iteration wall clock"], rows,
+                           title=f"Figure 9: BO overhead, {label} (CPU)"))
+        print()
+    assert single.iterations > 0 and five.iterations > 0
+    # The breakdown covers the four components the paper reports.
+    assert set(single.per_iteration()) == {
+        "surrogate_update", "calculate_timeout", "vae_sampling", "generate_candidates",
+    }

@@ -1,0 +1,49 @@
+"""Table 1: characteristics of the four evaluation workloads.
+
+Prints the same columns as the paper (size on disk, number of queries, median
+joins per query) for the scaled-down synthetic JOB, CEB, Stack and DSB
+analogues.
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table
+from repro.workloads import (
+    build_ceb_workload,
+    build_dsb_workload,
+    build_job_workload,
+    build_stack_workload,
+)
+
+
+def build_all_workloads():
+    job = build_job_workload(scale=0.15, seed=0)
+    ceb = build_ceb_workload(scale=0.15, seed=0, num_templates=6, queries_per_template=8,
+                             database=job.database)
+    stack = build_stack_workload(scale=0.08, seed=0, num_templates=8, num_queries=40)
+    dsb = build_dsb_workload(scale=0.08, seed=0, num_templates=10, queries_per_template=3)
+    return [job, ceb, stack, dsb]
+
+
+def test_table1_workload_characteristics(benchmark):
+    workloads = benchmark.pedantic(build_all_workloads, rounds=1, iterations=1)
+    rows = []
+    for workload in workloads:
+        rows.append(
+            [
+                workload.name,
+                f"{workload.size_bytes() / 1e6:.1f} MB",
+                workload.num_queries,
+                workload.median_joins(),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Name", "Size (synthetic)", "Queries", "Median joins per query"],
+            rows,
+            title="Table 1: workload characteristics (scaled-down analogues)",
+        )
+    )
+    assert len(workloads) == 4
+    assert all(workload.num_queries > 0 for workload in workloads)

@@ -1,0 +1,68 @@
+"""Compare offline optimization techniques on a JOB-analogue workload sample.
+
+Runs BayesQO, Random search and the simplified Balsa agent with the same
+per-query execution budget (the Figure 3 methodology) and prints per-query
+improvements over the best Bao hint-set plan plus the improvement CDF.
+
+Run with::
+
+    python examples/compare_techniques.py
+"""
+
+from __future__ import annotations
+
+from repro.core import BayesQOConfig, VAETrainingConfig
+from repro.harness import (
+    BudgetSpec,
+    format_cdf,
+    format_table,
+    improvement_cdf,
+    improvement_distribution,
+    prepare_schema_model,
+    run_comparison,
+)
+from repro.workloads import build_job_workload
+
+NUM_QUERIES = 4
+EXECUTIONS = 40
+
+
+def main() -> None:
+    workload = build_job_workload(scale=0.15, seed=0, num_queries=20)
+    queries = workload.queries[:NUM_QUERIES]
+    print(f"Comparing techniques on {len(queries)} {workload.name} queries "
+          f"({EXECUTIONS} plan executions each)...")
+    schema_model = prepare_schema_model(
+        workload, VAETrainingConfig(training_steps=1500, corpus_queries=120)
+    )
+    run = run_comparison(
+        workload,
+        queries,
+        BudgetSpec(max_executions=EXECUTIONS),
+        techniques=["bayesqo", "random", "balsa"],
+        schema_model=schema_model,
+        bayes_config=BayesQOConfig(max_executions=EXECUTIONS, seed=0),
+    )
+
+    rows = []
+    for query in queries:
+        row = [query.name, f"{run.bao_latencies[query.name]:.4f}"]
+        for technique in ("bayesqo", "random", "balsa"):
+            best = run.results[technique][query.name].best_latency_or(float("nan"))
+            row.append(f"{best:.4f}")
+        rows.append(row)
+    print()
+    print(format_table(["query", "bao best (s)", "bayesqo (s)", "random (s)", "balsa (s)"], rows,
+                       title="Best plan latency per technique"))
+
+    series = {
+        technique: improvement_cdf(improvement_distribution(results, run.bao_latencies),
+                                   thresholds=[0.0, 10.0, 25.0, 50.0])
+        for technique, results in run.results.items()
+    }
+    print()
+    print(format_cdf(series, "Fraction of queries with >= x% improvement over Bao"))
+
+
+if __name__ == "__main__":
+    main()

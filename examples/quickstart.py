@@ -1,0 +1,55 @@
+"""Quickstart: optimize one repeated analytics query offline with BayesQO.
+
+Builds the scaled-down IMDB-analogue database, trains the per-schema plan VAE,
+runs BayesQO on a single JOB-like query and compares the result against the
+default optimizer plan and the best Bao hint-set plan.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import BaoOptimizer
+from repro.core import BayesQO, BayesQOConfig, PlanCache, VAETrainingConfig
+from repro.workloads import build_job_workload
+
+
+def main() -> None:
+    # 1. Build a workload: a populated database plus a set of benchmark queries.
+    workload = build_job_workload(scale=0.15, seed=0, num_queries=20)
+    database = workload.database
+    query = workload.queries[0]
+    print(f"Optimizing query {query.name} joining {query.num_tables} tables:")
+    print(f"  {query.sql()[:160]}...")
+
+    # 2. Baselines: the default optimizer plan and the best of the 49 Bao hint sets.
+    default_latency = database.execute(query, timeout=600.0).latency
+    bao = BaoOptimizer(database).optimize(query)
+    print(f"\nDefault optimizer plan latency : {default_latency:.4f} s")
+    print(f"Best Bao hint-set plan latency : {bao.best_latency:.4f} s ({bao.best_hint_set})")
+
+    # 3. BayesQO: train the per-schema VAE once, then optimize the query offline.
+    optimizer = BayesQO.for_workload(
+        workload,
+        config=BayesQOConfig(max_executions=60, seed=0),
+        vae_config=VAETrainingConfig(training_steps=1500, corpus_queries=120),
+    )
+    result = optimizer.optimize(query)
+    print(f"\nBayesQO best plan latency      : {result.best_latency:.4f} s")
+    print(f"  improvement over Bao         : {result.improvement_over(bao.best_latency):.1f}%")
+    print(f"  improvement over default     : {result.improvement_over(default_latency):.1f}%")
+    print(f"  executions used              : {result.num_executions}")
+    print(f"  optimization budget consumed : {result.total_cost:.1f} simulated seconds")
+    print(f"  best plan                    : {result.best_plan.canonical()}")
+
+    # 4. Cache the plan for the online component.
+    cache = PlanCache()
+    cache.store(query, result)
+    print(f"\nPlan cached for signature {query.signature()[:2]}... "
+          f"({len(cache)} entry in the plan cache)")
+
+
+if __name__ == "__main__":
+    main()

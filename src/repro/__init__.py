@@ -1,0 +1,21 @@
+"""BayesQO: learned offline query planning via Bayesian optimization.
+
+A full reproduction of the SIGMOD 2025 paper by Tao et al., including the
+database substrate (catalog, statistics, cost-based optimizer, executor with
+timeouts), the plan string language, the plan VAE, the censored-observation
+Bayesian optimization stack, the baselines (Bao, Random, Balsa, LimeQO) and
+the cross-query PlanLM initializer.
+
+Typical usage::
+
+    from repro import workloads
+    from repro.core import BayesQO, BayesQOConfig
+
+    workload = workloads.build_job_workload(seed=0)
+    query = workload.queries[0]
+    optimizer = BayesQO(workload.database, config=BayesQOConfig(max_executions=100))
+    result = optimizer.optimize(query)
+    print(result.best_latency, result.best_plan)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""Baseline offline-optimization techniques: Bao, Random, Balsa and LimeQO."""
+
+from repro.baselines.balsa import BalsaConfig, BalsaOptimizer, PlanFeaturizer
+from repro.baselines.bao import BaoOptimizer, BaoOutcome, bao_best_latency
+from repro.baselines.limeqo import LimeQOConfig, LimeQOOptimizer, complete_matrix
+from repro.baselines.random_search import RandomSearch
+
+__all__ = [
+    "BalsaConfig",
+    "BalsaOptimizer",
+    "BaoOptimizer",
+    "BaoOutcome",
+    "LimeQOConfig",
+    "LimeQOOptimizer",
+    "PlanFeaturizer",
+    "RandomSearch",
+    "bao_best_latency",
+    "complete_matrix",
+]

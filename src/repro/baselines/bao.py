@@ -1,0 +1,85 @@
+"""The Bao baseline: exhaustively execute every hint-set plan.
+
+Following the paper's experimental setup, we do not run Bao's learned model;
+instead we execute all 49 hint-set plans and keep the fastest one — the best
+plan Bao could ever produce, i.e. the strongest version of "steer the
+traditional optimizer with hints".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import OptimizationResult
+from repro.db.engine import Database
+from repro.db.query import Query
+from repro.plans.hints import HintSet, bao_hint_sets
+from repro.plans.jointree import JoinTree
+
+
+@dataclass
+class BaoOutcome:
+    """Best hint set found for one query plus the full execution trace."""
+
+    result: OptimizationResult
+    best_hint_set: HintSet
+    best_plan: JoinTree
+    best_latency: float
+
+
+class BaoOptimizer:
+    """Executes every hint-set plan and returns the best."""
+
+    def __init__(
+        self,
+        database: Database,
+        timeout_multiplier: float = 16.0,
+        initial_timeout: float = 600.0,
+    ) -> None:
+        self.database = database
+        self.timeout_multiplier = timeout_multiplier
+        self.initial_timeout = initial_timeout
+
+    def optimize(self, query: Query, time_budget: float | None = None) -> BaoOutcome:
+        """Execute all hint-set plans (deduplicated) for ``query``."""
+        result = OptimizationResult(query_name=query.name, technique="Bao")
+        best_latency: float | None = None
+        best_hint_set: HintSet | None = None
+        best_plan: JoinTree | None = None
+        seen: set[str] = set()
+        for hint_set in bao_hint_sets():
+            if time_budget is not None and result.total_cost >= time_budget:
+                break
+            plan = self.database.plan(query, hint_set)
+            key = plan.canonical()
+            if key in seen:
+                continue
+            seen.add(key)
+            timeout = (
+                self.initial_timeout
+                if best_latency is None
+                else best_latency * self.timeout_multiplier
+            )
+            execution = self.database.execute(query, plan, timeout=timeout)
+            result.record(plan, execution.latency, execution.timed_out, timeout, source="bao")
+            if not execution.timed_out and (best_latency is None or execution.latency < best_latency):
+                best_latency = execution.latency
+                best_hint_set = hint_set
+                best_plan = plan
+        if best_plan is None or best_hint_set is None or best_latency is None:
+            # Every hinted plan timed out: fall back to the default plan at the
+            # initial timeout so callers always get a concrete (if slow) answer.
+            best_plan = self.database.plan(query)
+            best_hint_set = bao_hint_sets()[0]
+            best_latency = self.initial_timeout
+        return BaoOutcome(
+            result=result,
+            best_hint_set=best_hint_set,
+            best_plan=best_plan,
+            best_latency=best_latency,
+        )
+
+
+def bao_best_latency(database: Database, query: Query) -> float:
+    """Convenience: the latency of the best Bao hint-set plan."""
+    return BaoOptimizer(database).optimize(query).best_latency

@@ -1,0 +1,151 @@
+"""LimeQO: workload-level offline hint selection via low-rank matrix completion.
+
+LimeQO (Yi et al.) explores the (query x hint set) latency matrix for a whole
+workload: it observes a few entries by actually executing hinted plans,
+completes the matrix with a low-rank factorization (alternating least
+squares), and uses the completed matrix to decide which entry to observe
+next.  Its search space is limited to the 49 hint sets, so once every hint has
+been explored there is nothing left to improve — the behaviour Figure 10
+contrasts with BayesQO's continued progress.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.result import OptimizationResult
+from repro.db.engine import Database
+from repro.db.query import Query
+from repro.plans.hints import HintSet, bao_hint_sets
+
+_MIN_LATENCY = 1e-6
+
+
+@dataclass
+class LimeQOConfig:
+    """Hyper-parameters of the LimeQO explorer."""
+
+    rank: int = 3
+    als_iterations: int = 15
+    regularization: float = 0.1
+    timeout_multiplier: float = 4.0
+    seed: int = 0
+
+
+@dataclass
+class LimeQOState:
+    """Observed latencies and completion model for one workload."""
+
+    queries: list[Query]
+    hint_sets: list[HintSet]
+    observed: np.ndarray = field(init=False)
+    latencies: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        shape = (len(self.queries), len(self.hint_sets))
+        self.observed = np.zeros(shape, dtype=bool)
+        self.latencies = np.full(shape, np.nan)
+
+
+def complete_matrix(
+    values: np.ndarray, observed: np.ndarray, rank: int, iterations: int, regularization: float,
+    seed: int = 0,
+) -> np.ndarray:
+    """Low-rank completion of a partially observed matrix via alternating least squares."""
+    rng = np.random.default_rng(seed)
+    rows, cols = values.shape
+    rank = max(1, min(rank, rows, cols))
+    u = rng.normal(0.0, 0.1, size=(rows, rank))
+    v = rng.normal(0.0, 0.1, size=(cols, rank))
+    filled = np.where(observed, values, 0.0)
+    eye = regularization * np.eye(rank)
+    for _ in range(iterations):
+        for i in range(rows):
+            mask = observed[i]
+            if not mask.any():
+                continue
+            vm = v[mask]
+            u[i] = np.linalg.solve(vm.T @ vm + eye, vm.T @ filled[i, mask])
+        for j in range(cols):
+            mask = observed[:, j]
+            if not mask.any():
+                continue
+            um = u[mask]
+            v[j] = np.linalg.solve(um.T @ um + eye, um.T @ filled[mask, j])
+    return u @ v.T
+
+
+class LimeQOOptimizer:
+    """Workload-level hint exploration with low-rank completion."""
+
+    def __init__(self, database: Database, config: LimeQOConfig | None = None) -> None:
+        self.database = database
+        self.config = config or LimeQOConfig()
+
+    def optimize_workload(
+        self,
+        queries: list[Query],
+        max_executions: int | None = None,
+        time_budget: float | None = None,
+    ) -> dict[str, OptimizationResult]:
+        """Explore hints for the whole workload; returns per-query traces."""
+        hint_sets = bao_hint_sets()
+        state = LimeQOState(queries=queries, hint_sets=hint_sets)
+        results = {query.name: OptimizationResult(query.name, "LimeQO") for query in queries}
+        plans = [[self.database.plan(query, hint_set) for hint_set in hint_sets] for query in queries]
+        best: list[float | None] = [None] * len(queries)
+        total_executions = 0
+
+        def budget_left() -> bool:
+            if max_executions is not None and total_executions >= max_executions:
+                return False
+            if time_budget is not None:
+                spent = sum(result.total_cost for result in results.values())
+                if spent >= time_budget:
+                    return False
+            return True
+
+        def observe(query_index: int, hint_index: int) -> None:
+            nonlocal total_executions
+            query = queries[query_index]
+            plan = plans[query_index][hint_index]
+            timeout = (
+                600.0
+                if best[query_index] is None
+                else best[query_index] * self.config.timeout_multiplier
+            )
+            execution = self.database.execute(query, plan, timeout=timeout)
+            results[query.name].record(
+                plan, execution.latency, execution.timed_out, timeout, source="limeqo"
+            )
+            label = execution.latency if not execution.timed_out else (timeout or execution.latency)
+            state.observed[query_index, hint_index] = True
+            state.latencies[query_index, hint_index] = math.log(max(label, _MIN_LATENCY))
+            if not execution.timed_out:
+                current = best[query_index]
+                if current is None or execution.latency < current:
+                    best[query_index] = execution.latency
+            total_executions += 1
+
+        # Bootstrap: the default (all-enabled) hint set for every query.
+        for query_index in range(len(queries)):
+            if not budget_left():
+                return results
+            observe(query_index, 0)
+        # Greedy exploration driven by the completed matrix.
+        while budget_left() and not state.observed.all():
+            completed = complete_matrix(
+                state.latencies,
+                state.observed,
+                rank=self.config.rank,
+                iterations=self.config.als_iterations,
+                regularization=self.config.regularization,
+                seed=self.config.seed,
+            )
+            candidate = np.where(state.observed, np.inf, completed)
+            query_index, hint_index = np.unravel_index(np.argmin(candidate), candidate.shape)
+            observe(int(query_index), int(hint_index))
+        return results

@@ -1,0 +1,61 @@
+"""The Random offline-optimization baseline (Section 4.5 / "Random" in Section 5).
+
+Pure exploration: sample cross-join-free plans uniformly at random and execute
+each with a timeout equal to the best latency seen so far (initialized with the
+default optimizer plan's latency).  There is no model and no feedback beyond
+tightening the timeout, yet — because offline optimization can afford to
+execute terrible plans — this is a surprisingly strong baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import OptimizationResult
+from repro.db.engine import Database
+from repro.db.query import Query
+from repro.plans.sampling import random_join_tree
+
+
+class RandomSearch:
+    """QuickPick-style random plan search driven by real execution."""
+
+    def __init__(self, database: Database, seed: int = 0) -> None:
+        self.database = database
+        self.seed = seed
+
+    def optimize(
+        self,
+        query: Query,
+        max_executions: int = 100,
+        time_budget: float | None = None,
+        initial_timeout: float | None = 600.0,
+    ) -> OptimizationResult:
+        """Run random search for ``query`` under the shared budget model."""
+        rng = np.random.default_rng((self.seed, abs(hash(query.name)) % (2**31)))
+        result = OptimizationResult(query_name=query.name, technique="Random")
+        default_plan = self.database.plan(query)
+        default_execution = self.database.execute(query, default_plan, timeout=initial_timeout)
+        result.record(
+            default_plan,
+            default_execution.latency,
+            default_execution.timed_out,
+            initial_timeout,
+            source="default",
+        )
+        best = default_execution.latency if not default_execution.timed_out else initial_timeout
+        seen = {default_plan.canonical()}
+        while result.num_executions < max_executions:
+            if time_budget is not None and result.total_cost >= time_budget:
+                break
+            plan = random_join_tree(query, rng)
+            key = plan.canonical()
+            if key in seen:
+                continue
+            seen.add(key)
+            timeout = best
+            execution = self.database.execute(query, plan, timeout=timeout)
+            result.record(plan, execution.latency, execution.timed_out, timeout, source="random")
+            if not execution.timed_out and (best is None or execution.latency < best):
+                best = execution.latency
+        return result

@@ -1,0 +1,36 @@
+"""Bayesian-optimization substrate: kernels, GPs, censored likelihoods, TuRBO."""
+
+from repro.bo.acquisition import expected_improvement, lower_confidence_bound, thompson_sample
+from repro.bo.censored import (
+    Observation,
+    censored_elbo_terms,
+    expected_log_survival,
+    tobit_log_likelihood,
+    truncated_normal_mean,
+)
+from repro.bo.gp import CensoredGP, ExactGP
+from repro.bo.kernels import Matern52Kernel, RBFKernel
+from repro.bo.loop import BOEngine, BOEngineConfig
+from repro.bo.svgp import CensoredSVGP, SVGPConfig
+from repro.bo.turbo import TrustRegion, global_candidates
+
+__all__ = [
+    "BOEngine",
+    "BOEngineConfig",
+    "CensoredGP",
+    "CensoredSVGP",
+    "ExactGP",
+    "Matern52Kernel",
+    "Observation",
+    "RBFKernel",
+    "SVGPConfig",
+    "TrustRegion",
+    "censored_elbo_terms",
+    "expected_improvement",
+    "expected_log_survival",
+    "global_candidates",
+    "lower_confidence_bound",
+    "thompson_sample",
+    "tobit_log_likelihood",
+    "truncated_normal_mean",
+]

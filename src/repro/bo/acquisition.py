@@ -1,0 +1,34 @@
+"""Acquisition functions for selecting the next plan to execute."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+
+def thompson_sample(surrogate, candidates: np.ndarray, rng: np.random.Generator,
+                    num_samples: int = 1) -> int:
+    """Thompson sampling: draw posterior functions and pick the candidate minimizer.
+
+    With ``num_samples > 1`` the candidate minimizing the average sampled value
+    is chosen (a slightly less noisy variant).
+    """
+    samples = surrogate.posterior_samples(candidates, num_samples, rng)
+    scores = samples.mean(axis=0)
+    return int(np.argmin(scores))
+
+
+def expected_improvement(surrogate, candidates: np.ndarray, best_value: float,
+                         xi: float = 0.0) -> np.ndarray:
+    """Expected improvement (for minimization) of each candidate."""
+    mean, std = surrogate.predict(candidates)
+    std = np.maximum(std, 1e-12)
+    improvement = best_value - xi - mean
+    z = improvement / std
+    return improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+
+
+def lower_confidence_bound(surrogate, candidates: np.ndarray, kappa: float = 2.0) -> np.ndarray:
+    """LCB scores (for minimization): ``mean - kappa * std``."""
+    mean, std = surrogate.predict(candidates)
+    return mean - kappa * std

@@ -1,0 +1,190 @@
+"""Gaussian-process surrogates: exact GP and its censored-observation extension.
+
+``ExactGP`` is a standard GP regressor with marginal-likelihood hyper-parameter
+fitting.  ``CensoredGP`` layers the EM-style treatment of right-censored
+observations (Hutter et al., which the paper builds on) on top of it: censored
+responses are imputed with the truncated-normal mean under the current
+posterior and the GP is refit, for a few iterations.  Both expose the same
+interface the BO loop consumes: ``fit``, ``predict``, ``posterior_samples`` and
+``fantasize`` (the cheap one-point conditioning used by the uncertainty-based
+timeout rule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg, optimize
+
+from repro.bo.censored import truncated_normal_mean
+from repro.bo.kernels import Kernel, Matern52Kernel
+from repro.exceptions import ModelError
+
+
+class ExactGP:
+    """Exact GP regression with a Gaussian likelihood."""
+
+    def __init__(self, kernel: Kernel | None = None, noise: float = 1e-2) -> None:
+        self.kernel: Kernel = kernel or Matern52Kernel()
+        self.noise = noise
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    # ------------------------------------------------------------------ fitting
+    def fit(self, x: np.ndarray, y: np.ndarray, optimize_hyperparameters: bool = True) -> "ExactGP":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if len(x) != len(y):
+            raise ModelError("x and y must have the same number of rows")
+        if len(x) == 0:
+            raise ModelError("cannot fit a GP on zero observations")
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        self._x = x
+        self._y = (y - self._y_mean) / self._y_std
+        if optimize_hyperparameters and len(x) >= 3:
+            self._optimize_hyperparameters()
+        self._factorize()
+        return self
+
+    def _factorize(self) -> None:
+        assert self._x is not None and self._y is not None
+        cov = self.kernel(self._x, self._x) + (self.noise + 1e-8) * np.eye(len(self._x))
+        self._chol = linalg.cholesky(cov, lower=True)
+        self._alpha = linalg.cho_solve((self._chol, True), self._y)
+
+    def _negative_log_marginal(self, params: np.ndarray) -> float:
+        lengthscale, outputscale, noise = np.exp(params)
+        kernel = self.kernel.with_params(lengthscale, outputscale)
+        cov = kernel(self._x, self._x) + (noise + 1e-8) * np.eye(len(self._x))
+        try:
+            chol = linalg.cholesky(cov, lower=True)
+        except linalg.LinAlgError:
+            return 1e10
+        alpha = linalg.cho_solve((chol, True), self._y)
+        return float(
+            0.5 * self._y @ alpha
+            + np.log(np.diag(chol)).sum()
+            + 0.5 * len(self._y) * np.log(2.0 * np.pi)
+        )
+
+    def _optimize_hyperparameters(self) -> None:
+        initial = np.log([self.kernel.lengthscale, self.kernel.outputscale, self.noise])
+        result = optimize.minimize(
+            self._negative_log_marginal,
+            initial,
+            method="L-BFGS-B",
+            bounds=[(-3.0, 3.0), (-4.0, 4.0), (-8.0, 1.0)],
+            options={"maxiter": 40},
+        )
+        lengthscale, outputscale, noise = np.exp(result.x)
+        self.kernel = self.kernel.with_params(float(lengthscale), float(outputscale))
+        self.noise = float(noise)
+
+    # ------------------------------------------------------------------ inference
+    def predict(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation (in the original y units)."""
+        self._require_fit()
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        cross = self.kernel(x, self._x)
+        mean = cross @ self._alpha
+        v = linalg.solve_triangular(self._chol, cross.T, lower=True)
+        var = self.kernel.diag(x) - np.sum(v**2, axis=0)
+        var = np.maximum(var, 1e-12)
+        return mean * self._y_std + self._y_mean, np.sqrt(var) * self._y_std
+
+    def posterior_samples(self, x: np.ndarray, count: int, rng: np.random.Generator,
+                          jitter: float = 1e-8) -> np.ndarray:
+        """Joint posterior samples at ``x`` (shape ``(count, len(x))``)."""
+        self._require_fit()
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        cross = self.kernel(x, self._x)
+        mean = cross @ self._alpha
+        v = linalg.solve_triangular(self._chol, cross.T, lower=True)
+        cov = self.kernel(x, x) - v.T @ v
+        cov += jitter * np.eye(len(x))
+        try:
+            chol = linalg.cholesky(cov, lower=True)
+        except linalg.LinAlgError:
+            chol = np.diag(np.sqrt(np.maximum(np.diag(cov), 1e-12)))
+        draws = rng.standard_normal((count, len(x)))
+        samples = mean[None, :] + draws @ chol.T
+        return samples * self._y_std + self._y_mean
+
+    def fantasize(self, x_new: np.ndarray, y_new: float, x_query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior at ``x_query`` after conditioning on one extra observation.
+
+        Used by the uncertainty-based timeout rule: "if this plan were censored
+        at tau, what would we believe about it?"
+        """
+        self._require_fit()
+        x = np.vstack([self._x, np.atleast_2d(x_new)])
+        y = np.concatenate([self._y * self._y_std + self._y_mean, [y_new]])
+        clone = ExactGP(kernel=self.kernel, noise=self.noise)
+        clone.fit(x, y, optimize_hyperparameters=False)
+        return clone.predict(x_query)
+
+    def _require_fit(self) -> None:
+        if self._x is None or self._chol is None:
+            raise ModelError("the GP has not been fit yet")
+
+    @property
+    def num_observations(self) -> int:
+        return 0 if self._x is None else len(self._x)
+
+
+class CensoredGP:
+    """Exact GP with EM-style handling of right-censored observations.
+
+    Censored responses are replaced by their truncated-normal conditional mean
+    under the current posterior and the GP is refit; a few iterations suffice
+    for the imputations to stabilize.
+    """
+
+    def __init__(self, kernel: Kernel | None = None, noise: float = 1e-2, em_iterations: int = 3) -> None:
+        self.gp = ExactGP(kernel=kernel, noise=noise)
+        self.em_iterations = em_iterations
+        self._censored: np.ndarray | None = None
+        self._values: np.ndarray | None = None
+        self._x: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray, censored: np.ndarray) -> "CensoredGP":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        censored = np.asarray(censored, dtype=bool).reshape(-1)
+        if not (len(x) == len(y) == len(censored)):
+            raise ModelError("x, y and censored must have matching lengths")
+        self._x, self._values, self._censored = x, y, censored
+        imputed = y.copy()
+        self.gp.fit(x, imputed)
+        if not censored.any():
+            return self
+        for _ in range(self.em_iterations):
+            mean, std = self.gp.predict(x[censored])
+            imputed[censored] = truncated_normal_mean(mean, std, y[censored])
+            self.gp.fit(x, imputed, optimize_hyperparameters=False)
+        return self
+
+    # Delegation -------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self.gp.predict(x)
+
+    def posterior_samples(self, x: np.ndarray, count: int, rng: np.random.Generator) -> np.ndarray:
+        return self.gp.posterior_samples(x, count, rng)
+
+    def fantasize(self, x_new: np.ndarray, censor_level: float, x_query: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Condition on "x_new was censored at censor_level" and predict at x_query."""
+        mean, std = self.gp.predict(np.atleast_2d(x_new))
+        imputed = float(truncated_normal_mean(mean, std, np.array([censor_level]))[0])
+        return self.gp.fantasize(x_new, imputed, x_query)
+
+    @property
+    def num_observations(self) -> int:
+        return self.gp.num_observations
+
+    @property
+    def num_censored(self) -> int:
+        return 0 if self._censored is None else int(self._censored.sum())

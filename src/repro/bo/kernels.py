@@ -1,0 +1,64 @@
+"""Covariance kernels for the Gaussian-process surrogates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+def _scaled_sqdist(x1: np.ndarray, x2: np.ndarray, lengthscale: float) -> np.ndarray:
+    """Pairwise squared Euclidean distances of length-scaled inputs."""
+    a = np.atleast_2d(x1) / lengthscale
+    b = np.atleast_2d(x2) / lengthscale
+    sq = (a**2).sum(axis=1)[:, None] + (b**2).sum(axis=1)[None, :] - 2.0 * a @ b.T
+    return np.maximum(sq, 0.0)
+
+
+@dataclass
+class RBFKernel:
+    """Squared-exponential kernel ``s^2 exp(-r^2 / 2l^2)``."""
+
+    lengthscale: float = 1.0
+    outputscale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lengthscale <= 0 or self.outputscale <= 0:
+            raise ModelError("kernel hyper-parameters must be positive")
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        return self.outputscale * np.exp(-0.5 * _scaled_sqdist(x1, x2, self.lengthscale))
+
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        return np.full(len(np.atleast_2d(x)), self.outputscale)
+
+    def with_params(self, lengthscale: float, outputscale: float) -> "RBFKernel":
+        return RBFKernel(lengthscale=lengthscale, outputscale=outputscale)
+
+
+@dataclass
+class Matern52Kernel:
+    """Matérn 5/2 kernel (the TuRBO default)."""
+
+    lengthscale: float = 1.0
+    outputscale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lengthscale <= 0 or self.outputscale <= 0:
+            raise ModelError("kernel hyper-parameters must be positive")
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        r = np.sqrt(_scaled_sqdist(x1, x2, self.lengthscale))
+        sqrt5_r = np.sqrt(5.0) * r
+        return self.outputscale * (1.0 + sqrt5_r + 5.0 * r**2 / 3.0) * np.exp(-sqrt5_r)
+
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        return np.full(len(np.atleast_2d(x)), self.outputscale)
+
+    def with_params(self, lengthscale: float, outputscale: float) -> "Matern52Kernel":
+        return Matern52Kernel(lengthscale=lengthscale, outputscale=outputscale)
+
+
+Kernel = RBFKernel | Matern52Kernel

@@ -1,0 +1,172 @@
+"""The latent-space BO engine: surrogate + trust region + acquisition.
+
+``BOEngine`` is the reusable optimization core that BayesQO drives.  It is
+deliberately agnostic of query plans: it minimizes a scalar objective over a
+box-bounded continuous domain, supports right-censored observations, and
+exposes the fantasized-conditioning hook the uncertainty-based timeout rule
+needs.  BayesQO maps plans to latent vectors and latencies to (log) objective
+values before handing them to this engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bo.acquisition import thompson_sample
+from repro.bo.gp import CensoredGP
+from repro.bo.svgp import CensoredSVGP, SVGPConfig
+from repro.bo.turbo import TrustRegion, global_candidates
+from repro.exceptions import OptimizationError
+
+#: Names of the supported surrogate models.
+SURROGATES = ("svgp", "censored_gp")
+
+
+@dataclass
+class BOEngineConfig:
+    """Knobs of the BO engine."""
+
+    surrogate: str = "censored_gp"
+    use_trust_region: bool = True
+    num_candidates: int = 256
+    thompson_samples: int = 1
+    #: Refit the surrogate from scratch every ``refit_every`` observations.
+    refit_every: int = 1
+    svgp: SVGPConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.surrogate not in SURROGATES:
+            raise OptimizationError(f"unknown surrogate {self.surrogate!r}; pick one of {SURROGATES}")
+
+
+class BOEngine:
+    """Box-bounded minimization with censored observations."""
+
+    def __init__(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        config: BOEngineConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.lower = np.asarray(lower, dtype=np.float64)
+        self.upper = np.asarray(upper, dtype=np.float64)
+        if self.lower.shape != self.upper.shape or (self.upper <= self.lower).any():
+            raise OptimizationError("invalid search bounds")
+        self.config = config or BOEngineConfig()
+        self.rng = np.random.default_rng(seed)
+        self.dim = len(self.lower)
+        self.trust_region = TrustRegion(dim=self.dim)
+        self._x: list[np.ndarray] = []
+        self._y: list[float] = []
+        self._censored: list[bool] = []
+        self._surrogate = None
+        self._observations_since_fit = 0
+
+    # ------------------------------------------------------------------ data handling
+    def _normalize(self, x: np.ndarray) -> np.ndarray:
+        return (np.atleast_2d(x) - self.lower) / (self.upper - self.lower)
+
+    def _denormalize(self, x: np.ndarray) -> np.ndarray:
+        return np.atleast_2d(x) * (self.upper - self.lower) + self.lower
+
+    def add_observation(self, x: np.ndarray, value: float, censored: bool = False) -> None:
+        """Record one evaluated point; updates the trust region state."""
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        if x.shape != self.lower.shape:
+            raise OptimizationError(f"point has dimension {len(x)}, expected {self.dim}")
+        previous_best = self.best_value()
+        self._x.append(x)
+        self._y.append(float(value))
+        self._censored.append(bool(censored))
+        self._observations_since_fit += 1
+        improved = (not censored) and (previous_best is None or value < previous_best)
+        if len(self._y) > 1:
+            self.trust_region.update(improved)
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._y)
+
+    def observations(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self._x, dtype=np.float64),
+            np.asarray(self._y, dtype=np.float64),
+            np.asarray(self._censored, dtype=bool),
+        )
+
+    def best_value(self) -> float | None:
+        """Best (lowest) uncensored objective value seen so far."""
+        values = [y for y, c in zip(self._y, self._censored) if not c]
+        return min(values) if values else None
+
+    def best_point(self) -> np.ndarray | None:
+        best, best_x = None, None
+        for x, y, censored in zip(self._x, self._y, self._censored):
+            if censored:
+                continue
+            if best is None or y < best:
+                best, best_x = y, x
+        return best_x
+
+    # ------------------------------------------------------------------ surrogate
+    def _build_surrogate(self):
+        if self.config.surrogate == "svgp":
+            return CensoredSVGP(config=self.config.svgp or SVGPConfig())
+        return CensoredGP()
+
+    def fit(self, force: bool = False) -> None:
+        """(Re)fit the surrogate on all observations."""
+        if self.num_observations == 0:
+            raise OptimizationError("cannot fit the surrogate with no observations")
+        if (
+            not force
+            and self._surrogate is not None
+            and self._observations_since_fit < self.config.refit_every
+        ):
+            return
+        x, y, censored = self.observations()
+        surrogate = self._build_surrogate()
+        surrogate.fit(self._normalize(x), y, censored)
+        self._surrogate = surrogate
+        self._observations_since_fit = 0
+
+    @property
+    def surrogate(self):
+        if self._surrogate is None:
+            self.fit()
+        return self._surrogate
+
+    # ------------------------------------------------------------------ inference helpers
+    def predict(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Surrogate posterior mean/std at raw-space points."""
+        return self.surrogate.predict(self._normalize(x))
+
+    def fantasize_censored(self, x: np.ndarray, censor_level: float) -> tuple[float, float]:
+        """Posterior at ``x`` after pretending it was censored at ``censor_level``."""
+        normalized = self._normalize(x)
+        mean, std = self.surrogate.fantasize(normalized, censor_level, normalized)
+        return float(mean[0]), float(std[0])
+
+    # ------------------------------------------------------------------ acquisition
+    def suggest(self) -> np.ndarray:
+        """Propose the next raw-space point to evaluate."""
+        if self.num_observations == 0:
+            return self._denormalize(self.rng.random((1, self.dim)))[0]
+        self.fit()
+        center = self.best_point()
+        if center is None:
+            # Everything censored so far: fall back to global exploration.
+            candidates = global_candidates(self.dim, self.config.num_candidates, self.rng)
+        elif self.config.use_trust_region:
+            candidates = self.trust_region.candidates(
+                self._normalize(center)[0], self.config.num_candidates, self.rng
+            )
+        else:
+            candidates = global_candidates(self.dim, self.config.num_candidates, self.rng)
+        index = thompson_sample(
+            self.surrogate, candidates, self.rng, num_samples=self.config.thompson_samples
+        )
+        return self._denormalize(candidates[index])[0]

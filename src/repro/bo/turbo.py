@@ -1,0 +1,94 @@
+"""TuRBO-style trust regions for local Bayesian optimization.
+
+Despite the name, trust-region BO is a *global* optimization scheme (paper
+footnote 4): the trust region is re-centered on the incumbent, expanded after
+consecutive successes, shrunk after consecutive failures and restarted when it
+collapses, which lets the search exploit locally while still escaping to new
+regions over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TrustRegion:
+    """State machine controlling the local search box (Eriksson et al., 2019)."""
+
+    dim: int
+    length: float = 0.8
+    length_min: float = 0.5**7
+    length_max: float = 1.6
+    success_tolerance: int = 3
+    failure_tolerance: int = 0
+    success_count: int = 0
+    failure_count: int = 0
+    restarts: int = 0
+    history: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.failure_tolerance <= 0:
+            self.failure_tolerance = max(5, self.dim)
+
+    # ------------------------------------------------------------------ updates
+    def update(self, improved: bool) -> None:
+        """Record whether the latest evaluation improved the incumbent."""
+        if improved:
+            self.success_count += 1
+            self.failure_count = 0
+        else:
+            self.failure_count += 1
+            self.success_count = 0
+        if self.success_count >= self.success_tolerance:
+            self.length = min(self.length * 2.0, self.length_max)
+            self.success_count = 0
+        elif self.failure_count >= self.failure_tolerance:
+            self.length = max(self.length / 2.0, 0.0)
+            self.failure_count = 0
+        self.history.append(self.length)
+        if self.length < self.length_min:
+            self.restart()
+
+    def restart(self) -> None:
+        """Collapse detected: reset the region to its initial size."""
+        self.length = 0.8
+        self.success_count = 0
+        self.failure_count = 0
+        self.restarts += 1
+
+    # ------------------------------------------------------------------ candidate generation
+    def candidates(
+        self,
+        center: np.ndarray,
+        count: int,
+        rng: np.random.Generator,
+        perturbation_probability: float | None = None,
+    ) -> np.ndarray:
+        """Candidate points in the normalized unit cube around ``center``.
+
+        Each candidate perturbs a random subset of dimensions (probability
+        ``min(1, 20/dim)`` by default, as in TuRBO) uniformly within the trust
+        region, leaving the remaining coordinates at the incumbent's value.
+        """
+        center = np.clip(np.asarray(center, dtype=np.float64), 0.0, 1.0)
+        if perturbation_probability is None:
+            perturbation_probability = min(1.0, 20.0 / max(self.dim, 1))
+        half = self.length / 2.0
+        lower = np.clip(center - half, 0.0, 1.0)
+        upper = np.clip(center + half, 0.0, 1.0)
+        samples = rng.uniform(lower, upper, size=(count, self.dim))
+        mask = rng.random((count, self.dim)) < perturbation_probability
+        # Guarantee at least one perturbed dimension per candidate.
+        empty = ~mask.any(axis=1)
+        if empty.any():
+            forced = rng.integers(0, self.dim, size=int(empty.sum()))
+            mask[np.flatnonzero(empty), forced] = True
+        return np.where(mask, samples, center[None, :])
+
+
+def global_candidates(dim: int, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform candidates over the whole normalized cube (the "no trust region" ablation)."""
+    return rng.random((count, dim))

@@ -1,0 +1,52 @@
+"""BayesQO core: the offline optimizer, its configuration, timeouts, cache and re-optimization."""
+
+from repro.core.cache import CachedPlan, OnlinePlanner, PlanCache, amortized_benefit
+from repro.core.config import BayesQOConfig, VAETrainingConfig
+from repro.core.initialization import (
+    bao_initialization,
+    build_initial_plans,
+    default_initialization,
+    llm_initialization,
+    random_initialization,
+)
+from repro.core.optimizer import BayesQO, OverheadBreakdown, SchemaModel, train_schema_model
+from repro.core.reoptimize import ReoptimizationOutcome, reoptimize
+from repro.core.result import OptimizationResult, TraceRecord
+from repro.core.timeout import (
+    BestSeenTimeout,
+    MultiplierTimeout,
+    NoTimeout,
+    PercentileTimeout,
+    TimeoutPolicy,
+    UncertaintyTimeout,
+    build_timeout_policy,
+)
+
+__all__ = [
+    "BayesQO",
+    "BayesQOConfig",
+    "BestSeenTimeout",
+    "CachedPlan",
+    "MultiplierTimeout",
+    "NoTimeout",
+    "OnlinePlanner",
+    "OptimizationResult",
+    "OverheadBreakdown",
+    "PercentileTimeout",
+    "PlanCache",
+    "ReoptimizationOutcome",
+    "SchemaModel",
+    "TimeoutPolicy",
+    "TraceRecord",
+    "UncertaintyTimeout",
+    "VAETrainingConfig",
+    "amortized_benefit",
+    "bao_initialization",
+    "build_initial_plans",
+    "build_timeout_policy",
+    "default_initialization",
+    "llm_initialization",
+    "random_initialization",
+    "reoptimize",
+    "train_schema_model",
+]

@@ -1,0 +1,116 @@
+"""The plan cache and the online component of the offline/online split.
+
+After an offline optimization run, the best plan is stored in a cache keyed by
+the query.  At runtime (the "online" path of Figure 2), the cache is consulted
+first; a miss falls back to the default optimizer.  The online component also
+watches runtime statistics and flags queries for re-optimization when the
+cached plan regresses (e.g. because of data drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.result import OptimizationResult
+from repro.db.engine import Database
+from repro.db.query import Query
+from repro.exceptions import OptimizationError
+from repro.plans.jointree import JoinTree
+
+
+@dataclass
+class CachedPlan:
+    """One cache entry: the plan, the latency observed offline and usage counters."""
+
+    plan: JoinTree
+    offline_latency: float
+    optimization_cost: float
+    hits: int = 0
+    last_observed_latency: float | None = None
+
+
+@dataclass
+class PlanCache:
+    """Maps query signatures to their offline-optimized plans."""
+
+    entries: dict[tuple[str, ...], CachedPlan] = field(default_factory=dict)
+
+    def store(self, query: Query, result: OptimizationResult) -> CachedPlan:
+        """Cache the best plan of an optimization run."""
+        entry = CachedPlan(
+            plan=result.best_plan,
+            offline_latency=result.best_latency,
+            optimization_cost=result.total_cost,
+        )
+        self.entries[query.signature()] = entry
+        return entry
+
+    def store_plan(self, query: Query, plan: JoinTree, latency: float, cost: float = 0.0) -> CachedPlan:
+        entry = CachedPlan(plan=plan, offline_latency=latency, optimization_cost=cost)
+        self.entries[query.signature()] = entry
+        return entry
+
+    def lookup(self, query: Query) -> CachedPlan | None:
+        return self.entries.get(query.signature())
+
+    def __contains__(self, query: Query) -> bool:
+        return query.signature() in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class OnlinePlanner:
+    """The runtime component: cached plan if present, default optimizer otherwise.
+
+    ``regression_factor`` controls when a query is flagged for re-optimization:
+    if the observed latency exceeds the cached offline latency by more than
+    this factor, :meth:`execute` marks the entry as needing re-optimization.
+    """
+
+    database: Database
+    cache: PlanCache = field(default_factory=PlanCache)
+    regression_factor: float = 2.0
+    needs_reoptimization: set[tuple[str, ...]] = field(default_factory=set)
+
+    def plan_for(self, query: Query) -> tuple[JoinTree, str]:
+        """Return (plan, source) where source is "cache" or "default"."""
+        entry = self.cache.lookup(query)
+        if entry is not None:
+            return entry.plan, "cache"
+        return self.database.plan(query), "default"
+
+    def execute(self, query: Query, timeout: float | None = None):
+        """Execute the query through the online path, updating regression tracking."""
+        plan, source = self.plan_for(query)
+        result = self.database.execute(query, plan, timeout=timeout)
+        entry = self.cache.lookup(query)
+        if entry is not None and source == "cache":
+            entry.hits += 1
+            entry.last_observed_latency = result.latency
+            if (
+                not result.timed_out
+                and result.latency > self.regression_factor * entry.offline_latency
+            ):
+                self.needs_reoptimization.add(query.signature())
+        return result
+
+    def should_reoptimize(self, query: Query) -> bool:
+        return query.signature() in self.needs_reoptimization
+
+    def clear_reoptimization_flag(self, query: Query) -> None:
+        self.needs_reoptimization.discard(query.signature())
+
+
+def amortized_benefit(
+    default_latency: float, optimized_latency: float, optimization_cost: float, executions: int
+) -> float:
+    """Net time saved by offline optimization after ``executions`` runs of the query.
+
+    Positive values mean the optimization cost has been amortized; this is the
+    economic argument of the paper's introduction made computable.
+    """
+    if executions < 0:
+        raise OptimizationError("executions must be non-negative")
+    return executions * (default_latency - optimized_latency) - optimization_cost

@@ -1,0 +1,91 @@
+"""Configuration of the BayesQO offline optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bo.loop import SURROGATES
+from repro.exceptions import OptimizationError
+
+#: Supported timeout strategies (Figure 5a's ablation arms).
+TIMEOUT_STRATEGIES = ("uncertainty", "none", "percentile", "best_seen", "multiplier")
+#: Supported initialization strategies (Section 4.4).
+INITIALIZATION_STRATEGIES = ("bao", "default", "random", "llm", "provided")
+
+
+@dataclass
+class BayesQOConfig:
+    """All knobs of a BayesQO run.
+
+    The defaults correspond to the configuration used for the headline
+    experiments: Bao-hint initialization, the censored GP surrogate, trust
+    region local BO and uncertainty-based timeouts.
+    """
+
+    # Budget -----------------------------------------------------------------
+    #: Maximum number of plan executions (the paper uses 4000 per query).
+    max_executions: int = 100
+    #: Optional cap on the total simulated execution time (seconds).
+    time_budget: float | None = None
+
+    # Surrogate / acquisition --------------------------------------------------
+    surrogate: str = "censored_gp"
+    use_trust_region: bool = True
+    num_candidates: int = 256
+    thompson_samples: int = 1
+
+    # Timeouts -----------------------------------------------------------------
+    timeout_strategy: str = "uncertainty"
+    #: Confidence multiplier kappa of the uncertainty rule.
+    timeout_kappa: float = 1.0
+    #: Upper cap on any timeout, as a multiple of the best latency seen so far.
+    timeout_max_multiplier: float = 16.0
+    #: Percentile used by the "percentile" strategy (0 reproduces "best seen").
+    timeout_percentile: float = 10.0
+    #: Multiplier used by the "multiplier" strategy (Balsa uses 1.5).
+    timeout_multiplier: float = 1.5
+    #: Whether censored observations are fed back to the surrogate (ablation).
+    learn_from_timeouts: bool = True
+
+    # Initialization -----------------------------------------------------------
+    initialization: str = "bao"
+    #: Number of random/LLM initialization plans when those strategies are used.
+    num_initial_plans: int = 50
+
+    # Reproducibility ----------------------------------------------------------
+    seed: int = 0
+
+    #: Free-form metadata recorded in results (used by the harness).
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_executions < 1:
+            raise OptimizationError("max_executions must be at least 1")
+        if self.surrogate not in SURROGATES:
+            raise OptimizationError(f"unknown surrogate {self.surrogate!r}")
+        if self.timeout_strategy not in TIMEOUT_STRATEGIES:
+            raise OptimizationError(
+                f"unknown timeout strategy {self.timeout_strategy!r}; pick one of {TIMEOUT_STRATEGIES}"
+            )
+        if self.initialization not in INITIALIZATION_STRATEGIES:
+            raise OptimizationError(
+                f"unknown initialization {self.initialization!r}; pick one of {INITIALIZATION_STRATEGIES}"
+            )
+        if self.timeout_kappa < 0:
+            raise OptimizationError("timeout_kappa must be non-negative")
+        if self.timeout_max_multiplier < 1.0:
+            raise OptimizationError("timeout_max_multiplier must be at least 1")
+
+
+@dataclass
+class VAETrainingConfig:
+    """How the per-schema latent space is built (shared across queries)."""
+
+    latent_dim: int = 24
+    embed_dim: int = 16
+    hidden_dim: int = 256
+    training_steps: int = 2500
+    corpus_queries: int = 250
+    max_tables: int = 10
+    beta: float = 0.02
+    seed: int = 0

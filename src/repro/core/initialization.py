@@ -1,0 +1,111 @@
+"""Initialization strategies for the BO search (Section 4.4).
+
+BayesQO admits any set of ``(plan, label)`` pairs as initialization points.
+The strategies shipped here mirror the paper: the 49 Bao hint-set plans
+(the default), the single default-optimizer plan, random cross-join-free
+plans, and plans sampled from a cross-query model (the PlanLM, standing in
+for the fine-tuned LLM).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.db.engine import Database
+from repro.db.query import Query
+from repro.exceptions import OptimizationError
+from repro.plans.hints import bao_hint_sets
+from repro.plans.jointree import JoinTree
+from repro.plans.sampling import random_join_tree
+
+#: An initialization point: a plan plus a provenance label.
+InitialPlan = tuple[JoinTree, str]
+
+
+class PlanGenerator(Protocol):
+    """Anything that can propose plans for a query (the PlanLM implements this)."""
+
+    def generate_plans(self, query: Query, count: int) -> list[JoinTree]:  # pragma: no cover
+        ...
+
+
+def bao_initialization(database: Database, query: Query) -> list[InitialPlan]:
+    """The 49 hint-set plans (deduplicated), guaranteed to contain Bao's best plan."""
+    plans: list[InitialPlan] = []
+    seen: set[str] = set()
+    for hint_set in bao_hint_sets():
+        plan = database.plan(query, hint_set)
+        key = plan.canonical()
+        if key in seen:
+            continue
+        seen.add(key)
+        plans.append((plan, "init:bao"))
+    return plans
+
+
+def default_initialization(database: Database, query: Query) -> list[InitialPlan]:
+    """A single initialization point: the default optimizer's plan."""
+    return [(database.plan(query), "init:default")]
+
+
+def random_initialization(query: Query, count: int, seed: int = 0) -> list[InitialPlan]:
+    """``count`` random cross-join-free plans."""
+    rng = np.random.default_rng(seed)
+    plans: list[InitialPlan] = []
+    seen: set[str] = set()
+    attempts = 0
+    while len(plans) < count and attempts < count * 10:
+        attempts += 1
+        plan = random_join_tree(query, rng)
+        key = plan.canonical()
+        if key in seen:
+            continue
+        seen.add(key)
+        plans.append((plan, "init:random"))
+    return plans
+
+
+def llm_initialization(generator: PlanGenerator, query: Query, count: int) -> list[InitialPlan]:
+    """Plans sampled from a cross-query plan generator (the LLM strategy)."""
+    plans: list[InitialPlan] = []
+    seen: set[str] = set()
+    for plan in generator.generate_plans(query, count):
+        key = plan.canonical()
+        if key in seen:
+            continue
+        seen.add(key)
+        plans.append((plan, "init:llm"))
+    return plans
+
+
+def build_initial_plans(
+    strategy: str,
+    database: Database,
+    query: Query,
+    count: int = 50,
+    seed: int = 0,
+    generator: PlanGenerator | None = None,
+    provided: list[JoinTree] | None = None,
+) -> list[InitialPlan]:
+    """Dispatch on the configuration's ``initialization`` string."""
+    if strategy == "bao":
+        return bao_initialization(database, query)
+    if strategy == "default":
+        return default_initialization(database, query)
+    if strategy == "random":
+        return random_initialization(query, count, seed=seed)
+    if strategy == "llm":
+        if generator is None:
+            raise OptimizationError("the 'llm' initialization needs a plan generator")
+        plans = llm_initialization(generator, query, count)
+        if not plans:
+            # The generator produced nothing usable; fall back to the default plan.
+            return default_initialization(database, query)
+        return plans
+    if strategy == "provided":
+        if not provided:
+            raise OptimizationError("the 'provided' initialization needs explicit plans")
+        return [(plan, "init:provided") for plan in provided]
+    raise OptimizationError(f"unknown initialization strategy {strategy!r}")

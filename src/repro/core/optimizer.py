@@ -1,0 +1,307 @@
+"""BayesQO: the offline query optimizer (Sections 3 and 4 of the paper).
+
+The optimizer ties every substrate together.  For a given query it:
+
+1. produces initialization plans (Bao hint sets by default) and executes them,
+2. embeds executed plans into the VAE latent space and feeds their (log)
+   latencies — censored for timed-out plans — to the BO engine,
+3. repeatedly asks the engine for a new latent point, decodes it to a plan,
+   chooses a per-plan timeout with the uncertainty rule, executes the plan
+   against the read snapshot and updates the surrogate,
+4. stops when the execution-count or time budget is exhausted and reports the
+   full trace.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bo.loop import BOEngine, BOEngineConfig
+from repro.core.config import BayesQOConfig, VAETrainingConfig
+from repro.core.initialization import InitialPlan, PlanGenerator, build_initial_plans
+from repro.core.result import OptimizationResult
+from repro.core.timeout import TimeoutPolicy, build_timeout_policy
+from repro.db.engine import Database
+from repro.db.query import Query
+from repro.exceptions import OptimizationError
+from repro.plans.encoding import PlanCodec
+from repro.plans.jointree import JoinTree
+from repro.plans.vocabulary import PlanVocabulary, vocabulary_for_workload
+from repro.vae.dataset import build_plan_corpus
+from repro.vae.latent import LatentSpace
+from repro.vae.training import train_vae
+from repro.workloads.base import Workload
+
+#: Floor applied before taking logs of latencies.
+_MIN_LATENCY = 1e-6
+
+
+@dataclass
+class OverheadBreakdown:
+    """Wall-clock seconds spent in each part of the BO loop (Figure 9)."""
+
+    surrogate_update: float = 0.0
+    calculate_timeout: float = 0.0
+    vae_sampling: float = 0.0
+    generate_candidates: float = 0.0
+    iterations: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "surrogate_update": self.surrogate_update,
+            "calculate_timeout": self.calculate_timeout,
+            "vae_sampling": self.vae_sampling,
+            "generate_candidates": self.generate_candidates,
+        }
+
+    def per_iteration(self) -> dict[str, float]:
+        count = max(self.iterations, 1)
+        return {name: value / count for name, value in self.as_dict().items()}
+
+
+@dataclass
+class SchemaModel:
+    """The per-schema artifacts shared by every query: vocabulary, codec, latent space."""
+
+    vocabulary: PlanVocabulary
+    codec: PlanCodec
+    latent_space: LatentSpace
+    vae_report: object | None = None
+
+
+def train_schema_model(
+    database: Database,
+    workload_queries: list[Query] | None = None,
+    vae_config: VAETrainingConfig | None = None,
+    max_aliases: int | None = None,
+) -> SchemaModel:
+    """Build the vocabulary, plan corpus and VAE for one schema (done once per schema)."""
+    from repro.plans.vocabulary import build_vocabulary, max_aliases_in_workload
+
+    vae_config = vae_config or VAETrainingConfig()
+    if workload_queries:
+        aliases = max(max_aliases or 1, max_aliases_in_workload(workload_queries))
+        max_tables = max(
+            vae_config.max_tables, max(query.num_tables for query in workload_queries)
+        )
+    else:
+        aliases = max_aliases or 1
+        max_tables = vae_config.max_tables
+    vocabulary = build_vocabulary(database.schema, aliases)
+    corpus = build_plan_corpus(
+        database,
+        vocabulary,
+        max_aliases=aliases,
+        num_queries=vae_config.corpus_queries,
+        max_tables=max_tables,
+        seed=vae_config.seed,
+    )
+    model, report = train_vae(
+        corpus,
+        latent_dim=vae_config.latent_dim,
+        embed_dim=vae_config.embed_dim,
+        hidden_dim=vae_config.hidden_dim,
+        beta=vae_config.beta,
+        steps=vae_config.training_steps,
+        seed=vae_config.seed,
+    )
+    codec = PlanCodec(vocabulary)
+    latent_space = LatentSpace.from_corpus(model, codec, corpus.sequences)
+    return SchemaModel(vocabulary=vocabulary, codec=codec, latent_space=latent_space, vae_report=report)
+
+
+class BayesQO:
+    """The offline query optimizer."""
+
+    def __init__(
+        self,
+        database: Database,
+        schema_model: SchemaModel,
+        config: BayesQOConfig | None = None,
+        plan_generator: PlanGenerator | None = None,
+    ) -> None:
+        self.database = database
+        self.schema_model = schema_model
+        self.config = config or BayesQOConfig()
+        self.plan_generator = plan_generator
+        self.overhead = OverheadBreakdown()
+
+    # ------------------------------------------------------------------ construction helpers
+    @classmethod
+    def for_workload(
+        cls,
+        workload: Workload,
+        config: BayesQOConfig | None = None,
+        vae_config: VAETrainingConfig | None = None,
+        plan_generator: PlanGenerator | None = None,
+        schema_model: SchemaModel | None = None,
+    ) -> "BayesQO":
+        """Build a BayesQO instance (training the per-schema VAE if needed)."""
+        schema_model = schema_model or train_schema_model(
+            workload.database, workload.queries, vae_config, max_aliases=workload.max_aliases
+        )
+        return cls(workload.database, schema_model, config=config, plan_generator=plan_generator)
+
+    # ------------------------------------------------------------------ main loop
+    def optimize(
+        self,
+        query: Query,
+        initial_plans: list[InitialPlan] | None = None,
+        max_executions: int | None = None,
+        time_budget: float | None = None,
+    ) -> OptimizationResult:
+        """Run offline optimization for one query and return the execution trace."""
+        config = self.config
+        max_executions = max_executions or config.max_executions
+        time_budget = time_budget if time_budget is not None else config.time_budget
+        latent = self.schema_model.latent_space
+        result = OptimizationResult(query_name=query.name, technique="BayesQO")
+        engine = BOEngine(
+            *latent.bounds(),
+            config=BOEngineConfig(
+                surrogate=config.surrogate,
+                use_trust_region=config.use_trust_region,
+                num_candidates=config.num_candidates,
+                thompson_samples=config.thompson_samples,
+            ),
+            seed=config.seed,
+        )
+        policy = build_timeout_policy(
+            config.timeout_strategy,
+            kappa=config.timeout_kappa,
+            max_multiplier=config.timeout_max_multiplier,
+            percentile=config.timeout_percentile,
+            multiplier=config.timeout_multiplier,
+        )
+        executed: dict[str, tuple[float, bool, float | None]] = {}
+        observed_latencies: list[float] = []
+
+        if initial_plans is None:
+            plans = build_initial_plans(
+                config.initialization,
+                self.database,
+                query,
+                count=config.num_initial_plans,
+                seed=config.seed,
+                generator=self.plan_generator,
+            )
+        else:
+            plans = initial_plans
+        if not plans:
+            raise OptimizationError(f"no initialization plans produced for query {query.name!r}")
+        self._run_initialization(
+            query, plans, engine, result, executed, observed_latencies, max_executions, time_budget
+        )
+        self._run_bo_loop(
+            query, engine, policy, result, executed, observed_latencies, max_executions, time_budget
+        )
+        return result
+
+    # ------------------------------------------------------------------ phases
+    def _budget_left(
+        self, result: OptimizationResult, max_executions: int, time_budget: float | None
+    ) -> bool:
+        if result.num_executions >= max_executions:
+            return False
+        if time_budget is not None and result.total_cost >= time_budget:
+            return False
+        return True
+
+    def _run_initialization(
+        self,
+        query: Query,
+        plans: list[InitialPlan],
+        engine: BOEngine,
+        result: OptimizationResult,
+        executed: dict,
+        observed_latencies: list[float],
+        max_executions: int,
+        time_budget: float | None,
+    ) -> None:
+        best: float | None = None
+        for plan, source in plans:
+            if not self._budget_left(result, max_executions, time_budget):
+                return
+            timeout = 600.0 if best is None else best * self.config.timeout_max_multiplier
+            execution = self.database.execute(query, plan, timeout=timeout)
+            record = result.record(plan, execution.latency, execution.timed_out, timeout, source)
+            self._observe(engine, query, plan, record.latency, record.censored, observed_latencies)
+            executed[plan.canonical()] = (record.latency, record.censored, timeout)
+            if not record.censored:
+                best = record.latency if best is None else min(best, record.latency)
+
+    def _run_bo_loop(
+        self,
+        query: Query,
+        engine: BOEngine,
+        policy: TimeoutPolicy,
+        result: OptimizationResult,
+        executed: dict,
+        observed_latencies: list[float],
+        max_executions: int,
+        time_budget: float | None,
+    ) -> None:
+        iterations = 0
+        iteration_cap = max_executions * 5
+        while self._budget_left(result, max_executions, time_budget) and iterations < iteration_cap:
+            iterations += 1
+            self.overhead.iterations += 1
+            start = time.perf_counter()
+            engine.fit()
+            self.overhead.surrogate_update += time.perf_counter() - start
+
+            start = time.perf_counter()
+            candidate = engine.suggest()
+            self.overhead.generate_candidates += time.perf_counter() - start
+
+            start = time.perf_counter()
+            plan = self.schema_model.latent_space.decode_vector(candidate, query)
+            self.overhead.vae_sampling += time.perf_counter() - start
+
+            key = plan.canonical()
+            if key in executed:
+                # Duplicate plan: reuse the cached observation without spending budget.
+                latency, censored, _ = executed[key]
+                self._observe(engine, query, plan, latency, censored, None, x=candidate)
+                continue
+
+            best_latency = self._best_latency(result)
+            start = time.perf_counter()
+            timeout = policy.select(engine, candidate, best_latency, observed_latencies)
+            self.overhead.calculate_timeout += time.perf_counter() - start
+
+            execution = self.database.execute(query, plan, timeout=timeout)
+            record = result.record(plan, execution.latency, execution.timed_out, timeout, "bo")
+            executed[key] = (record.latency, record.censored, timeout)
+            if record.censored and not self.config.learn_from_timeouts:
+                continue
+            self._observe(
+                engine, query, plan, record.latency, record.censored, observed_latencies, x=candidate
+            )
+
+    # ------------------------------------------------------------------ bookkeeping
+    def _best_latency(self, result: OptimizationResult) -> float | None:
+        try:
+            return result.best_latency
+        except OptimizationError:
+            return None
+
+    def _observe(
+        self,
+        engine: BOEngine,
+        query: Query,
+        plan: JoinTree,
+        latency: float,
+        censored: bool,
+        observed_latencies: list[float] | None,
+        x: np.ndarray | None = None,
+    ) -> None:
+        if x is None:
+            x = self.schema_model.latent_space.embed_plan(plan, query)
+        engine.add_observation(x, math.log(max(latency, _MIN_LATENCY)), censored)
+        if observed_latencies is not None and not censored:
+            observed_latencies.append(latency)

@@ -1,0 +1,58 @@
+"""Re-optimization after data drift (Section 5.5).
+
+When the data shifts, a previously optimized plan may become stale.  The
+paper shows that re-running BayesQO with the *past* plan added to the Bao
+initialization both converges faster and finds better plans than starting
+from scratch.  :func:`reoptimize` packages that recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.initialization import InitialPlan, bao_initialization
+from repro.core.optimizer import BayesQO
+from repro.core.result import OptimizationResult
+from repro.db.query import Query
+from repro.plans.jointree import JoinTree
+
+
+@dataclass
+class ReoptimizationOutcome:
+    """What re-optimization produced, alongside the stale plan's current latency."""
+
+    result: OptimizationResult
+    past_plan_latency: float
+    improved: bool
+
+    @property
+    def best_latency(self) -> float:
+        return self.result.best_latency
+
+
+def reoptimize(
+    optimizer: BayesQO,
+    query: Query,
+    past_plan: JoinTree,
+    max_executions: int | None = None,
+    time_budget: float | None = None,
+    include_bao: bool = True,
+) -> ReoptimizationOutcome:
+    """Re-optimize ``query`` on the optimizer's (drifted) database.
+
+    The initialization set is the Bao hint plans plus the past plan, so the
+    search starts from both the current optimizer's view of the data and the
+    previously discovered fast plan.
+    """
+    initial: list[InitialPlan] = []
+    if include_bao:
+        initial.extend(bao_initialization(optimizer.database, query))
+    initial.append((past_plan, "init:past_plan"))
+    result = optimizer.optimize(
+        query, initial_plans=initial, max_executions=max_executions, time_budget=time_budget
+    )
+    past_execution = optimizer.database.execute(query, past_plan, timeout=600.0)
+    improved = result.best_latency < past_execution.latency
+    return ReoptimizationOutcome(
+        result=result, past_plan_latency=past_execution.latency, improved=improved
+    )

@@ -1,0 +1,146 @@
+"""Result and trace types for offline optimization runs.
+
+Every technique in this repository (BayesQO, Bao, Random, Balsa, LimeQO)
+reports its work as an :class:`OptimizationResult`: a sequence of plan
+executions, each with its (possibly censored) latency and its position on the
+shared budget axis.  The cost and best-latency formulas follow the problem
+definition of Section 3:
+
+``Cost(S_t) = sum_i I_i * TO(P_i) + (1 - I_i) * L(P_i)``
+``Latency(S_t) = min_i { L(P_i) if not censored else infinity }``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import OptimizationError
+from repro.plans.jointree import JoinTree
+
+
+@dataclass
+class TraceRecord:
+    """One plan execution inside an optimization run."""
+
+    step: int
+    plan: JoinTree
+    latency: float
+    censored: bool
+    timeout: float | None
+    cumulative_cost: float
+    source: str = "bo"
+
+    @property
+    def observed_cost(self) -> float:
+        """The budget consumed by this execution (timeout if censored)."""
+        if self.censored:
+            return self.timeout if self.timeout is not None else self.latency
+        return self.latency
+
+
+@dataclass
+class OptimizationResult:
+    """The full trace of one offline optimization run for one query."""
+
+    query_name: str
+    technique: str
+    trace: list[TraceRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ recording
+    def record(
+        self,
+        plan: JoinTree,
+        latency: float,
+        censored: bool,
+        timeout: float | None,
+        source: str = "bo",
+    ) -> TraceRecord:
+        """Append one execution to the trace, maintaining the cumulative cost."""
+        cost = (timeout if timeout is not None else latency) if censored else latency
+        record = TraceRecord(
+            step=len(self.trace),
+            plan=plan,
+            latency=latency,
+            censored=censored,
+            timeout=timeout,
+            cumulative_cost=self.total_cost + cost,
+            source=source,
+        )
+        self.trace.append(record)
+        return record
+
+    # ------------------------------------------------------------------ aggregate views
+    @property
+    def total_cost(self) -> float:
+        """Total optimization budget consumed so far (Cost(S_t))."""
+        return self.trace[-1].cumulative_cost if self.trace else 0.0
+
+    @property
+    def num_executions(self) -> int:
+        return len(self.trace)
+
+    @property
+    def best_record(self) -> TraceRecord:
+        uncensored = [record for record in self.trace if not record.censored]
+        if not uncensored:
+            raise OptimizationError(
+                f"run for {self.query_name!r} has no successfully executed plan"
+            )
+        return min(uncensored, key=lambda record: record.latency)
+
+    @property
+    def best_latency(self) -> float:
+        """Latency(S_t): the fastest successfully executed plan."""
+        return self.best_record.latency
+
+    @property
+    def best_plan(self) -> JoinTree:
+        return self.best_record.plan
+
+    def best_latency_or(self, fallback: float) -> float:
+        """Best latency, or ``fallback`` when every execution was censored."""
+        try:
+            return self.best_latency
+        except OptimizationError:
+            return fallback
+
+    def best_latency_over_time(self) -> list[tuple[float, float]]:
+        """(cumulative cost, best latency so far) after every execution.
+
+        Executions before the first success carry ``inf`` as the best latency,
+        matching the problem definition.
+        """
+        points: list[tuple[float, float]] = []
+        best = float("inf")
+        for record in self.trace:
+            if not record.censored:
+                best = min(best, record.latency)
+            points.append((record.cumulative_cost, best))
+        return points
+
+    def best_latency_at_cost(self, budget: float) -> float:
+        """Best latency achievable within a given budget (inf if none)."""
+        best = float("inf")
+        for record in self.trace:
+            if record.cumulative_cost > budget:
+                break
+            if not record.censored:
+                best = min(best, record.latency)
+        return best
+
+    def improvement_over(self, baseline_latency: float) -> float:
+        """Percentage reduction in latency relative to ``baseline_latency``.
+
+        A value of 80 means the best plan runs in 20% of the baseline's time;
+        negative values mean the technique did worse than the baseline.
+        """
+        if baseline_latency <= 0:
+            raise OptimizationError("baseline latency must be positive")
+        return 100.0 * (1.0 - self.best_latency / baseline_latency)
+
+    def sources(self) -> dict[str, int]:
+        """Execution counts per source label (init:bao, bo, random, ...)."""
+        counts: dict[str, int] = {}
+        for record in self.trace:
+            counts[record.source] = counts.get(record.source, 0) + 1
+        return counts

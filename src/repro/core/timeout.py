@@ -1,0 +1,144 @@
+"""Timeout selection policies (Section 4.3.1).
+
+Every candidate plan gets a per-plan timeout before it is executed.  The
+paper's contribution is the *uncertainty-based* rule: choose the smallest
+timeout ``tau`` such that, after conditioning the surrogate on "this plan was
+censored at ``tau``", the incumbent is still confidently better than the
+candidate (``y* <= mu'(tau) - kappa * sigma'(tau)``).  The fixed-percentile,
+best-seen and constant-multiplier policies from prior work are provided as
+ablation arms (Figure 5a), together with a no-timeout policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bo.loop import BOEngine
+from repro.exceptions import OptimizationError
+
+
+class TimeoutPolicy:
+    """Interface: map (engine state, candidate point) to a timeout in seconds."""
+
+    def select(
+        self,
+        engine: BOEngine | None,
+        candidate: np.ndarray | None,
+        best_latency: float | None,
+        observed_latencies: list[float],
+    ) -> float | None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class NoTimeout(TimeoutPolicy):
+    """Never time out (the "No Timeouts" ablation arm)."""
+
+    def select(self, engine, candidate, best_latency, observed_latencies) -> float | None:
+        return None
+
+
+@dataclass
+class BestSeenTimeout(TimeoutPolicy):
+    """Timeout equal to the best latency observed so far (the 0th percentile)."""
+
+    fallback: float = 60.0
+
+    def select(self, engine, candidate, best_latency, observed_latencies) -> float | None:
+        if best_latency is None:
+            return self.fallback
+        return best_latency
+
+
+@dataclass
+class PercentileTimeout(TimeoutPolicy):
+    """Timeout at a fixed percentile of the uncensored latencies seen so far."""
+
+    percentile: float = 10.0
+    fallback: float = 60.0
+
+    def select(self, engine, candidate, best_latency, observed_latencies) -> float | None:
+        if not observed_latencies:
+            return self.fallback
+        return float(np.percentile(np.asarray(observed_latencies), self.percentile))
+
+
+@dataclass
+class MultiplierTimeout(TimeoutPolicy):
+    """Timeout at a constant multiple of the best latency (Balsa uses 1.5x)."""
+
+    multiplier: float = 1.5
+    fallback: float = 60.0
+
+    def select(self, engine, candidate, best_latency, observed_latencies) -> float | None:
+        if best_latency is None:
+            return self.fallback
+        return self.multiplier * best_latency
+
+
+@dataclass
+class UncertaintyTimeout(TimeoutPolicy):
+    """The paper's uncertainty-based timeout rule.
+
+    Finds (by bisection over the log-latency axis, exploiting monotonicity of
+    the fantasized lower confidence bound in ``tau``) the smallest timeout such
+    that conditioning on a censoring at ``tau`` leaves the incumbent confidently
+    better than the candidate.
+    """
+
+    kappa: float = 1.0
+    max_multiplier: float = 16.0
+    fallback: float = 60.0
+    bisection_steps: int = 8
+
+    def select(self, engine, candidate, best_latency, observed_latencies) -> float | None:
+        if best_latency is None:
+            return self.fallback
+        if engine is None or candidate is None or engine.num_observations < 3:
+            return self.max_multiplier * best_latency
+        best_log = math.log(max(best_latency, 1e-9))
+        low = best_log
+        high = math.log(best_latency * self.max_multiplier)
+        if not self._confident(engine, candidate, high, best_log):
+            # Even the largest allowed timeout would not make us confident:
+            # spend the full cap (learning the most we are willing to pay for).
+            return math.exp(high)
+        for _ in range(self.bisection_steps):
+            mid = 0.5 * (low + high)
+            if self._confident(engine, candidate, mid, best_log):
+                high = mid
+            else:
+                low = mid
+        return math.exp(high)
+
+    def _confident(self, engine: BOEngine, candidate: np.ndarray, log_tau: float, best_log: float) -> bool:
+        mean, std = engine.fantasize_censored(candidate, log_tau)
+        return best_log <= mean - self.kappa * std
+
+
+def build_timeout_policy(
+    strategy: str,
+    kappa: float = 1.0,
+    max_multiplier: float = 16.0,
+    percentile: float = 10.0,
+    multiplier: float = 1.5,
+) -> TimeoutPolicy:
+    """Factory mapping a configuration string to a policy instance."""
+    if strategy == "uncertainty":
+        return UncertaintyTimeout(kappa=kappa, max_multiplier=max_multiplier)
+    if strategy == "none":
+        return NoTimeout()
+    if strategy == "percentile":
+        return PercentileTimeout(percentile=percentile)
+    if strategy == "best_seen":
+        return BestSeenTimeout()
+    if strategy == "multiplier":
+        return MultiplierTimeout(multiplier=multiplier)
+    raise OptimizationError(f"unknown timeout strategy {strategy!r}")

@@ -1,0 +1,26 @@
+"""The database substrate: catalog, storage, statistics, planner and executor."""
+
+from repro.db.catalog import Column, ForeignKey, Index, Schema, Table
+from repro.db.engine import Database, DatabaseInfo
+from repro.db.executor import ExecutionResult, Executor
+from repro.db.optimizer import PlanOptimizer
+from repro.db.query import FilterPredicate, JoinPredicate, Query, TableRef
+from repro.db.relation import Relation
+
+__all__ = [
+    "Column",
+    "Database",
+    "DatabaseInfo",
+    "ExecutionResult",
+    "Executor",
+    "FilterPredicate",
+    "ForeignKey",
+    "Index",
+    "JoinPredicate",
+    "PlanOptimizer",
+    "Query",
+    "Relation",
+    "Schema",
+    "Table",
+    "TableRef",
+]

@@ -1,0 +1,192 @@
+"""Synthetic data generation for the database substrate.
+
+The experiments in the paper rely on real datasets (IMDB, StackOverflow,
+DSB) whose skew and cross-column correlation make the default optimizer's
+independence-assumption estimates wrong, which is exactly what leaves room
+for offline optimization to find much faster plans.  This module generates
+scaled-down synthetic relations with the same two properties:
+
+* **Skewed foreign keys** — FK columns follow a (truncated) Zipf
+  distribution over the referenced primary keys, so some join partners fan
+  out enormously while most barely join at all.
+* **Correlated attribute columns** — categorical attributes are generated
+  as noisy functions of the row's foreign keys, so multi-predicate
+  selectivities deviate strongly from the product of single-column
+  selectivities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.catalog import Schema, Table
+from repro.db.relation import Relation
+from repro.exceptions import CatalogError
+
+
+@dataclass
+class ColumnSpec:
+    """How to populate one non-key column.
+
+    Parameters
+    ----------
+    kind:
+        ``"categorical"`` (zipf-skewed categorical ids), ``"uniform"``
+        (uniform ints in ``[0, cardinality)``), ``"date"`` (ordinal days in
+        ``[date_min, date_max]``), or ``"derived"`` (a noisy function of a
+        foreign-key column, producing cross-column correlation).
+    cardinality:
+        Number of distinct values for categorical/uniform columns.
+    skew:
+        Zipf exponent for categorical columns (0 disables skew).
+    source_column:
+        For ``"derived"`` columns: the column in the same table whose value
+        seeds this one.
+    noise:
+        For ``"derived"`` columns: probability of replacing the derived value
+        with a uniformly random one.
+    """
+
+    kind: str = "categorical"
+    cardinality: int = 100
+    skew: float = 1.1
+    date_min: int = 0
+    date_max: int = 3650
+    source_column: str | None = None
+    noise: float = 0.1
+
+
+@dataclass
+class TableSpec:
+    """How to populate one table: row count plus per-column specs."""
+
+    num_rows: int
+    column_specs: dict[str, ColumnSpec] = field(default_factory=dict)
+    #: Zipf exponent used for every FK column of this table.
+    fk_skew: float = 1.2
+
+
+def zipf_choices(rng: np.random.Generator, population: int, size: int, skew: float) -> np.ndarray:
+    """Sample ``size`` integers from ``[0, population)`` with Zipf-like skew.
+
+    A ``skew`` of 0 gives the uniform distribution; larger values concentrate
+    probability mass on small indices.  The indices are then shuffled through a
+    fixed permutation so that "popular" ids are spread across the key space,
+    matching real data where popularity is not correlated with key order.
+    """
+    if population <= 0:
+        raise CatalogError("population must be positive")
+    if skew <= 0:
+        return rng.integers(0, population, size=size)
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    draws = rng.choice(population, size=size, p=weights)
+    permutation = np.random.default_rng(population).permutation(population)
+    return permutation[draws]
+
+
+class DataGenerator:
+    """Populate a :class:`~repro.db.catalog.Schema` with synthetic rows."""
+
+    def __init__(self, schema: Schema, specs: dict[str, TableSpec], seed: int = 0) -> None:
+        self.schema = schema
+        self.specs = specs
+        self.seed = seed
+        missing = [name for name in schema.table_names if name not in specs]
+        if missing:
+            raise CatalogError(f"missing TableSpec for tables: {missing}")
+
+    def generate(self) -> dict[str, Relation]:
+        """Generate every relation, respecting FK references between tables.
+
+        Tables are generated in an order where referenced tables come first so
+        that FK columns can be drawn from already-known primary keys.
+        """
+        order = self._generation_order()
+        relations: dict[str, Relation] = {}
+        for table_name in order:
+            relations[table_name] = self._generate_table(self.schema.table(table_name), relations)
+        return relations
+
+    # ------------------------------------------------------------------ internals
+    def _generation_order(self) -> list[str]:
+        """Topological-ish order: referenced tables before referencing tables."""
+        remaining = set(self.schema.table_names)
+        deps: dict[str, set[str]] = {name: set() for name in remaining}
+        for fk in self.schema.foreign_keys:
+            if fk.ref_table != fk.table:
+                deps[fk.table].add(fk.ref_table)
+        order: list[str] = []
+        while remaining:
+            ready = sorted(name for name in remaining if not (deps[name] & remaining))
+            if not ready:
+                # Cycle in the FK graph: break it deterministically.
+                ready = [sorted(remaining)[0]]
+            for name in ready:
+                order.append(name)
+                remaining.remove(name)
+        return order
+
+    def _generate_table(self, table: Table, relations: dict[str, Relation]) -> Relation:
+        spec = self.specs[table.name]
+        rng = np.random.default_rng((self.seed, hash(table.name) & 0xFFFF))
+        num_rows = spec.num_rows
+        columns: dict[str, np.ndarray] = {}
+        # Primary key: dense 0..n-1.
+        columns[table.primary_key] = np.arange(num_rows, dtype=np.int64)
+        # Foreign keys: zipf over referenced primary keys.
+        fk_columns = {
+            fk.column: fk
+            for fk in self.schema.foreign_keys
+            if fk.table == table.name and fk.column != table.primary_key
+        }
+        for column_name, fk in fk_columns.items():
+            ref_relation = relations.get(fk.ref_table)
+            if ref_relation is None:
+                population = self.specs[fk.ref_table].num_rows
+            else:
+                population = max(ref_relation.num_rows, 1)
+            columns[column_name] = zipf_choices(
+                rng, population, num_rows, spec.fk_skew
+            ).astype(np.int64)
+        # Remaining attribute columns.
+        for column in table.columns:
+            if column.name in columns:
+                continue
+            columns[column.name] = self._generate_attribute(
+                rng, column.name, spec, columns, num_rows
+            )
+        return Relation(table, columns)
+
+    def _generate_attribute(
+        self,
+        rng: np.random.Generator,
+        name: str,
+        spec: TableSpec,
+        existing: dict[str, np.ndarray],
+        num_rows: int,
+    ) -> np.ndarray:
+        column_spec = spec.column_specs.get(name, ColumnSpec())
+        if column_spec.kind == "uniform":
+            return rng.integers(0, column_spec.cardinality, size=num_rows).astype(np.int64)
+        if column_spec.kind == "date":
+            low, high = column_spec.date_min, column_spec.date_max
+            return rng.integers(low, high + 1, size=num_rows).astype(np.int64)
+        if column_spec.kind == "derived":
+            source = column_spec.source_column
+            if source is None or source not in existing:
+                raise CatalogError(
+                    f"derived column {name!r} needs an existing source_column, got {source!r}"
+                )
+            base = (existing[source] * 2654435761) % column_spec.cardinality
+            noise_mask = rng.random(num_rows) < column_spec.noise
+            noise = rng.integers(0, column_spec.cardinality, size=num_rows)
+            return np.where(noise_mask, noise, base).astype(np.int64)
+        if column_spec.kind == "categorical":
+            return zipf_choices(
+                rng, column_spec.cardinality, num_rows, column_spec.skew
+            ).astype(np.int64)
+        raise CatalogError(f"unknown column kind {column_spec.kind!r} for column {name!r}")

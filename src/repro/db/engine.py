@@ -1,0 +1,142 @@
+"""The :class:`Database` facade: schema + data + statistics + planner + executor.
+
+This is the substrate object every higher layer works against.  It exposes the
+four capabilities the paper's system model assumes of the DBMS:
+
+1. a default optimizer that produces reasonable (not optimal) plans,
+2. execution against a read snapshot,
+3. acceptance of physical plans / hints that fix join orders and operators,
+4. PK-FK equijoin queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.catalog import Schema
+from repro.db.cost import CostParams, DEFAULT_COST_PARAMS
+from repro.db.executor import ExecutionResult, Executor
+from repro.db.optimizer import PlanOptimizer
+from repro.db.query import Query
+from repro.db.relation import Relation
+from repro.db.statistics import TableStats, analyze_all
+from repro.exceptions import CatalogError
+from repro.plans.hints import DEFAULT_HINT_SET, HintSet
+from repro.plans.jointree import JoinTree
+
+
+@dataclass
+class DatabaseInfo:
+    """Summary information about a database instance (used by Table 1)."""
+
+    name: str
+    num_tables: int
+    total_rows: int
+    size_bytes: int
+
+
+class Database:
+    """An in-memory analytical database instance.
+
+    Parameters
+    ----------
+    schema:
+        Catalog describing the tables, foreign keys and indexes.
+    relations:
+        Stored data, one :class:`~repro.db.relation.Relation` per table.
+    cost_params:
+        Operator cost constants shared by the planner and the executor.
+    noise_sigma:
+        Log-normal execution latency noise (0 disables noise).
+    seed:
+        Seed for the latency noise.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        relations: dict[str, Relation],
+        cost_params: CostParams = DEFAULT_COST_PARAMS,
+        noise_sigma: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        missing = [name for name in schema.table_names if name not in relations]
+        if missing:
+            raise CatalogError(f"missing relations for tables: {missing}")
+        self.schema = schema
+        self.relations = relations
+        self.cost_params = cost_params
+        self.stats: dict[str, TableStats] = analyze_all(relations)
+        self.optimizer = PlanOptimizer(schema, self.stats, cost_params)
+        self.executor = Executor(
+            schema, relations, cost_params, noise_sigma=noise_sigma, seed=seed
+        )
+
+    # ------------------------------------------------------------------ planning
+    def plan(self, query: Query, hint_set: HintSet = DEFAULT_HINT_SET) -> JoinTree:
+        """Default-optimizer plan for ``query`` under ``hint_set``."""
+        query.validate_against(self.schema)
+        return self.optimizer.plan(query, hint_set)
+
+    def estimated_cost(self, query: Query, plan: JoinTree) -> float:
+        """Planner cost estimate for an arbitrary plan (uses estimated cardinalities)."""
+        return self.optimizer.estimated_cost(query, plan)
+
+    # ------------------------------------------------------------------ execution
+    def execute(
+        self, query: Query, plan: JoinTree | None = None, timeout: float | None = None
+    ) -> ExecutionResult:
+        """Execute ``plan`` (or the default plan) against the read snapshot."""
+        if plan is None:
+            plan = self.plan(query)
+        return self.executor.execute(query, plan, timeout=timeout)
+
+    def default_latency(self, query: Query) -> float:
+        """Latency of the default-optimizer plan."""
+        return self.execute(query).latency
+
+    # ------------------------------------------------------------------ snapshots / drift
+    def snapshot(self) -> "Database":
+        """A read snapshot sharing the same immutable relations.
+
+        The executor never mutates relations, so sharing is safe; the snapshot
+        exists to model the paper's "execute against a read snapshot" rule and
+        to give drift simulations an object to derive from.
+        """
+        return Database(
+            self.schema,
+            dict(self.relations),
+            self.cost_params,
+            noise_sigma=self.executor.noise_sigma,
+            seed=self.executor.seed,
+        )
+
+    def with_relations(self, relations: dict[str, Relation]) -> "Database":
+        """A new database over different data (used by the drift simulation)."""
+        return Database(
+            self.schema,
+            relations,
+            self.cost_params,
+            noise_sigma=self.executor.noise_sigma,
+            seed=self.executor.seed,
+        )
+
+    # ------------------------------------------------------------------ metadata
+    def info(self, name: str | None = None) -> DatabaseInfo:
+        """Size summary used for Table 1."""
+        total_rows = sum(rel.num_rows for rel in self.relations.values())
+        size_bytes = sum(
+            rel.num_rows * len(rel.column_names) * np.dtype(np.int64).itemsize
+            for rel in self.relations.values()
+        )
+        return DatabaseInfo(
+            name=name or self.schema.name,
+            num_tables=len(self.schema),
+            total_rows=total_rows,
+            size_bytes=size_bytes,
+        )
+
+    def table_rows(self, table: str) -> int:
+        return self.relations[table].num_rows

@@ -1,0 +1,396 @@
+"""Physical plan execution with simulated latency and timeout support.
+
+The executor really runs each join tree against the in-memory relations —
+filters are evaluated, hash matches are computed, intermediate results are
+materialized — so the cardinalities that drive the reported latency are the
+*true* ones for the chosen join order.  Latency itself is *simulated*: it is
+the cost model of :mod:`repro.db.cost` evaluated on the observed input and
+output sizes of every operator, expressed in simulated seconds.  This keeps
+wall-clock cost tiny (the whole benchmark suite runs on a laptop) while
+preserving the property the paper depends on: plan latency spans orders of
+magnitude across join orders, and bad plans must be cut short by timeouts.
+
+Timeouts are enforced *during* execution: before and after each operator the
+accumulated simulated time is compared against the timeout, and execution
+aborts with a right-censored result as soon as it is exceeded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.catalog import Schema
+from repro.db.cost import CostParams, DEFAULT_COST_PARAMS, index_scan_cost, join_cost, seq_scan_cost
+from repro.db.query import Query
+from repro.db.relation import Relation
+from repro.exceptions import ExecutionError
+from repro.plans.jointree import JoinTree
+
+#: Hard cap on the number of rows the executor will materialize for a single
+#: intermediate result.  Plans that exceed it without a timeout are treated as
+#: timed out at the accumulated simulated time (documented substitution for
+#: "this plan would run for days").
+MAX_MATERIALIZED_ROWS = 15_000_000
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one plan.
+
+    ``latency`` is the simulated latency in seconds.  For timed-out executions
+    it equals the timeout that was applied (the plan ran *at least* this long),
+    i.e. a right-censored observation.
+    """
+
+    latency: float
+    timed_out: bool
+    output_rows: int | None = None
+    nodes_executed: int = 0
+    timeout: float | None = None
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def censored(self) -> bool:
+        """Alias for :attr:`timed_out` using the BO terminology."""
+        return self.timed_out
+
+
+@dataclass
+class _Intermediate:
+    """An intermediate result.
+
+    ``positions`` maps each *retained* alias to the base-table row position of
+    every intermediate row.  Aliases whose columns can no longer influence the
+    rest of the plan (no pending join predicate references them) are pruned to
+    keep memory proportional to the join columns still needed; ``covered``
+    remembers every alias the intermediate logically contains.
+    """
+
+    positions: dict[str, np.ndarray]
+    covered: set[str]
+    count: int
+
+    @property
+    def aliases(self) -> set[str]:
+        return self.covered
+
+    @property
+    def num_rows(self) -> int:
+        return self.count
+
+
+class _Timeout(Exception):
+    """Internal signal: simulated time exceeded the timeout."""
+
+
+class Executor:
+    """Executes join trees against a set of relations.
+
+    Parameters
+    ----------
+    schema:
+        Catalog (used for index lookups).
+    relations:
+        The stored data, one relation per table.
+    cost_params:
+        Operator cost constants shared with the default optimizer.
+    noise_sigma:
+        Standard deviation of multiplicative log-normal latency noise.  Noise
+        is deterministic per plan (seeded from the plan's canonical string) so
+        repeated executions of the same plan observe the same latency.
+    seed:
+        Base seed for the latency noise.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        relations: dict[str, Relation],
+        cost_params: CostParams = DEFAULT_COST_PARAMS,
+        noise_sigma: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.schema = schema
+        self.relations = relations
+        self.cost_params = cost_params
+        self.noise_sigma = noise_sigma
+        self.seed = seed
+
+    # ------------------------------------------------------------------ public API
+    def execute(
+        self, query: Query, plan: JoinTree, timeout: float | None = None
+    ) -> ExecutionResult:
+        """Execute ``plan`` for ``query``; abort with a censored result after ``timeout``."""
+        plan.validate_for_query(query)
+        state = _ExecutionState(timeout=timeout)
+        try:
+            intermediate = self._execute_node(query, plan, state)
+        except _Timeout:
+            assert timeout is not None
+            return ExecutionResult(
+                latency=timeout,
+                timed_out=True,
+                output_rows=None,
+                nodes_executed=state.nodes_executed,
+                timeout=timeout,
+                breakdown=dict(state.breakdown),
+            )
+        latency = self._apply_noise(plan, state.simulated_time)
+        if timeout is not None and latency > timeout:
+            return ExecutionResult(
+                latency=timeout,
+                timed_out=True,
+                output_rows=None,
+                nodes_executed=state.nodes_executed,
+                timeout=timeout,
+                breakdown=dict(state.breakdown),
+            )
+        return ExecutionResult(
+            latency=latency,
+            timed_out=False,
+            output_rows=intermediate.num_rows,
+            nodes_executed=state.nodes_executed,
+            timeout=timeout,
+            breakdown=dict(state.breakdown),
+        )
+
+    def true_latency(self, query: Query, plan: JoinTree) -> float:
+        """Latency of ``plan`` with no timeout (raises if the plan exceeds the work cap)."""
+        result = self.execute(query, plan, timeout=None)
+        if result.timed_out:
+            raise ExecutionError(
+                f"plan for query {query.name!r} exceeded the executor work cap; "
+                "execute it with a timeout instead"
+            )
+        return result.latency
+
+    # ------------------------------------------------------------------ node execution
+    def _execute_node(self, query: Query, node: JoinTree, state: "_ExecutionState") -> _Intermediate:
+        if node.is_leaf:
+            return self._execute_scan(query, node.alias, state)  # type: ignore[arg-type]
+        left = self._execute_node(query, node.left, state)  # type: ignore[arg-type]
+        right = self._execute_node(query, node.right, state)  # type: ignore[arg-type]
+        return self._execute_join(query, node, left, right, state)
+
+    def _execute_scan(self, query: Query, alias: str, state: "_ExecutionState") -> _Intermediate:
+        table = query.table_of(alias)
+        relation = self.relations[table]
+        filters = query.filters_for(alias)
+        positions = relation.select((flt.column, flt.op, flt.value) for flt in filters)
+        indexed = any(self.schema.has_index(table, flt.column) for flt in filters)
+        if indexed:
+            cost = index_scan_cost(relation.num_rows, len(positions), self.cost_params)
+        else:
+            cost = seq_scan_cost(relation.num_rows, self.cost_params)
+        state.charge("scan", cost)
+        state.nodes_executed += 1
+        return _Intermediate({alias: positions}, covered={alias}, count=len(positions))
+
+    def _execute_join(
+        self,
+        query: Query,
+        node: JoinTree,
+        left: _Intermediate,
+        right: _Intermediate,
+        state: "_ExecutionState",
+    ) -> _Intermediate:
+        predicates = query.predicates_between(left.aliases, right.aliases)
+        n_left, n_right = left.num_rows, right.num_rows
+        inner_indexed, inner_table_rows = self._inner_index_info(query, node, predicates)
+        # Charge the input-dependent part of the cost before doing the work so
+        # that catastrophic operators (cross joins, misplaced nested loops) hit
+        # the timeout without being materialized.
+        pre_cost = join_cost(
+            node.op,  # type: ignore[arg-type]
+            n_left,
+            n_right,
+            0.0,
+            inner_indexed=inner_indexed,
+            inner_table_rows=inner_table_rows,
+            params=self.cost_params,
+        )
+        state.charge("join", pre_cost)
+        if predicates:
+            left_idx, right_idx = self._match(query, left, right, predicates, state)
+        else:
+            left_idx, right_idx = self._cross_join(n_left, n_right, state)
+        state.nodes_executed += 1
+        covered = left.covered | right.covered
+        needed = self._needed_aliases(query, covered)
+        positions: dict[str, np.ndarray] = {}
+        for alias, pos in left.positions.items():
+            if alias in needed:
+                positions[alias] = pos[left_idx]
+        for alias, pos in right.positions.items():
+            if alias in needed:
+                positions[alias] = pos[right_idx]
+        return _Intermediate(positions, covered=covered, count=len(left_idx))
+
+    def _needed_aliases(self, query: Query, covered: set[str]) -> set[str]:
+        """Aliases inside ``covered`` still referenced by a join predicate to outside it."""
+        needed: set[str] = set()
+        for predicate in query.join_predicates:
+            left_alias, right_alias = predicate.aliases()
+            if left_alias in covered and right_alias not in covered:
+                needed.add(left_alias)
+            elif right_alias in covered and left_alias not in covered:
+                needed.add(right_alias)
+        return needed
+
+    # ------------------------------------------------------------------ matching
+    def _values_for(self, query: Query, side: _Intermediate, alias: str, column: str) -> np.ndarray:
+        relation = self.relations[query.table_of(alias)]
+        return relation.take(side.positions[alias], column)
+
+    def _match(
+        self,
+        query: Query,
+        left: _Intermediate,
+        right: _Intermediate,
+        predicates: list,
+        state: "_ExecutionState",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Equi-match the two sides on the first predicate, then filter the rest."""
+        first, *rest = predicates
+        if first.left_alias in left.aliases:
+            left_alias, left_column = first.left_alias, first.left_column
+            right_alias, right_column = first.right_alias, first.right_column
+        else:
+            left_alias, left_column = first.right_alias, first.right_column
+            right_alias, right_column = first.left_alias, first.left_column
+        left_keys = self._values_for(query, left, left_alias, left_column)
+        right_keys = self._values_for(query, right, right_alias, right_column)
+        match = _match_counts(left_keys, right_keys)
+        # Check the output size and charge its cost *before* materializing it,
+        # so catastrophic joins hit the timeout without allocating huge arrays.
+        self._check_materialization(match.total, state)
+        state.charge("join", self.cost_params.output_row * match.total)
+        left_idx, right_idx = _expand_matches(match)
+        for predicate in rest:
+            if predicate.left_alias in left.aliases:
+                la, lc, ra, rc = (
+                    predicate.left_alias,
+                    predicate.left_column,
+                    predicate.right_alias,
+                    predicate.right_column,
+                )
+            else:
+                la, lc, ra, rc = (
+                    predicate.right_alias,
+                    predicate.right_column,
+                    predicate.left_alias,
+                    predicate.left_column,
+                )
+            lv = self._values_for(query, left, la, lc)[left_idx]
+            rv = self._values_for(query, right, ra, rc)[right_idx]
+            keep = lv == rv
+            left_idx, right_idx = left_idx[keep], right_idx[keep]
+        return left_idx, right_idx
+
+    def _cross_join(
+        self, n_left: int, n_right: int, state: "_ExecutionState"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        output = n_left * n_right
+        self._check_materialization(output, state)
+        state.charge("join", self.cost_params.output_row * output)
+        left_idx = np.repeat(np.arange(n_left), n_right)
+        right_idx = np.tile(np.arange(n_right), n_left)
+        return left_idx, right_idx
+
+    def _check_materialization(self, rows: int, state: "_ExecutionState") -> None:
+        if rows <= MAX_MATERIALIZED_ROWS:
+            return
+        # Charge the output cost analytically; this will normally blow past the
+        # timeout.  Without a timeout we still refuse to materialize.
+        state.charge("join", self.cost_params.output_row * rows)
+        if state.timeout is not None:
+            raise _Timeout
+        raise ExecutionError(
+            f"intermediate result of {rows} rows exceeds the executor work cap; "
+            "execute this plan with a timeout"
+        )
+
+    def _inner_index_info(self, query: Query, node: JoinTree, predicates: list) -> tuple[bool, float]:
+        right = node.right
+        if right is None or not right.is_leaf or not predicates:
+            return False, 0.0
+        alias = right.alias
+        table = query.table_of(alias)  # type: ignore[arg-type]
+        table_rows = float(self.relations[table].num_rows)
+        for predicate in predicates:
+            column = None
+            if predicate.left_alias == alias:
+                column = predicate.left_column
+            elif predicate.right_alias == alias:
+                column = predicate.right_column
+            if column is not None and self.schema.has_index(table, column):
+                return True, table_rows
+        return False, table_rows
+
+    # ------------------------------------------------------------------ noise
+    def _apply_noise(self, plan: JoinTree, latency: float) -> float:
+        if self.noise_sigma <= 0.0:
+            return latency
+        digest = abs(hash((self.seed, plan.canonical()))) % (2**32)
+        rng = np.random.default_rng(digest)
+        return float(latency * math.exp(rng.normal(0.0, self.noise_sigma)))
+
+
+@dataclass
+class _ExecutionState:
+    timeout: float | None
+    simulated_time: float = 0.0
+    nodes_executed: int = 0
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def charge(self, category: str, cost: float) -> None:
+        self.simulated_time += cost
+        self.breakdown[category] = self.breakdown.get(category, 0.0) + cost
+        if self.timeout is not None and self.simulated_time > self.timeout:
+            raise _Timeout
+
+
+@dataclass
+class _MatchCounts:
+    """Per-left-row match ranges against the sorted right keys (pre-materialization)."""
+
+    order: np.ndarray
+    lo: np.ndarray
+    counts: np.ndarray
+    total: int
+    num_left: int
+
+
+def _match_counts(left_keys: np.ndarray, right_keys: np.ndarray) -> _MatchCounts:
+    """Compute, without materializing, how many right rows match each left row."""
+    empty = np.array([], dtype=np.int64)
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        return _MatchCounts(order=empty, lo=empty, counts=np.zeros(len(left_keys), dtype=np.int64),
+                            total=0, num_left=len(left_keys))
+    order = np.argsort(right_keys, kind="stable")
+    sorted_keys = right_keys[order]
+    lo = np.searchsorted(sorted_keys, left_keys, side="left")
+    hi = np.searchsorted(sorted_keys, left_keys, side="right")
+    counts = hi - lo
+    return _MatchCounts(order=order, lo=lo, counts=counts, total=int(counts.sum()),
+                        num_left=len(left_keys))
+
+
+def _expand_matches(match: _MatchCounts) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize the matching (left index, right index) pairs."""
+    if match.total == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty
+    left_idx = np.repeat(np.arange(match.num_left), match.counts)
+    starts = np.repeat(match.lo, match.counts)
+    offsets = np.arange(match.total) - np.repeat(np.cumsum(match.counts) - match.counts, match.counts)
+    right_idx = match.order[starts + offsets]
+    return left_idx, right_idx
+
+
+def _hash_match(left_keys: np.ndarray, right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return index arrays (into left, into right) of every equal-key pair."""
+    return _expand_matches(_match_counts(left_keys, right_keys))

@@ -1,0 +1,112 @@
+"""In-memory columnar relations.
+
+A :class:`Relation` stores the rows of one table as a dictionary of numpy
+arrays (one array per column).  Relations are deliberately simple: the
+execution engine only needs filtering by predicate, projection of join
+columns and row counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.db.catalog import Table
+from repro.exceptions import CatalogError, ExecutionError
+
+#: Comparison operators supported by filter predicates.
+FILTER_OPS = ("=", "!=", "<", "<=", ">", ">=", "in")
+
+
+class Relation:
+    """Columnar storage for one table.
+
+    Parameters
+    ----------
+    table:
+        The catalog entry describing this relation.
+    columns:
+        Mapping from column name to a 1-D numpy array.  All arrays must have
+        the same length.
+    """
+
+    def __init__(self, table: Table, columns: Mapping[str, np.ndarray]) -> None:
+        self.table = table
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for column in table.columns:
+            if column.name not in columns:
+                raise CatalogError(
+                    f"relation for table {table.name!r} is missing column {column.name!r}"
+                )
+            array = np.asarray(columns[column.name])
+            if array.ndim != 1:
+                raise CatalogError(f"column {column.name!r} must be 1-D")
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise CatalogError(
+                    f"column {column.name!r} has {len(array)} rows, expected {length}"
+                )
+            self._columns[column.name] = array
+        self._num_rows = int(length or 0)
+
+    # ------------------------------------------------------------------ accessors
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the full array for ``name`` (no copy)."""
+        try:
+            return self._columns[name]
+        except KeyError as exc:
+            raise CatalogError(f"relation {self.name!r} has no column {name!r}") from exc
+
+    def take(self, rows: np.ndarray, column: str) -> np.ndarray:
+        """Return the values of ``column`` at the given row positions."""
+        return self.column(column)[rows]
+
+    # ------------------------------------------------------------------ mutation (used by drift simulation)
+    def with_rows(self, rows: np.ndarray) -> "Relation":
+        """Return a new relation restricted to the given row positions."""
+        return Relation(self.table, {name: arr[rows] for name, arr in self._columns.items()})
+
+    # ------------------------------------------------------------------ filtering
+    def filter_mask(self, column: str, op: str, value) -> np.ndarray:
+        """Return a boolean mask selecting the rows where ``column op value`` holds."""
+        values = self.column(column)
+        if op == "=":
+            return values == value
+        if op == "!=":
+            return values != value
+        if op == "<":
+            return values < value
+        if op == "<=":
+            return values <= value
+        if op == ">":
+            return values > value
+        if op == ">=":
+            return values >= value
+        if op == "in":
+            return np.isin(values, np.asarray(list(value)))
+        raise ExecutionError(f"unsupported filter operator {op!r}")
+
+    def select(self, predicates: Iterable[tuple[str, str, object]]) -> np.ndarray:
+        """Return the row positions satisfying every ``(column, op, value)`` predicate."""
+        mask = np.ones(self._num_rows, dtype=bool)
+        for column, op, value in predicates:
+            mask &= self.filter_mask(column, op, value)
+        return np.flatnonzero(mask)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.name!r}, rows={self._num_rows})"

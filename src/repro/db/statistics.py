@@ -1,0 +1,169 @@
+"""Table statistics: row counts, NDVs and equi-depth histograms.
+
+The default optimizer's cardinality estimator (and therefore its plan
+choices) is driven entirely by these statistics.  Like PostgreSQL's
+``pg_statistic``, they are a lossy summary — histograms are per-column and
+the estimator assumes independence — which is precisely why the default
+optimizer leaves room for offline optimization on correlated, skewed data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.relation import Relation
+from repro.exceptions import CatalogError
+
+#: Number of histogram buckets kept per column (PostgreSQL's default is 100).
+DEFAULT_BUCKETS = 50
+#: Number of most-common values tracked per column.
+DEFAULT_MCVS = 10
+
+
+@dataclass
+class ColumnStats:
+    """Summary statistics for one column."""
+
+    name: str
+    num_rows: int
+    num_distinct: int
+    min_value: float
+    max_value: float
+    #: Equi-depth histogram bucket boundaries (length ``buckets + 1``).
+    histogram: np.ndarray
+    #: Most common values and their frequencies (fractions of the table).
+    mcv_values: np.ndarray = field(default_factory=lambda: np.array([], dtype=np.int64))
+    mcv_fractions: np.ndarray = field(default_factory=lambda: np.array([], dtype=np.float64))
+
+    # ------------------------------------------------------------------ selectivity estimates
+    def selectivity_eq(self, value: float) -> float:
+        """Estimated fraction of rows with ``column = value``."""
+        if self.num_rows == 0 or self.num_distinct == 0:
+            return 0.0
+        if len(self.mcv_values):
+            match = np.flatnonzero(self.mcv_values == value)
+            if len(match):
+                return float(self.mcv_fractions[match[0]])
+        non_mcv_fraction = 1.0 - float(self.mcv_fractions.sum())
+        non_mcv_distinct = max(self.num_distinct - len(self.mcv_values), 1)
+        return max(non_mcv_fraction / non_mcv_distinct, 1.0 / max(self.num_rows, 1))
+
+    def selectivity_range(self, op: str, value: float) -> float:
+        """Estimated fraction of rows satisfying ``column op value`` for range ops."""
+        if self.num_rows == 0:
+            return 0.0
+        if self.max_value == self.min_value:
+            covered = 1.0 if _range_holds(self.min_value, op, value) else 0.0
+            return covered
+        fraction_below = self._fraction_below(value)
+        if op in ("<", "<="):
+            return float(np.clip(fraction_below, 0.0, 1.0))
+        if op in (">", ">="):
+            return float(np.clip(1.0 - fraction_below, 0.0, 1.0))
+        raise CatalogError(f"selectivity_range does not handle operator {op!r}")
+
+    def selectivity(self, op: str, value) -> float:
+        """Estimated selectivity of a single predicate on this column."""
+        if op == "=":
+            return self.selectivity_eq(value)
+        if op == "!=":
+            return float(np.clip(1.0 - self.selectivity_eq(value), 0.0, 1.0))
+        if op == "in":
+            values = list(value)
+            return float(np.clip(sum(self.selectivity_eq(v) for v in values), 0.0, 1.0))
+        return self.selectivity_range(op, value)
+
+    def _fraction_below(self, value: float) -> float:
+        """Fraction of rows with ``column <= value`` according to the histogram."""
+        boundaries = self.histogram
+        if len(boundaries) < 2:
+            span = self.max_value - self.min_value
+            if span <= 0:
+                return 1.0 if value >= self.min_value else 0.0
+            return (value - self.min_value) / span
+        position = np.searchsorted(boundaries, value, side="right")
+        if position <= 0:
+            return 0.0
+        if position >= len(boundaries):
+            return 1.0
+        buckets = len(boundaries) - 1
+        lower, upper = boundaries[position - 1], boundaries[position]
+        within = 0.0 if upper == lower else (value - lower) / (upper - lower)
+        return ((position - 1) + within) / buckets
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table: row count plus per-column stats."""
+
+    table_name: str
+    num_rows: int
+    columns: dict[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats:
+        try:
+            return self.columns[name]
+        except KeyError as exc:
+            raise CatalogError(
+                f"no statistics for column {name!r} of table {self.table_name!r}"
+            ) from exc
+
+
+def analyze_relation(
+    relation: Relation, buckets: int = DEFAULT_BUCKETS, mcvs: int = DEFAULT_MCVS
+) -> TableStats:
+    """Compute :class:`TableStats` for a relation (the ``ANALYZE`` equivalent)."""
+    columns: dict[str, ColumnStats] = {}
+    for name in relation.column_names:
+        values = relation.column(name).astype(np.float64)
+        columns[name] = _analyze_column(name, values, buckets, mcvs)
+    return TableStats(relation.name, relation.num_rows, columns)
+
+
+def analyze_all(
+    relations: dict[str, Relation], buckets: int = DEFAULT_BUCKETS, mcvs: int = DEFAULT_MCVS
+) -> dict[str, TableStats]:
+    """Analyze every relation of a database."""
+    return {name: analyze_relation(rel, buckets, mcvs) for name, rel in relations.items()}
+
+
+def _analyze_column(name: str, values: np.ndarray, buckets: int, mcvs: int) -> ColumnStats:
+    num_rows = len(values)
+    if num_rows == 0:
+        return ColumnStats(
+            name=name,
+            num_rows=0,
+            num_distinct=0,
+            min_value=0.0,
+            max_value=0.0,
+            histogram=np.array([0.0, 0.0]),
+        )
+    unique, counts = np.unique(values, return_counts=True)
+    order = np.argsort(counts)[::-1]
+    top = order[: min(mcvs, len(order))]
+    quantiles = np.linspace(0.0, 1.0, buckets + 1)
+    histogram = np.quantile(values, quantiles)
+    return ColumnStats(
+        name=name,
+        num_rows=num_rows,
+        num_distinct=int(len(unique)),
+        min_value=float(values.min()),
+        max_value=float(values.max()),
+        histogram=histogram,
+        mcv_values=unique[top].astype(np.int64),
+        mcv_fractions=(counts[top] / num_rows).astype(np.float64),
+    )
+
+
+def _range_holds(column_value: float, op: str, value: float) -> bool:
+    if op == "<":
+        return column_value < value
+    if op == "<=":
+        return column_value <= value
+    if op == ">":
+        return column_value > value
+    if op == ">=":
+        return column_value >= value
+    raise CatalogError(f"unsupported range operator {op!r}")

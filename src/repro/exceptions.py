@@ -1,0 +1,40 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Keeping all exceptions in one module lets callers catch the broad
+:class:`ReproError` while still allowing precise handling of specific
+failure modes (catalog lookups, plan decoding, execution timeouts, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class CatalogError(ReproError):
+    """A schema object (table, column, foreign key, index) is missing or invalid."""
+
+
+class QueryError(ReproError):
+    """A query references objects that do not exist or is otherwise malformed."""
+
+
+class PlanError(ReproError):
+    """A join tree is structurally invalid for the query it claims to plan."""
+
+
+class EncodingError(ReproError):
+    """A plan string could not be encoded or decoded."""
+
+
+class ExecutionError(ReproError):
+    """The execution engine could not run a plan."""
+
+
+class OptimizationError(ReproError):
+    """The offline optimization loop reached an unrecoverable state."""
+
+
+class ModelError(ReproError):
+    """A learned model (VAE, GP, value network, PlanLM) was misused."""

@@ -1,0 +1,39 @@
+"""Benchmark harness: technique runners, metrics and text reporting."""
+
+from repro.harness.metrics import (
+    WorkloadSummary,
+    best_latency_curve,
+    improvement_cdf,
+    improvement_distribution,
+    improvement_over_baseline,
+    percentage_difference,
+    workload_curve,
+)
+from repro.harness.reporting import format_cdf, format_summaries, format_table
+from repro.harness.runner import (
+    BudgetSpec,
+    ComparisonRun,
+    TECHNIQUES,
+    prepare_schema_model,
+    run_comparison,
+    run_technique,
+)
+
+__all__ = [
+    "BudgetSpec",
+    "ComparisonRun",
+    "TECHNIQUES",
+    "WorkloadSummary",
+    "best_latency_curve",
+    "format_cdf",
+    "format_summaries",
+    "format_table",
+    "improvement_cdf",
+    "improvement_distribution",
+    "improvement_over_baseline",
+    "percentage_difference",
+    "prepare_schema_model",
+    "run_comparison",
+    "run_technique",
+    "workload_curve",
+]

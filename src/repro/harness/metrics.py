@@ -1,0 +1,106 @@
+"""Metrics shared by the benchmark harness (improvement CDFs, percentiles, curves)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import OptimizationResult
+
+
+def improvement_over_baseline(best_latency: float, baseline_latency: float) -> float:
+    """Percentage reduction in runtime relative to a baseline latency.
+
+    Matches the paper's "% improvement over Bao": 1s -> 200ms is an 80%
+    improvement; negative values mean a regression.
+    """
+    if baseline_latency <= 0:
+        raise ValueError("baseline latency must be positive")
+    return 100.0 * (1.0 - best_latency / baseline_latency)
+
+
+def improvement_distribution(
+    results: dict[str, OptimizationResult], baselines: dict[str, float]
+) -> dict[str, float]:
+    """Per-query improvement over the baseline latency."""
+    improvements = {}
+    for name, result in results.items():
+        best = result.best_latency_or(float("inf"))
+        if not np.isfinite(best):
+            # Nothing executed successfully within budget: a 0% improvement.
+            improvements[name] = 0.0
+            continue
+        improvements[name] = improvement_over_baseline(best, baselines[name])
+    return improvements
+
+
+def improvement_cdf(
+    improvements: dict[str, float], thresholds: list[float] | None = None
+) -> list[tuple[float, float]]:
+    """Fraction of queries achieving at least each improvement threshold (Figure 3's CDF)."""
+    if thresholds is None:
+        thresholds = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0]
+    values = np.asarray(list(improvements.values()))
+    points = []
+    for threshold in thresholds:
+        fraction = float(np.mean(values >= threshold)) if len(values) else 0.0
+        points.append((threshold, fraction))
+    return points
+
+
+@dataclass
+class WorkloadSummary:
+    """Aggregate latency statistics over a workload (Figure 6 / Figure 10 style)."""
+
+    total: float
+    median: float
+    mean: float
+    p90: float
+
+    @classmethod
+    def from_latencies(cls, latencies: list[float]) -> "WorkloadSummary":
+        values = np.asarray(latencies, dtype=np.float64)
+        if len(values) == 0:
+            return cls(total=0.0, median=0.0, mean=0.0, p90=0.0)
+        return cls(
+            total=float(values.sum()),
+            median=float(np.median(values)),
+            mean=float(values.mean()),
+            p90=float(np.percentile(values, 90)),
+        )
+
+
+def best_latency_curve(
+    result: OptimizationResult, budgets: list[float]
+) -> list[float]:
+    """Best latency achievable at each budget (case-study and Figure 10 curves)."""
+    return [result.best_latency_at_cost(budget) for budget in budgets]
+
+
+def workload_curve(
+    results: dict[str, OptimizationResult], budgets: list[float], fallback: dict[str, float] | None = None
+) -> list[WorkloadSummary]:
+    """Per-budget aggregate of the best latencies across a workload.
+
+    Queries with no successful execution at a given budget fall back to the
+    latency in ``fallback`` (e.g. the default plan) when provided.
+    """
+    summaries = []
+    for budget in budgets:
+        latencies = []
+        for name, result in results.items():
+            best = result.best_latency_at_cost(budget)
+            if np.isinf(best) and fallback is not None:
+                best = fallback.get(name, best)
+            if np.isfinite(best):
+                latencies.append(best)
+        summaries.append(WorkloadSummary.from_latencies(latencies))
+    return summaries
+
+
+def percentage_difference(latency: float, baseline: float) -> float:
+    """Signed percentage difference vs a baseline (Figure 8's per-query bars)."""
+    if baseline <= 0:
+        raise ValueError("baseline latency must be positive")
+    return 100.0 * (latency - baseline) / baseline

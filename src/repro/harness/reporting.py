@@ -1,0 +1,51 @@
+"""Plain-text rendering of the tables and figure series the paper reports."""
+
+from __future__ import annotations
+
+from repro.harness.metrics import WorkloadSummary
+
+
+def format_table(headers: list[str], rows: list[list[object]], title: str | None = None) -> str:
+    """Render a fixed-width text table (used by every benchmark's console output)."""
+    columns = [headers] + [[_cell(value) for value in row] for row in rows]
+    widths = [max(len(str(row[i])) for row in columns) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(" | ".join(_cell(value).ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_cdf(series: dict[str, list[tuple[float, float]]], title: str) -> str:
+    """Render improvement-CDF series (Figure 3) as a text table."""
+    thresholds = [point[0] for point in next(iter(series.values()))]
+    headers = ["technique"] + [f">={threshold:.0f}%" for threshold in thresholds]
+    rows = []
+    for technique, points in series.items():
+        rows.append([technique] + [f"{fraction * 100:.0f}%" for _, fraction in points])
+    return format_table(headers, rows, title=title)
+
+
+def format_summaries(
+    labels: list[str], summaries: list[WorkloadSummary], title: str
+) -> str:
+    """Render workload aggregate summaries (Figure 6 / Figure 10 style)."""
+    headers = ["series", "total (s)", "median (s)", "mean (s)", "p90 (s)"]
+    rows = [
+        [label, summary.total, summary.median, summary.mean, summary.p90]
+        for label, summary in zip(labels, summaries)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,141 @@
+"""Run optimization techniques over workloads under a shared budget model.
+
+Comparisons across techniques follow the paper's methodology (Section 5.2):
+every technique gets the same per-query budget, counted only as time spent
+executing proposed plans against the database (technique overhead is excluded
+and analyzed separately in Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.balsa import BalsaConfig, BalsaOptimizer
+from repro.baselines.bao import BaoOptimizer
+from repro.baselines.limeqo import LimeQOOptimizer
+from repro.baselines.random_search import RandomSearch
+from repro.core.config import BayesQOConfig, VAETrainingConfig
+from repro.core.optimizer import BayesQO, SchemaModel, train_schema_model
+from repro.core.result import OptimizationResult
+from repro.db.query import Query
+from repro.exceptions import OptimizationError
+from repro.workloads.base import Workload
+
+#: Technique identifiers accepted by :func:`run_technique`.
+TECHNIQUES = ("bayesqo", "bao", "random", "balsa", "limeqo")
+
+
+@dataclass
+class BudgetSpec:
+    """Per-query optimization budget: execution count and/or simulated time."""
+
+    max_executions: int = 60
+    time_budget: float | None = None
+
+
+@dataclass
+class ComparisonRun:
+    """Results of running several techniques over the same queries."""
+
+    workload_name: str
+    results: dict[str, dict[str, OptimizationResult]] = field(default_factory=dict)
+    bao_latencies: dict[str, float] = field(default_factory=dict)
+    default_latencies: dict[str, float] = field(default_factory=dict)
+
+    def techniques(self) -> list[str]:
+        return sorted(self.results)
+
+
+def prepare_schema_model(
+    workload: Workload, vae_config: VAETrainingConfig | None = None
+) -> SchemaModel:
+    """Train the per-schema VAE once so every technique and query can share it."""
+    return train_schema_model(
+        workload.database, workload.queries, vae_config, max_aliases=workload.max_aliases
+    )
+
+
+def run_technique(
+    technique: str,
+    workload: Workload,
+    queries: list[Query],
+    budget: BudgetSpec,
+    schema_model: SchemaModel | None = None,
+    bayes_config: BayesQOConfig | None = None,
+    seed: int = 0,
+) -> dict[str, OptimizationResult]:
+    """Run one technique on a list of queries and return per-query traces."""
+    if technique not in TECHNIQUES:
+        raise OptimizationError(f"unknown technique {technique!r}; pick one of {TECHNIQUES}")
+    database = workload.database
+    if technique == "bao":
+        optimizer = BaoOptimizer(database)
+        return {
+            query.name: optimizer.optimize(query, time_budget=budget.time_budget).result
+            for query in queries
+        }
+    if technique == "random":
+        random_search = RandomSearch(database, seed=seed)
+        return {
+            query.name: random_search.optimize(
+                query, max_executions=budget.max_executions, time_budget=budget.time_budget
+            )
+            for query in queries
+        }
+    if technique == "balsa":
+        balsa = BalsaOptimizer(database, BalsaConfig(seed=seed))
+        return {
+            query.name: balsa.optimize(
+                query, max_executions=budget.max_executions, time_budget=budget.time_budget
+            )
+            for query in queries
+        }
+    if technique == "limeqo":
+        limeqo = LimeQOOptimizer(database)
+        return limeqo.optimize_workload(
+            queries, max_executions=budget.max_executions * len(queries),
+            time_budget=budget.time_budget,
+        )
+    # BayesQO.
+    if schema_model is None:
+        schema_model = prepare_schema_model(workload)
+    config = bayes_config or BayesQOConfig(seed=seed)
+    optimizer = BayesQO(database, schema_model, config=config)
+    return {
+        query.name: optimizer.optimize(
+            query, max_executions=budget.max_executions, time_budget=budget.time_budget
+        )
+        for query in queries
+    }
+
+
+def run_comparison(
+    workload: Workload,
+    queries: list[Query],
+    budget: BudgetSpec,
+    techniques: list[str] = ("bayesqo", "random", "balsa"),
+    schema_model: SchemaModel | None = None,
+    bayes_config: BayesQOConfig | None = None,
+    seed: int = 0,
+) -> ComparisonRun:
+    """Run the Figure 3 style comparison: every technique, same queries, same budget."""
+    run = ComparisonRun(workload_name=workload.name)
+    bao = BaoOptimizer(workload.database)
+    for query in queries:
+        outcome = bao.optimize(query)
+        run.bao_latencies[query.name] = outcome.best_latency
+        default_execution = workload.database.execute(query, timeout=600.0)
+        run.default_latencies[query.name] = default_execution.latency
+    if "bayesqo" in techniques and schema_model is None:
+        schema_model = prepare_schema_model(workload)
+    for technique in techniques:
+        run.results[technique] = run_technique(
+            technique,
+            workload,
+            queries,
+            budget,
+            schema_model=schema_model,
+            bayes_config=bayes_config,
+            seed=seed,
+        )
+    return run

@@ -1,0 +1,17 @@
+"""Cross-query learning: the PlanLM initializer (the paper's fine-tuned LLM)."""
+
+from repro.llm.planlm import (
+    FineTuneExample,
+    PlanLM,
+    PlanLMConfig,
+    build_finetune_dataset,
+    query_context,
+)
+
+__all__ = [
+    "FineTuneExample",
+    "PlanLM",
+    "PlanLMConfig",
+    "build_finetune_dataset",
+    "query_context",
+]

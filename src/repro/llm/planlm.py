@@ -1,0 +1,205 @@
+"""PlanLM: the cross-query plan generator (the paper's fine-tuned LLM, Section 4.4/5.6).
+
+The paper fine-tunes GPT-4o-mini on plan strings collected from past BayesQO
+runs and samples it to seed future optimizations.  Offline, we substitute a
+small conditional language model over the same plan string language: the
+model is conditioned on the query (the multi-hot set of its alias symbols)
+and trained autoregressively on the best plans of previous optimization runs.
+Its behaviour matches what Figure 8 measures — it produces good plans for
+query templates it was trained on and noticeably worse plans for held-out
+templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import OptimizationResult
+from repro.db.query import Query
+from repro.exceptions import ModelError
+from repro.nn.layers import Embedding, Linear, Tanh
+from repro.nn.losses import cross_entropy, softmax
+from repro.nn.optim import Adam, clip_gradients
+from repro.plans.encoding import PlanCodec
+from repro.plans.jointree import JoinTree
+from repro.plans.vocabulary import PlanVocabulary
+
+
+@dataclass
+class FineTuneExample:
+    """One training example: a query context and a target plan token sequence."""
+
+    query_name: str
+    template: str | None
+    context: np.ndarray
+    tokens: np.ndarray
+
+
+def query_context(query: Query, vocabulary: PlanVocabulary) -> np.ndarray:
+    """Multi-hot encoding of the query's alias symbols (the conditioning signal)."""
+    context = np.zeros(vocabulary.size)
+    for alias in query.aliases:
+        context[vocabulary.alias_id(alias)] = 1.0
+    return context
+
+
+def build_finetune_dataset(
+    runs: dict[str, OptimizationResult],
+    queries: dict[str, Query],
+    vocabulary: PlanVocabulary,
+    max_length: int,
+    top_k: int = 5,
+) -> list[FineTuneExample]:
+    """Collect the ``top_k`` fastest plans of every optimization run.
+
+    Mirrors the paper's fine-tuning dataset construction (top-1 and top-5
+    plans per optimized query).
+    """
+    codec = PlanCodec(vocabulary)
+    examples: list[FineTuneExample] = []
+    for name, run in runs.items():
+        query = queries[name]
+        successful = [record for record in run.trace if not record.censored]
+        successful.sort(key=lambda record: record.latency)
+        seen: set[str] = set()
+        for record in successful:
+            key = record.plan.canonical()
+            if key in seen:
+                continue
+            seen.add(key)
+            tokens = codec.encode_padded(record.plan, query, max_length)
+            examples.append(
+                FineTuneExample(
+                    query_name=name,
+                    template=query.template,
+                    context=query_context(query, vocabulary),
+                    tokens=np.asarray(tokens, dtype=np.int64),
+                )
+            )
+            if len(seen) >= top_k:
+                break
+    return examples
+
+
+@dataclass
+class PlanLMConfig:
+    """Hyper-parameters of the conditional plan language model."""
+
+    hidden_dim: int = 96
+    epochs: int = 60
+    batch_size: int = 32
+    learning_rate: float = 3e-3
+    temperature: float = 0.7
+    seed: int = 0
+
+
+class PlanLM:
+    """A conditional autoregressive language model over plan strings."""
+
+    def __init__(
+        self,
+        vocabulary: PlanVocabulary,
+        max_length: int,
+        config: PlanLMConfig | None = None,
+    ) -> None:
+        self.vocabulary = vocabulary
+        self.max_length = max_length
+        self.config = config or PlanLMConfig()
+        self.codec = PlanCodec(vocabulary)
+        rng = np.random.default_rng(self.config.seed)
+        hidden = self.config.hidden_dim
+        self.context_proj = Linear(vocabulary.size, hidden, rng)
+        self.token_embedding = Embedding(vocabulary.size, hidden, rng)
+        self.position_embedding = Embedding(max_length, hidden, rng)
+        self.activation = Tanh()
+        self.output = Linear(hidden, vocabulary.size, rng)
+        self._trained = False
+
+    # ------------------------------------------------------------------ parameters
+    def parameters(self):
+        params = []
+        for layer in (self.context_proj, self.token_embedding, self.position_embedding, self.output):
+            params.extend(layer.parameters())
+        return params
+
+    # ------------------------------------------------------------------ forward
+    def _logits(self, contexts: np.ndarray, prev_tokens: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        hidden = (
+            self.context_proj.forward(contexts)
+            + self.token_embedding.forward(prev_tokens)
+            + self.position_embedding.forward(positions)
+        )
+        return self.output.forward(self.activation.forward(hidden))
+
+    def _backward(self, grad_logits: np.ndarray) -> None:
+        grad_hidden = self.activation.backward(self.output.backward(grad_logits))
+        self.context_proj.backward(grad_hidden)
+        self.token_embedding.backward(grad_hidden)
+        self.position_embedding.backward(grad_hidden)
+
+    # ------------------------------------------------------------------ training
+    def fit(self, examples: list[FineTuneExample]) -> list[float]:
+        """Teacher-forced training on (context, plan string) pairs; returns the loss curve."""
+        if not examples:
+            raise ModelError("cannot fine-tune the PlanLM on an empty dataset")
+        rng = np.random.default_rng(self.config.seed)
+        contexts = np.stack([example.context for example in examples])
+        tokens = np.stack([example.tokens for example in examples])
+        pad = self.vocabulary.pad_id
+        # Build flattened (context, previous token, position) -> next token rows.
+        rows_context, rows_prev, rows_pos, rows_target = [], [], [], []
+        for i in range(len(examples)):
+            previous = pad
+            for position in range(self.max_length):
+                target = tokens[i, position]
+                rows_context.append(contexts[i])
+                rows_prev.append(previous)
+                rows_pos.append(position)
+                rows_target.append(target)
+                previous = target
+        rows_context = np.asarray(rows_context)
+        rows_prev = np.asarray(rows_prev, dtype=np.int64)
+        rows_pos = np.asarray(rows_pos, dtype=np.int64)
+        rows_target = np.asarray(rows_target, dtype=np.int64)
+        optimizer = Adam(self.parameters(), lr=self.config.learning_rate)
+        losses: list[float] = []
+        count = len(rows_target)
+        batch_size = min(self.config.batch_size * self.max_length, count)
+        for _ in range(self.config.epochs):
+            batch = rng.integers(0, count, size=batch_size)
+            optimizer.zero_grad()
+            logits = self._logits(rows_context[batch], rows_prev[batch], rows_pos[batch])
+            loss, grad = cross_entropy(logits, rows_target[batch])
+            self._backward(grad)
+            clip_gradients(self.parameters(), 5.0)
+            optimizer.step()
+            losses.append(loss)
+        self._trained = True
+        return losses
+
+    # ------------------------------------------------------------------ generation
+    def sample_tokens(self, query: Query, rng: np.random.Generator) -> list[int]:
+        """Sample one plan string for ``query`` autoregressively."""
+        context = query_context(query, self.vocabulary)[None, :]
+        previous = np.array([self.vocabulary.pad_id], dtype=np.int64)
+        tokens: list[int] = []
+        for position in range(self.max_length):
+            logits = self._logits(context, previous, np.array([position], dtype=np.int64))
+            probs = softmax(logits / max(self.config.temperature, 1e-3))[0]
+            token = int(rng.choice(self.vocabulary.size, p=probs / probs.sum()))
+            tokens.append(token)
+            previous = np.array([token], dtype=np.int64)
+        return tokens
+
+    def generate_plans(self, query: Query, count: int, seed: int | None = None) -> list[JoinTree]:
+        """Sample ``count`` plans for ``query`` (decoded through the repairing codec)."""
+        if not self._trained:
+            raise ModelError("the PlanLM must be fit before generating plans")
+        rng = np.random.default_rng(self.config.seed if seed is None else seed)
+        plans: list[JoinTree] = []
+        for _ in range(count):
+            tokens = self.sample_tokens(query, rng)
+            plans.append(self.codec.decode(tokens, query))
+        return plans

@@ -1,0 +1,35 @@
+"""Minimal numpy neural-network substrate (layers, losses, optimizers)."""
+
+from repro.nn.layers import (
+    Embedding,
+    Layer,
+    LayerNorm,
+    Linear,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+    mlp,
+)
+from repro.nn.losses import cross_entropy, gaussian_kl, log_softmax, mse, softmax
+from repro.nn.optim import Adam, SGD, clip_gradients
+
+__all__ = [
+    "Adam",
+    "Embedding",
+    "Layer",
+    "LayerNorm",
+    "Linear",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Tanh",
+    "clip_gradients",
+    "cross_entropy",
+    "gaussian_kl",
+    "log_softmax",
+    "mlp",
+    "mse",
+    "softmax",
+]

@@ -1,0 +1,201 @@
+"""A minimal neural-network substrate on numpy.
+
+The paper trains its plan VAE and fine-tunes a language model with PyTorch on
+GPUs.  Neither PyTorch nor a GPU is available offline, so this package
+implements the small amount of deep-learning machinery the reproduction
+needs — dense layers, embeddings, a handful of activations, layer
+normalization, softmax losses and the Adam optimizer — with explicit
+forward/backward passes.  Models stay small (tens of thousands of
+parameters), which is all the scaled-down plan corpora require.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+
+class Layer:
+    """Base class: a layer owns parameters and caches forward activations."""
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+
+class Linear(Layer):
+    """Fully connected layer ``y = x W + b`` with Glorot initialization."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator | None = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Parameter(rng.uniform(-limit, limit, size=(in_features, out_features)))
+        self.bias = Parameter(np.zeros(out_features))
+        self._inputs: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._inputs = inputs
+        return inputs @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise ModelError("backward called before forward")
+        self.weight.grad += self._inputs.T @ grad_output
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+
+class Embedding(Layer):
+    """Token embedding table; forward takes an integer array of any shape."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator | None = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.table = Parameter(rng.normal(0.0, 0.1, size=(vocab_size, dim)))
+        self._tokens: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.table]
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        self._tokens = tokens
+        return self.table.value[tokens]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._tokens is None:
+            raise ModelError("backward called before forward")
+        np.add.at(self.table.grad, self._tokens.reshape(-1), grad_output.reshape(-1, self.table.value.shape[1]))
+        return np.zeros(self._tokens.shape)
+
+
+class Tanh(Layer):
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(inputs)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise ModelError("backward called before forward")
+        return grad_output * (1.0 - self._output**2)
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._mask = inputs > 0
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ModelError("backward called before forward")
+        return grad_output * self._mask
+
+
+class LayerNorm(Layer):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        self.gain = Parameter(np.ones(dim))
+        self.bias = Parameter(np.zeros(dim))
+        self.eps = eps
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gain, self.bias]
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        mean = inputs.mean(axis=-1, keepdims=True)
+        var = inputs.var(axis=-1, keepdims=True)
+        normalized = (inputs - mean) / np.sqrt(var + self.eps)
+        self._cache = (normalized, var, inputs - mean)
+        return normalized * self.gain.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ModelError("backward called before forward")
+        normalized, var, centered = self._cache
+        dim = grad_output.shape[-1]
+        self.gain.grad += (grad_output * normalized).reshape(-1, dim).sum(axis=0)
+        self.bias.grad += grad_output.reshape(-1, dim).sum(axis=0)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        grad_norm = grad_output * self.gain.value
+        grad_input = (
+            grad_norm
+            - grad_norm.mean(axis=-1, keepdims=True)
+            - normalized * (grad_norm * normalized).mean(axis=-1, keepdims=True)
+        ) * inv_std
+        return grad_input
+
+
+class Sequential(Layer):
+    """Chain of layers applied in order."""
+
+    def __init__(self, *layers: Layer) -> None:
+        self.layers = list(layers)
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            inputs = layer.forward(inputs)
+        return inputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+
+def mlp(
+    in_features: int,
+    hidden: list[int],
+    out_features: int,
+    rng: np.random.Generator | None = None,
+    activation: type[Layer] = Tanh,
+) -> Sequential:
+    """Build a simple multi-layer perceptron."""
+    rng = rng or np.random.default_rng(0)
+    layers: list[Layer] = []
+    previous = in_features
+    for width in hidden:
+        layers.append(Linear(previous, width, rng))
+        layers.append(activation())
+        previous = width
+    layers.append(Linear(previous, out_features, rng))
+    return Sequential(*layers)

@@ -1,0 +1,53 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    return np.exp(log_softmax(logits))
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean token-level cross entropy and its gradient w.r.t. the logits.
+
+    ``logits`` has shape ``(..., vocab)``; ``targets`` is an integer array of
+    shape ``(...)``.
+    """
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    log_probs = log_softmax(flat_logits)
+    count = len(flat_targets)
+    loss = -log_probs[np.arange(count), flat_targets].mean()
+    grad = softmax(flat_logits)
+    grad[np.arange(count), flat_targets] -= 1.0
+    grad /= count
+    return float(loss), grad.reshape(logits.shape)
+
+
+def mse(predictions: np.ndarray, targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. the predictions."""
+    diff = predictions - targets
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def gaussian_kl(mu: np.ndarray, logvar: np.ndarray) -> tuple[float, np.ndarray, np.ndarray]:
+    """KL(N(mu, exp(logvar)) || N(0, 1)) averaged over the batch.
+
+    Returns the loss and its gradients w.r.t. ``mu`` and ``logvar``.
+    """
+    batch = mu.shape[0]
+    kl = 0.5 * np.sum(np.exp(logvar) + mu**2 - 1.0 - logvar) / batch
+    grad_mu = mu / batch
+    grad_logvar = 0.5 * (np.exp(logvar) - 1.0) / batch
+    return float(kl), grad_mu, grad_logvar

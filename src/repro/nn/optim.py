@@ -1,0 +1,79 @@
+"""Gradient-descent optimizers for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+        self.parameters = parameters
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in parameters]
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            velocity *= self.momentum
+            velocity -= self.lr * parameter.grad
+            parameter.value += velocity
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.parameters = parameters
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.value) for p in parameters]
+        self._v = [np.zeros_like(p.value) for p in parameters]
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        self._step += 1
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / (1.0 - self.beta1**self._step)
+            v_hat = v / (1.0 - self.beta2**self._step)
+            parameter.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_gradients(parameters: list[Parameter], max_norm: float) -> float:
+    """Clip the global gradient norm; returns the pre-clip norm."""
+    total = 0.0
+    for parameter in parameters:
+        total += float(np.sum(parameter.grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for parameter in parameters:
+            parameter.grad *= scale
+    return norm

@@ -1,0 +1,28 @@
+"""Join trees, hint sets and the plan string language."""
+
+from repro.plans.encoding import PlanCodec, sequence_length
+from repro.plans.hints import DEFAULT_HINT_SET, HintSet, bao_hint_sets
+from repro.plans.jointree import JOIN_OPS, JoinOp, JoinTree
+from repro.plans.vocabulary import (
+    PAD_TOKEN,
+    PlanVocabulary,
+    build_vocabulary,
+    max_aliases_in_workload,
+    vocabulary_for_workload,
+)
+
+__all__ = [
+    "DEFAULT_HINT_SET",
+    "HintSet",
+    "JOIN_OPS",
+    "JoinOp",
+    "JoinTree",
+    "PAD_TOKEN",
+    "PlanCodec",
+    "PlanVocabulary",
+    "bao_hint_sets",
+    "build_vocabulary",
+    "max_aliases_in_workload",
+    "sequence_length",
+    "vocabulary_for_workload",
+]

@@ -1,0 +1,173 @@
+"""The plan string language: encoding join trees to token sequences and back.
+
+This implements Section 4.1 of the paper.  The two properties the language
+guarantees are:
+
+* **Completeness** — every join tree over the query's aliases has at least one
+  encoding (``encode`` produces a canonical one), and
+* **Decoding validity** — *every* token sequence decodes to a valid join tree
+  for the query.  Invalid symbols are repaired deterministically by indexing
+  into the list of currently-valid symbols with the invalid symbol's integer
+  value; truncated sequences are completed deterministically.
+
+The language is intentionally not injective: multiple strings may decode to
+the same plan (the paper accepts this trade-off, following SELFIES).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.query import Query
+from repro.exceptions import EncodingError
+from repro.plans.jointree import JoinOp, JoinTree
+from repro.plans.vocabulary import PlanVocabulary
+
+
+def sequence_length(num_tables: int) -> int:
+    """Number of tokens encoding a full plan over ``num_tables`` tables."""
+    return max(3 * (num_tables - 1), 0)
+
+
+@dataclass
+class PlanCodec:
+    """Encoder/decoder between join trees and token-id sequences.
+
+    Parameters
+    ----------
+    vocabulary:
+        The schema-wide token table.
+    """
+
+    vocabulary: PlanVocabulary
+
+    # ------------------------------------------------------------------ encoding
+    def encode(self, plan: JoinTree, query: Query) -> list[int]:
+        """Canonical token encoding of ``plan``.
+
+        Each join node contributes a ``(left, right, operator)`` triple in
+        post-order.  A subtree is referenced by the alias symbol of its
+        first (leftmost) leaf, exactly as the paper describes: the first
+        occurrence of an alias denotes the base table, later occurrences
+        denote the largest subtree containing it.
+        """
+        plan.validate_for_query(query)
+        tokens: list[int] = []
+        for node in plan.join_nodes():
+            left_leaves = node.left.leaf_aliases()  # type: ignore[union-attr]
+            right_leaves = node.right.leaf_aliases()  # type: ignore[union-attr]
+            tokens.append(self.vocabulary.alias_id(left_leaves[0]))
+            tokens.append(self.vocabulary.alias_id(right_leaves[0]))
+            tokens.append(self.vocabulary.op_id(node.op))  # type: ignore[arg-type]
+        return tokens
+
+    def encode_padded(self, plan: JoinTree, query: Query, length: int) -> list[int]:
+        """Encoding padded (or refused if too long) to exactly ``length`` tokens."""
+        tokens = self.encode(plan, query)
+        if len(tokens) > length:
+            raise EncodingError(
+                f"plan needs {len(tokens)} tokens but the padded length is {length}"
+            )
+        return tokens + [self.vocabulary.pad_id] * (length - len(tokens))
+
+    # ------------------------------------------------------------------ decoding
+    def decode(self, tokens: list[int], query: Query) -> JoinTree:
+        """Decode any token sequence into a valid join tree for ``query``.
+
+        The decoder maintains the forest of partially-built components and
+        repairs every invalid symbol by indexing into the list of valid
+        symbols at that position.  If the sequence ends before the tree is
+        complete, the remaining components are joined deterministically with
+        hash joins.
+        """
+        aliases = query.aliases
+        if not aliases:
+            raise EncodingError(f"query {query.name!r} has no tables to plan")
+        if len(aliases) == 1:
+            return JoinTree.leaf(aliases[0])
+        state = _DecodeState(query, self.vocabulary)
+        position = 0
+        while state.num_components > 1 and position + 3 <= len(tokens):
+            state.apply_triple(tokens[position : position + 3])
+            position += 3
+        state.complete()
+        return state.result()
+
+    def round_trip(self, plan: JoinTree, query: Query) -> JoinTree:
+        """Encode then decode a plan (identity for canonical encodings)."""
+        return self.decode(self.encode(plan, query), query)
+
+    def render(self, tokens: list[int]) -> str:
+        """Human-readable rendering of a token sequence."""
+        return " ".join(self.vocabulary.token_of(token) for token in tokens)
+
+
+class _DecodeState:
+    """Forest of components built while decoding one plan string."""
+
+    def __init__(self, query: Query, vocabulary: PlanVocabulary) -> None:
+        self.query = query
+        self.vocabulary = vocabulary
+        # Component id -> current subtree; alias -> component id.
+        self.components: dict[int, JoinTree] = {}
+        self.component_of: dict[str, int] = {}
+        for i, alias in enumerate(query.aliases):
+            self.components[i] = JoinTree.leaf(alias)
+            self.component_of[alias] = i
+
+    # ------------------------------------------------------------------ component bookkeeping
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+    def _valid_alias_ids(self, exclude_component: int | None = None) -> list[int]:
+        """Alias token ids valid at this point, sorted for determinism."""
+        valid = []
+        for alias, component in self.component_of.items():
+            if exclude_component is not None and component == exclude_component:
+                continue
+            valid.append(self.vocabulary.alias_id(alias))
+        return sorted(valid)
+
+    def _repair(self, token: int, valid: list[int]) -> int:
+        if token in valid:
+            return token
+        if not valid:
+            raise EncodingError("no valid symbols available during decoding")
+        return valid[token % len(valid)]
+
+    # ------------------------------------------------------------------ decoding steps
+    def apply_triple(self, triple: list[int]) -> None:
+        left_token, right_token, op_token_id = triple
+        left_valid = self._valid_alias_ids()
+        left_token = self._repair(left_token, left_valid)
+        left_alias = self.vocabulary.token_of(left_token)
+        left_component = self.component_of[left_alias]
+
+        right_valid = self._valid_alias_ids(exclude_component=left_component)
+        right_token = self._repair(right_token, right_valid)
+        right_alias = self.vocabulary.token_of(right_token)
+        right_component = self.component_of[right_alias]
+
+        op_token_id = self._repair(op_token_id, sorted(self.vocabulary.op_ids))
+        op = self.vocabulary.op_of(op_token_id)
+        self._merge(left_component, right_component, op)
+
+    def _merge(self, left_component: int, right_component: int, op: JoinOp) -> None:
+        left_tree = self.components.pop(left_component)
+        right_tree = self.components.pop(right_component)
+        merged = JoinTree.join(left_tree, right_tree, op)
+        self.components[left_component] = merged
+        for alias in merged.leaf_aliases():
+            self.component_of[alias] = left_component
+
+    def complete(self) -> None:
+        """Join any remaining components deterministically (hash joins, id order)."""
+        while self.num_components > 1:
+            ordered = sorted(self.components)
+            self._merge(ordered[0], ordered[1], JoinOp.HASH)
+
+    def result(self) -> JoinTree:
+        if self.num_components != 1:
+            raise EncodingError("decoding finished with more than one component")
+        return next(iter(self.components.values()))

@@ -1,0 +1,202 @@
+"""Join trees: the physical plans BayesQO searches over.
+
+A join tree is a binary tree whose leaves are table aliases and whose
+internal nodes carry a physical join operator (hash, merge or nested-loop).
+This is exactly the structure the paper's plan string language encodes
+(Section 4.1): join order plus physical join operators, with scans,
+predicates and aggregations left to the underlying engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Sequence
+
+from repro.db.query import Query
+from repro.exceptions import PlanError
+
+
+class JoinOp(str, Enum):
+    """Physical join operators."""
+
+    HASH = "hash"
+    MERGE = "merge"
+    NESTED_LOOP = "nl"
+
+    @property
+    def symbol(self) -> str:
+        return {"hash": "⋈h", "merge": "⋈m", "nl": "⋈n"}[self.value]
+
+
+#: Deterministic ordering of join operators, used by the encoder vocabulary.
+JOIN_OPS: tuple[JoinOp, ...] = (JoinOp.HASH, JoinOp.MERGE, JoinOp.NESTED_LOOP)
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """An immutable binary join tree.
+
+    A leaf has ``alias`` set and ``left``/``right``/``op`` unset; an internal
+    node has ``left``, ``right`` and ``op`` set and ``alias`` unset.
+    """
+
+    alias: str | None = None
+    left: "JoinTree | None" = None
+    right: "JoinTree | None" = None
+    op: JoinOp | None = None
+
+    def __post_init__(self) -> None:
+        if self.alias is not None:
+            if self.left is not None or self.right is not None or self.op is not None:
+                raise PlanError("a leaf node must not have children or an operator")
+        else:
+            if self.left is None or self.right is None or self.op is None:
+                raise PlanError("an internal node needs left, right and op")
+            overlap = set(self.left.leaf_aliases()) & set(self.right.leaf_aliases())
+            if overlap:
+                raise PlanError(f"left and right subtrees share aliases: {sorted(overlap)}")
+
+    # ------------------------------------------------------------------ constructors
+    @staticmethod
+    def leaf(alias: str) -> "JoinTree":
+        return JoinTree(alias=alias)
+
+    @staticmethod
+    def join(left: "JoinTree", right: "JoinTree", op: JoinOp) -> "JoinTree":
+        return JoinTree(left=left, right=right, op=op)
+
+    @staticmethod
+    def left_deep(aliases: Sequence[str], ops: Sequence[JoinOp] | None = None) -> "JoinTree":
+        """Build a left-deep tree joining ``aliases`` in order.
+
+        ``ops`` supplies the operator at each join (defaults to hash joins).
+        """
+        if not aliases:
+            raise PlanError("cannot build a join tree over zero aliases")
+        if ops is None:
+            ops = [JoinOp.HASH] * (len(aliases) - 1)
+        if len(ops) != len(aliases) - 1:
+            raise PlanError(f"need {len(aliases) - 1} operators, got {len(ops)}")
+        tree = JoinTree.leaf(aliases[0])
+        for alias, op in zip(aliases[1:], ops):
+            tree = JoinTree.join(tree, JoinTree.leaf(alias), op)
+        return tree
+
+    # ------------------------------------------------------------------ structure
+    @property
+    def is_leaf(self) -> bool:
+        return self.alias is not None
+
+    def leaf_aliases(self) -> list[str]:
+        """All leaf aliases, left-to-right."""
+        if self.is_leaf:
+            return [self.alias]  # type: ignore[list-item]
+        return self.left.leaf_aliases() + self.right.leaf_aliases()  # type: ignore[union-attr]
+
+    @property
+    def num_joins(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + self.left.num_joins + self.right.num_joins  # type: ignore[union-attr]
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self.leaf_aliases())
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())  # type: ignore[union-attr]
+
+    def postorder(self) -> Iterator["JoinTree"]:
+        """Yield every node in post-order (children before parents)."""
+        if not self.is_leaf:
+            yield from self.left.postorder()  # type: ignore[union-attr]
+            yield from self.right.postorder()  # type: ignore[union-attr]
+        yield self
+
+    def join_nodes(self) -> list["JoinTree"]:
+        return [node for node in self.postorder() if not node.is_leaf]
+
+    def operators(self) -> list[JoinOp]:
+        """Operators of all join nodes in post-order."""
+        return [node.op for node in self.join_nodes()]  # type: ignore[misc]
+
+    def join_pairs(self) -> list[tuple[frozenset[str], frozenset[str], JoinOp]]:
+        """For each join node: (left alias set, right alias set, operator), post-order."""
+        pairs = []
+        for node in self.join_nodes():
+            pairs.append(
+                (
+                    frozenset(node.left.leaf_aliases()),  # type: ignore[union-attr]
+                    frozenset(node.right.leaf_aliases()),  # type: ignore[union-attr]
+                    node.op,
+                )
+            )
+        return pairs
+
+    def is_left_deep(self) -> bool:
+        if self.is_leaf:
+            return True
+        return self.right.is_leaf and self.left.is_left_deep()  # type: ignore[union-attr]
+
+    def with_operators(self, ops: Sequence[JoinOp]) -> "JoinTree":
+        """Return a copy of this tree with join operators replaced in post-order."""
+        ops = list(ops)
+        if len(ops) != self.num_joins:
+            raise PlanError(f"need {self.num_joins} operators, got {len(ops)}")
+
+        def rebuild(node: "JoinTree") -> "JoinTree":
+            if node.is_leaf:
+                return node
+            left = rebuild(node.left)  # type: ignore[arg-type]
+            right = rebuild(node.right)  # type: ignore[arg-type]
+            return JoinTree.join(left, right, ops.pop(0))
+
+        return rebuild(self)
+
+    # ------------------------------------------------------------------ canonical forms
+    def canonical(self) -> str:
+        """Rendering unique up to structure + operators (children not commuted)."""
+        if self.is_leaf:
+            return str(self.alias)
+        return (
+            f"({self.left.canonical()} {self.op.symbol} {self.right.canonical()})"  # type: ignore[union-attr]
+        )
+
+    def logical_key(self) -> str:
+        """Rendering that ignores operator choice and child order within a join.
+
+        Two plans with the same logical key enumerate the same join order in
+        the commutativity sense; used for plan-space coverage statistics.
+        """
+        if self.is_leaf:
+            return str(self.alias)
+        left = self.left.logical_key()  # type: ignore[union-attr]
+        right = self.right.logical_key()  # type: ignore[union-attr]
+        first, second = sorted((left, right))
+        return f"({first} * {second})"
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+    # ------------------------------------------------------------------ validation
+    def validate_for_query(self, query: Query) -> None:
+        """Raise :class:`PlanError` unless this tree joins exactly the query's aliases."""
+        plan_aliases = set(self.leaf_aliases())
+        query_aliases = set(query.aliases)
+        if plan_aliases != query_aliases:
+            missing = sorted(query_aliases - plan_aliases)
+            extra = sorted(plan_aliases - query_aliases)
+            raise PlanError(
+                f"plan does not cover query {query.name!r}: missing={missing} extra={extra}"
+            )
+
+    def count_cross_joins(self, query: Query) -> int:
+        """Number of join nodes with no join predicate connecting their sides."""
+        count = 0
+        for left_set, right_set, _ in self.join_pairs():
+            if not query.predicates_between(set(left_set), set(right_set)):
+                count += 1
+        return count

@@ -1,0 +1,64 @@
+"""Random join-tree sampling (the paper's Section 4.5 "Random plans" strategy).
+
+The sampler draws uniform random spanning trees of the query's join graph, so
+the resulting plans never contain cross joins, and assigns physical join
+operators uniformly at random.  It is used both as the Random offline
+optimization baseline and as one of BayesQO's initialization strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.query import Query
+from repro.exceptions import PlanError
+from repro.plans.jointree import JOIN_OPS, JoinOp, JoinTree
+
+
+def random_join_tree(query: Query, rng: np.random.Generator) -> JoinTree:
+    """Sample a random cross-join-free join tree for ``query``.
+
+    A random spanning tree of the join graph is grown edge by edge; every time
+    an edge connects two components, the corresponding join is added to the
+    plan with a uniformly random physical operator.  Aliases not reachable
+    through any join predicate (disconnected queries) are attached at the end
+    with hash joins.
+    """
+    aliases = query.aliases
+    if not aliases:
+        raise PlanError(f"query {query.name!r} has no tables")
+    if len(aliases) == 1:
+        return JoinTree.leaf(aliases[0])
+    component_of = {alias: i for i, alias in enumerate(aliases)}
+    components: dict[int, JoinTree] = {i: JoinTree.leaf(alias) for i, alias in enumerate(aliases)}
+    edges = list(query.join_predicates)
+    order = rng.permutation(len(edges))
+    for index in order:
+        predicate = edges[index]
+        left_component = component_of[predicate.left_alias]
+        right_component = component_of[predicate.right_alias]
+        if left_component == right_component:
+            continue
+        op = JOIN_OPS[rng.integers(0, len(JOIN_OPS))]
+        left_tree = components.pop(left_component)
+        right_tree = components.pop(right_component)
+        if rng.random() < 0.5:
+            left_tree, right_tree = right_tree, left_tree
+        merged = JoinTree.join(left_tree, right_tree, op)
+        components[left_component] = merged
+        for alias in merged.leaf_aliases():
+            component_of[alias] = left_component
+    # Disconnected remainder (rare): join the remaining components arbitrarily.
+    while len(components) > 1:
+        keys = sorted(components)
+        left_tree = components.pop(keys[0])
+        right_tree = components.pop(keys[1])
+        merged = JoinTree.join(left_tree, right_tree, JoinOp.HASH)
+        components[keys[0]] = merged
+    return next(iter(components.values()))
+
+
+def random_join_trees(query: Query, count: int, seed: int = 0) -> list[JoinTree]:
+    """Sample ``count`` random cross-join-free join trees."""
+    rng = np.random.default_rng(seed)
+    return [random_join_tree(query, rng) for _ in range(count)]

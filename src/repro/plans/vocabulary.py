@@ -1,0 +1,114 @@
+"""The symbol vocabulary of the plan string language.
+
+A vocabulary is built once per schema (paper Section 4.1): one symbol per
+``(table, alias ordinal)`` pair up to the maximum number of aliases of any
+single table seen in the workload, plus one symbol per physical join
+operator and a padding symbol used by the VAE's fixed-length sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.db.catalog import Schema, alias_name
+from repro.db.query import Query
+from repro.exceptions import EncodingError
+from repro.plans.jointree import JOIN_OPS, JoinOp
+
+#: Token string used for padding fixed-length sequences.
+PAD_TOKEN = "<pad>"
+
+
+@dataclass
+class PlanVocabulary:
+    """Token table shared by the encoder, the VAE and the PlanLM."""
+
+    tokens: list[str]
+    token_to_id: dict[str, int] = field(init=False)
+    pad_id: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.tokens) != len(set(self.tokens)):
+            raise EncodingError("vocabulary contains duplicate tokens")
+        self.token_to_id = {token: i for i, token in enumerate(self.tokens)}
+        if PAD_TOKEN not in self.token_to_id:
+            raise EncodingError("vocabulary must contain the padding token")
+        self.pad_id = self.token_to_id[PAD_TOKEN]
+
+    # ------------------------------------------------------------------ lookups
+    @property
+    def size(self) -> int:
+        return len(self.tokens)
+
+    def id_of(self, token: str) -> int:
+        try:
+            return self.token_to_id[token]
+        except KeyError as exc:
+            raise EncodingError(f"token {token!r} is not in the vocabulary") from exc
+
+    def token_of(self, token_id: int) -> str:
+        if not 0 <= token_id < len(self.tokens):
+            raise EncodingError(f"token id {token_id} is out of range")
+        return self.tokens[token_id]
+
+    def op_id(self, op: JoinOp) -> int:
+        return self.id_of(op_token(op))
+
+    def op_of(self, token_id: int) -> JoinOp:
+        token = self.token_of(token_id)
+        for op in JOIN_OPS:
+            if op_token(op) == token:
+                return op
+        raise EncodingError(f"token {token!r} is not a join operator")
+
+    def alias_id(self, alias: str) -> int:
+        return self.id_of(alias)
+
+    @property
+    def op_ids(self) -> list[int]:
+        return [self.op_id(op) for op in JOIN_OPS]
+
+    def alias_ids(self, aliases: Iterable[str]) -> list[int]:
+        return [self.alias_id(alias) for alias in aliases]
+
+    def is_op(self, token_id: int) -> bool:
+        return token_id in set(self.op_ids)
+
+
+def op_token(op: JoinOp) -> str:
+    """Token string of a join operator."""
+    return f"<{op.value}>"
+
+
+def build_vocabulary(schema: Schema, max_aliases: int = 1) -> PlanVocabulary:
+    """Build the plan vocabulary for ``schema`` with up to ``max_aliases`` per table.
+
+    The ordering is deterministic: pad, join operators, then alias tokens
+    sorted by table name and ordinal.
+    """
+    if max_aliases < 1:
+        raise EncodingError("max_aliases must be at least 1")
+    tokens = [PAD_TOKEN]
+    tokens.extend(op_token(op) for op in JOIN_OPS)
+    for table in sorted(schema.table_names):
+        for ordinal in range(1, max_aliases + 1):
+            tokens.append(alias_name(table, ordinal))
+    return PlanVocabulary(tokens)
+
+
+def max_aliases_in_workload(queries: Iterable[Query]) -> int:
+    """Highest number of aliases of any single table across a workload."""
+    highest = 1
+    for query in queries:
+        per_table: dict[str, int] = {}
+        for ref in query.table_refs:
+            per_table[ref.table] = per_table.get(ref.table, 0) + 1
+        if per_table:
+            highest = max(highest, max(per_table.values()))
+    return highest
+
+
+def vocabulary_for_workload(schema: Schema, queries: Iterable[Query]) -> PlanVocabulary:
+    """Vocabulary sized to the alias usage of a concrete workload."""
+    return build_vocabulary(schema, max_aliases_in_workload(list(queries)))

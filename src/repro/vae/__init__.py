@@ -1,0 +1,27 @@
+"""The plan VAE: training corpus, model, training loop and latent-space wrapper."""
+
+from repro.vae.dataset import PlanCorpus, build_plan_corpus, corpus_from_workload_plans
+from repro.vae.latent import LatentSpace
+from repro.vae.model import PlanVAE, VAEConfig, VAELosses
+from repro.vae.training import (
+    TrainingReport,
+    latent_dimension_sweep,
+    sequence_accuracy,
+    token_accuracy,
+    train_vae,
+)
+
+__all__ = [
+    "LatentSpace",
+    "PlanCorpus",
+    "PlanVAE",
+    "TrainingReport",
+    "VAEConfig",
+    "VAELosses",
+    "build_plan_corpus",
+    "corpus_from_workload_plans",
+    "latent_dimension_sweep",
+    "sequence_accuracy",
+    "token_accuracy",
+    "train_vae",
+]

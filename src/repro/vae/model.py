@@ -1,0 +1,174 @@
+"""The plan variational autoencoder.
+
+Architecture: token embeddings, a position-concatenating encoder MLP that
+produces the mean and log-variance of the latent Gaussian, and a decoder MLP
+that maps a latent vector to per-position token logits.  This is a compact
+stand-in for the paper's transformer VAE; the property BO needs is only that
+plans with similar strings land near each other in a continuous latent space
+with good reconstruction accuracy, which this model provides at our corpus
+sizes (see Table 2's reproduction in ``benchmarks/bench_table2``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.nn.layers import Embedding, Linear, Parameter, Tanh
+from repro.nn.losses import cross_entropy, gaussian_kl, softmax
+
+
+@dataclass
+class VAEConfig:
+    """Hyper-parameters of the plan VAE."""
+
+    vocab_size: int
+    max_length: int
+    latent_dim: int = 16
+    embed_dim: int = 16
+    hidden_dim: int = 128
+    beta: float = 0.05
+
+
+@dataclass
+class VAELosses:
+    """Loss components of one training step."""
+
+    total: float
+    reconstruction: float
+    kl: float
+
+
+class PlanVAE:
+    """Sequence VAE over padded plan strings."""
+
+    def __init__(self, config: VAEConfig, seed: int = 0) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        flat = config.max_length * config.embed_dim
+        self.embedding = Embedding(config.vocab_size, config.embed_dim, rng)
+        self.enc_hidden = Linear(flat, config.hidden_dim, rng)
+        self.enc_act = Tanh()
+        self.enc_mu = Linear(config.hidden_dim, config.latent_dim, rng)
+        self.enc_logvar = Linear(config.hidden_dim, config.latent_dim, rng)
+        self.dec_hidden = Linear(config.latent_dim, config.hidden_dim, rng)
+        self.dec_act = Tanh()
+        self.dec_out = Linear(config.hidden_dim, config.max_length * config.vocab_size, rng)
+
+    # ------------------------------------------------------------------ parameters
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in (
+            self.embedding,
+            self.enc_hidden,
+            self.enc_mu,
+            self.enc_logvar,
+            self.dec_hidden,
+            self.dec_out,
+        ):
+            params.extend(layer.parameters())
+        return params
+
+    def num_parameters(self) -> int:
+        return sum(int(np.prod(p.shape)) for p in self.parameters())
+
+    # ------------------------------------------------------------------ forward passes
+    def encode(self, tokens: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (mu, logvar) for a batch of token sequences."""
+        tokens = self._check_tokens(tokens)
+        embedded = self.embedding.forward(tokens)
+        flat = embedded.reshape(len(tokens), -1)
+        hidden = self.enc_act.forward(self.enc_hidden.forward(flat))
+        return self.enc_mu.forward(hidden), self.enc_logvar.forward(hidden)
+
+    def decode_logits(self, latent: np.ndarray) -> np.ndarray:
+        """Per-position token logits, shape ``(batch, max_length, vocab)``."""
+        latent = np.atleast_2d(np.asarray(latent, dtype=np.float64))
+        hidden = self.dec_act.forward(self.dec_hidden.forward(latent))
+        logits = self.dec_out.forward(hidden)
+        return logits.reshape(len(latent), self.config.max_length, self.config.vocab_size)
+
+    def decode_tokens(self, latent: np.ndarray, rng: np.random.Generator | None = None,
+                      temperature: float = 0.0) -> np.ndarray:
+        """Decode latent vectors to token sequences (argmax or sampled)."""
+        logits = self.decode_logits(latent)
+        if temperature <= 0.0:
+            return logits.argmax(axis=-1)
+        rng = rng or np.random.default_rng(0)
+        probs = softmax(logits / temperature)
+        batch, length, vocab = probs.shape
+        flat = probs.reshape(-1, vocab)
+        cumulative = np.cumsum(flat, axis=1)
+        draws = rng.random((flat.shape[0], 1))
+        samples = (cumulative < draws).sum(axis=1)
+        return samples.reshape(batch, length)
+
+    def reconstruct(self, tokens: np.ndarray) -> np.ndarray:
+        """Deterministic round-trip: encode to the mean and decode with argmax."""
+        mu, _ = self.encode(tokens)
+        return self.decode_tokens(mu)
+
+    # ------------------------------------------------------------------ training
+    def train_step(self, tokens: np.ndarray, rng: np.random.Generator) -> VAELosses:
+        """One forward/backward pass; gradients accumulate into the parameters."""
+        tokens = self._check_tokens(tokens)
+        batch = len(tokens)
+        # Encoder forward.
+        embedded = self.embedding.forward(tokens)
+        flat = embedded.reshape(batch, -1)
+        hidden = self.enc_act.forward(self.enc_hidden.forward(flat))
+        mu = self.enc_mu.forward(hidden)
+        logvar = np.clip(self.enc_logvar.forward(hidden), -8.0, 8.0)
+        # Reparameterization.
+        eps = rng.standard_normal(mu.shape)
+        std = np.exp(0.5 * logvar)
+        latent = mu + std * eps
+        # Decoder forward.
+        dec_hidden = self.dec_act.forward(self.dec_hidden.forward(latent))
+        logits = self.dec_out.forward(dec_hidden).reshape(
+            batch, self.config.max_length, self.config.vocab_size
+        )
+        # Losses.
+        recon_loss, grad_logits = cross_entropy(logits, tokens)
+        kl_loss, grad_mu_kl, grad_logvar_kl = gaussian_kl(mu, logvar)
+        total = recon_loss + self.config.beta * kl_loss
+        # Decoder backward.
+        grad_dec_out = grad_logits.reshape(batch, -1)
+        grad_dec_hidden = self.dec_out.backward(grad_dec_out)
+        grad_latent = self.dec_hidden.backward(self.dec_act.backward(grad_dec_hidden))
+        # Reparameterization backward.
+        grad_mu = grad_latent + self.config.beta * grad_mu_kl
+        grad_logvar = grad_latent * eps * 0.5 * std + self.config.beta * grad_logvar_kl
+        # Encoder backward.
+        grad_hidden = self.enc_mu.backward(grad_mu) + self.enc_logvar.backward(grad_logvar)
+        grad_flat = self.enc_hidden.backward(self.enc_act.backward(grad_hidden))
+        self.embedding.backward(grad_flat.reshape(batch, self.config.max_length, -1))
+        return VAELosses(total=float(total), reconstruction=float(recon_loss), kl=float(kl_loss))
+
+    # ------------------------------------------------------------------ weights I/O
+    def get_weights(self) -> list[np.ndarray]:
+        return [parameter.value.copy() for parameter in self.parameters()]
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        parameters = self.parameters()
+        if len(weights) != len(parameters):
+            raise ModelError(
+                f"expected {len(parameters)} weight arrays, got {len(weights)}"
+            )
+        for parameter, value in zip(parameters, weights):
+            if parameter.value.shape != value.shape:
+                raise ModelError("weight shape mismatch while loading VAE weights")
+            parameter.value = value.copy()
+
+    # ------------------------------------------------------------------ helpers
+    def _check_tokens(self, tokens: np.ndarray) -> np.ndarray:
+        tokens = np.atleast_2d(np.asarray(tokens, dtype=np.int64))
+        if tokens.shape[1] != self.config.max_length:
+            raise ModelError(
+                f"token sequences must have length {self.config.max_length}, got {tokens.shape[1]}"
+            )
+        if tokens.min() < 0 or tokens.max() >= self.config.vocab_size:
+            raise ModelError("token id out of vocabulary range")
+        return tokens

@@ -1,0 +1,97 @@
+"""Training loop and reconstruction metrics for the plan VAE."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.optim import Adam, clip_gradients
+from repro.vae.dataset import PlanCorpus
+from repro.vae.model import PlanVAE, VAEConfig
+
+
+@dataclass
+class TrainingReport:
+    """Loss curve and held-out reconstruction accuracy of one training run."""
+
+    steps: int
+    losses: list[float] = field(default_factory=list)
+    reconstruction_accuracy: float = 0.0
+    token_accuracy: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def sequence_accuracy(model: PlanVAE, sequences: np.ndarray) -> float:
+    """Fraction of held-out sequences reconstructed exactly (Table 2's metric)."""
+    if len(sequences) == 0:
+        return 0.0
+    reconstructed = model.reconstruct(sequences)
+    return float(np.mean(np.all(reconstructed == sequences, axis=1)))
+
+
+def token_accuracy(model: PlanVAE, sequences: np.ndarray) -> float:
+    """Fraction of individual tokens reconstructed correctly."""
+    if len(sequences) == 0:
+        return 0.0
+    reconstructed = model.reconstruct(sequences)
+    return float(np.mean(reconstructed == sequences))
+
+
+def train_vae(
+    corpus: PlanCorpus,
+    latent_dim: int = 16,
+    embed_dim: int = 16,
+    hidden_dim: int = 128,
+    beta: float = 0.05,
+    steps: int = 1500,
+    batch_size: int = 64,
+    lr: float = 2e-3,
+    seed: int = 0,
+    train_fraction: float = 0.8,
+) -> tuple[PlanVAE, TrainingReport]:
+    """Train a :class:`PlanVAE` on ``corpus`` and report held-out reconstruction accuracy."""
+    train_rows, test_rows = corpus.split(train_fraction=train_fraction, seed=seed)
+    if len(train_rows) == 0:
+        raise ValueError("the plan corpus is empty")
+    config = VAEConfig(
+        vocab_size=corpus.vocabulary.size,
+        max_length=corpus.max_length,
+        latent_dim=latent_dim,
+        embed_dim=embed_dim,
+        hidden_dim=hidden_dim,
+        beta=beta,
+    )
+    model = PlanVAE(config, seed=seed)
+    optimizer = Adam(model.parameters(), lr=lr)
+    rng = np.random.default_rng(seed)
+    report = TrainingReport(steps=steps)
+    for _ in range(steps):
+        batch_idx = rng.integers(0, len(train_rows), size=min(batch_size, len(train_rows)))
+        batch = train_rows[batch_idx]
+        optimizer.zero_grad()
+        losses = model.train_step(batch, rng)
+        clip_gradients(model.parameters(), max_norm=5.0)
+        optimizer.step()
+        report.losses.append(losses.total)
+    holdout = test_rows if len(test_rows) else train_rows
+    report.reconstruction_accuracy = sequence_accuracy(model, holdout)
+    report.token_accuracy = token_accuracy(model, holdout)
+    return model, report
+
+
+def latent_dimension_sweep(
+    corpus: PlanCorpus,
+    latent_dims: list[int],
+    steps: int = 1200,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Reconstruction accuracy per latent dimension (reproduces Table 2)."""
+    results: dict[int, float] = {}
+    for latent_dim in latent_dims:
+        _, report = train_vae(corpus, latent_dim=latent_dim, steps=steps, seed=seed)
+        results[latent_dim] = report.reconstruction_accuracy
+    return results

@@ -1,0 +1,53 @@
+"""Benchmark workloads: JOB, CEB, Stack and DSB analogues plus drift tooling."""
+
+from repro.workloads.base import Workload
+from repro.workloads.drift import (
+    deletion_fraction,
+    drift_timeline,
+    per_table_deletion,
+    rollback_to_date,
+)
+from repro.workloads.dsb import build_dsb_database, build_dsb_schema, build_dsb_workload
+from repro.workloads.generator import (
+    FilterSpec,
+    RandomQuerySampler,
+    query_from_aliases,
+    sample_connected_aliases,
+)
+from repro.workloads.imdb import (
+    build_ceb_workload,
+    build_imdb_database,
+    build_imdb_schema,
+    build_job_workload,
+)
+from repro.workloads.stack import (
+    STACK_DATE_2017,
+    STACK_DATE_MAX,
+    build_stack_database,
+    build_stack_schema,
+    build_stack_workload,
+)
+
+__all__ = [
+    "FilterSpec",
+    "RandomQuerySampler",
+    "STACK_DATE_2017",
+    "STACK_DATE_MAX",
+    "Workload",
+    "build_ceb_workload",
+    "build_dsb_database",
+    "build_dsb_schema",
+    "build_dsb_workload",
+    "build_imdb_database",
+    "build_imdb_schema",
+    "build_job_workload",
+    "build_stack_database",
+    "build_stack_schema",
+    "build_stack_workload",
+    "deletion_fraction",
+    "drift_timeline",
+    "per_table_deletion",
+    "query_from_aliases",
+    "rollback_to_date",
+    "sample_connected_aliases",
+]

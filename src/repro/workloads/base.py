@@ -1,0 +1,73 @@
+"""Workload container shared by every benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+
+from repro.db.engine import Database
+from repro.db.query import Query
+from repro.exceptions import QueryError
+
+
+@dataclass
+class Workload:
+    """A named set of queries over one database instance.
+
+    Parameters
+    ----------
+    name:
+        Workload identifier ("JOB", "CEB", "Stack", "DSB").
+    database:
+        The database instance the queries run against.
+    queries:
+        The benchmark queries.
+    max_aliases:
+        Alias multiplicity used when building the plan vocabulary.
+    description:
+        One-line provenance note.
+    """
+
+    name: str
+    database: Database
+    queries: list[Query]
+    max_aliases: int = 1
+    description: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [query.name for query in self.queries]
+        if len(names) != len(set(names)):
+            raise QueryError(f"workload {self.name!r} has duplicate query names")
+
+    # ------------------------------------------------------------------ summary statistics (Table 1)
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    def median_joins(self) -> float:
+        """Median number of join predicates per query."""
+        if not self.queries:
+            return 0.0
+        return float(median(query.num_joins for query in self.queries))
+
+    def median_tables(self) -> float:
+        if not self.queries:
+            return 0.0
+        return float(median(query.num_tables for query in self.queries))
+
+    def size_bytes(self) -> int:
+        return self.database.info(self.name).size_bytes
+
+    def query(self, name: str) -> Query:
+        for query in self.queries:
+            if query.name == name:
+                return query
+        raise QueryError(f"workload {self.name!r} has no query {name!r}")
+
+    def templates(self) -> list[str]:
+        """Sorted distinct template ids across the workload."""
+        return sorted({query.template for query in self.queries if query.template is not None})
+
+    def queries_for_template(self, template: str) -> list[Query]:
+        return [query for query in self.queries if query.template == template]

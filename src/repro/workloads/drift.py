@@ -1,0 +1,94 @@
+"""Data-drift simulation: rolling a database back to an earlier point in time.
+
+The paper models drift on the Stack dataset by deleting every row with a
+timestamp after 2017 plus the transitive closure of rows whose foreign keys
+became dangling (Section 5.5).  :func:`rollback_to_date` implements exactly
+that operation on any database whose tables carry a date column, and
+:func:`drift_timeline` produces the sequence of intermediate snapshots used
+by the runtimes-vs-date experiment (Figure 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.engine import Database
+from repro.db.relation import Relation
+
+#: Default name of the timestamp column consulted by the rollback.
+DATE_COLUMN = "creation_date"
+
+
+def rollback_to_date(
+    database: Database, cutoff: int, date_column: str = DATE_COLUMN
+) -> Database:
+    """Return a new database containing only rows visible at ``cutoff``.
+
+    Rows with ``date_column > cutoff`` are deleted from every table that has
+    such a column; rows in other tables whose foreign keys now dangle are then
+    deleted transitively until a fixpoint is reached.
+    """
+    relations: dict[str, Relation] = {}
+    for name, relation in database.relations.items():
+        if relation.table.has_column(date_column):
+            keep = np.flatnonzero(relation.column(date_column) <= cutoff)
+            relations[name] = relation.with_rows(keep)
+        else:
+            relations[name] = relation
+    relations = _enforce_referential_integrity(database, relations)
+    return database.with_relations(relations)
+
+
+def _enforce_referential_integrity(
+    database: Database, relations: dict[str, Relation]
+) -> dict[str, Relation]:
+    """Delete rows whose FKs reference deleted rows, transitively."""
+    changed = True
+    while changed:
+        changed = False
+        for fk in database.schema.foreign_keys:
+            referencing = relations[fk.table]
+            referenced = relations[fk.ref_table]
+            if referencing.num_rows == 0:
+                continue
+            valid_keys = referenced.column(fk.ref_column)
+            mask = np.isin(referencing.column(fk.column), valid_keys)
+            if not mask.all():
+                relations[fk.table] = referencing.with_rows(np.flatnonzero(mask))
+                changed = True
+    return relations
+
+
+def deletion_fraction(original: Database, rolled_back: Database) -> float:
+    """Fraction of all rows removed by a rollback (the paper reports ~20%)."""
+    before = sum(rel.num_rows for rel in original.relations.values())
+    after = sum(rel.num_rows for rel in rolled_back.relations.values())
+    if before == 0:
+        return 0.0
+    return 1.0 - after / before
+
+
+def per_table_deletion(original: Database, rolled_back: Database) -> dict[str, float]:
+    """Per-table fraction of deleted rows."""
+    fractions: dict[str, float] = {}
+    for name, relation in original.relations.items():
+        before = relation.num_rows
+        after = rolled_back.relations[name].num_rows
+        fractions[name] = 0.0 if before == 0 else 1.0 - after / before
+    return fractions
+
+
+def drift_timeline(
+    database: Database,
+    start: int,
+    end: int,
+    steps: int,
+    date_column: str = DATE_COLUMN,
+) -> list[tuple[int, Database]]:
+    """Snapshots at ``steps`` evenly spaced cutoffs between ``start`` and ``end``.
+
+    The final snapshot (cutoff = ``end``) is the original database if no row
+    exceeds ``end``.
+    """
+    cutoffs = np.linspace(start, end, steps).astype(int)
+    return [(int(cutoff), rollback_to_date(database, int(cutoff), date_column)) for cutoff in cutoffs]

@@ -1,0 +1,143 @@
+"""Tests for the Bao, Random, Balsa and LimeQO baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BalsaConfig,
+    BalsaOptimizer,
+    BaoOptimizer,
+    LimeQOConfig,
+    LimeQOOptimizer,
+    PlanFeaturizer,
+    RandomSearch,
+    bao_best_latency,
+    complete_matrix,
+)
+
+
+class TestBao:
+    def test_runs_all_distinct_hint_plans(self, tiny_database, tiny_query):
+        outcome = BaoOptimizer(tiny_database).optimize(tiny_query)
+        assert 1 <= outcome.result.num_executions <= 49
+        assert outcome.best_latency > 0
+        outcome.best_plan.validate_for_query(tiny_query)
+
+    def test_best_is_minimum_of_trace(self, tiny_database, tiny_query):
+        outcome = BaoOptimizer(tiny_database).optimize(tiny_query)
+        uncensored = [r.latency for r in outcome.result.trace if not r.censored]
+        assert outcome.best_latency == pytest.approx(min(uncensored))
+
+    def test_best_no_worse_than_default(self, tiny_database, tiny_query):
+        default = tiny_database.default_latency(tiny_query)
+        assert BaoOptimizer(tiny_database).optimize(tiny_query).best_latency <= default + 1e-9
+
+    def test_time_budget_limits_executions(self, tiny_database, tiny_query):
+        limited = BaoOptimizer(tiny_database).optimize(tiny_query, time_budget=1e-9)
+        assert limited.result.num_executions <= 1
+
+    def test_convenience_helper(self, tiny_database, tiny_query):
+        assert bao_best_latency(tiny_database, tiny_query) > 0
+
+
+class TestRandomSearch:
+    def test_respects_execution_budget(self, tiny_database, tiny_query):
+        result = RandomSearch(tiny_database, seed=1).optimize(tiny_query, max_executions=20)
+        assert result.num_executions <= 20
+        assert result.trace[0].source == "default"
+
+    def test_first_execution_is_default_plan(self, tiny_database, tiny_query):
+        result = RandomSearch(tiny_database, seed=1).optimize(tiny_query, max_executions=5)
+        default = tiny_database.plan(tiny_query).canonical()
+        assert result.trace[0].plan.canonical() == default
+
+    def test_never_worse_than_default(self, tiny_database, tiny_query):
+        result = RandomSearch(tiny_database, seed=2).optimize(tiny_query, max_executions=25)
+        default = tiny_database.default_latency(tiny_query)
+        assert result.best_latency <= default + 1e-9
+
+    def test_timeouts_bounded_by_best_seen(self, tiny_database, tiny_query):
+        result = RandomSearch(tiny_database, seed=3).optimize(tiny_query, max_executions=25)
+        best_so_far = float("inf")
+        for record in result.trace[1:]:
+            if record.timeout is not None and np.isfinite(best_so_far):
+                assert record.timeout <= best_so_far + 1e-9
+            if not record.censored:
+                best_so_far = min(best_so_far, record.latency)
+
+    def test_time_budget(self, tiny_database, tiny_query):
+        result = RandomSearch(tiny_database, seed=1).optimize(
+            tiny_query, max_executions=100, time_budget=0.01
+        )
+        assert result.total_cost <= 0.01 + 600.0  # first execution may consume up to its timeout
+
+    def test_deterministic_per_seed(self, tiny_database, tiny_query):
+        first = RandomSearch(tiny_database, seed=5).optimize(tiny_query, max_executions=10)
+        second = RandomSearch(tiny_database, seed=5).optimize(tiny_query, max_executions=10)
+        assert [r.plan.canonical() for r in first.trace] == [r.plan.canonical() for r in second.trace]
+
+
+class TestBalsa:
+    def test_featurizer_shape_and_content(self, tiny_database, tiny_query):
+        featurizer = PlanFeaturizer(tiny_database)
+        plan = tiny_database.plan(tiny_query)
+        features = featurizer.featurize(tiny_query, plan)
+        assert features.shape == (featurizer.dim,)
+        assert features.sum() > 0
+
+    def test_featurizer_distinguishes_plans(self, tiny_database, tiny_query, rng):
+        from repro.plans.sampling import random_join_tree
+
+        featurizer = PlanFeaturizer(tiny_database)
+        a = featurizer.featurize(tiny_query, tiny_database.plan(tiny_query))
+        b = featurizer.featurize(tiny_query, random_join_tree(tiny_query, rng))
+        assert not np.array_equal(a, b)
+
+    def test_optimize_runs_within_budget(self, tiny_database, tiny_query):
+        balsa = BalsaOptimizer(tiny_database, BalsaConfig(seed=0, retrain_every=5, training_epochs=10))
+        result = balsa.optimize(tiny_query, max_executions=25)
+        assert result.num_executions <= 25
+        assert result.best_latency > 0
+
+    def test_seeded_with_bao_plans(self, tiny_database, tiny_query):
+        balsa = BalsaOptimizer(tiny_database, BalsaConfig(seed=0))
+        result = balsa.optimize(tiny_query, max_executions=20)
+        assert result.sources().get("init:bao", 0) >= 1
+
+    def test_uses_constant_timeout_multiplier(self, tiny_database, tiny_query):
+        config = BalsaConfig(seed=0, timeout_multiplier=1.5)
+        result = BalsaOptimizer(tiny_database, config).optimize(tiny_query, max_executions=20)
+        best_so_far = None
+        for record in result.trace:
+            if record.timeout is not None and best_so_far is not None:
+                assert record.timeout <= 1.5 * best_so_far + 1e-9
+            if not record.censored:
+                best_so_far = record.latency if best_so_far is None else min(best_so_far, record.latency)
+
+
+class TestLimeQO:
+    def test_matrix_completion_recovers_low_rank(self, rng):
+        u = rng.standard_normal((12, 2))
+        v = rng.standard_normal((9, 2))
+        matrix = u @ v.T
+        observed = rng.random((12, 9)) < 0.6
+        completed = complete_matrix(matrix, observed, rank=2, iterations=30, regularization=0.01)
+        error = np.abs(completed[~observed] - matrix[~observed]).mean()
+        assert error < 0.5
+
+    def test_optimize_workload_traces(self, tiny_database, tiny_query, tiny_three_table_query):
+        limeqo = LimeQOOptimizer(tiny_database, LimeQOConfig(rank=2, als_iterations=5))
+        results = limeqo.optimize_workload(
+            [tiny_query, tiny_three_table_query], max_executions=12
+        )
+        assert set(results) == {tiny_query.name, tiny_three_table_query.name}
+        total = sum(result.num_executions for result in results.values())
+        assert total <= 12
+        # Every query got at least its bootstrap execution.
+        assert all(result.num_executions >= 1 for result in results.values())
+
+    def test_limeqo_never_beats_bao_best(self, tiny_database, tiny_query):
+        """LimeQO's search space is the hint sets, so Bao's exhaustive best is its floor."""
+        bao_best = BaoOptimizer(tiny_database).optimize(tiny_query).best_latency
+        results = LimeQOOptimizer(tiny_database).optimize_workload([tiny_query], max_executions=60)
+        assert results[tiny_query.name].best_latency >= bao_best - 1e-9

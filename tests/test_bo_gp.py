@@ -1,0 +1,173 @@
+"""Tests for kernels, the exact GP and the censored GP."""
+
+import numpy as np
+import pytest
+
+from repro.bo.censored import (
+    censored_elbo_terms,
+    expected_log_survival,
+    tobit_log_likelihood,
+    truncated_normal_mean,
+)
+from repro.bo.gp import CensoredGP, ExactGP
+from repro.bo.kernels import Matern52Kernel, RBFKernel
+from repro.exceptions import ModelError
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel_cls", [RBFKernel, Matern52Kernel])
+    def test_diagonal_is_outputscale(self, kernel_cls, rng):
+        kernel = kernel_cls(lengthscale=0.5, outputscale=2.0)
+        x = rng.standard_normal((6, 3))
+        matrix = kernel(x, x)
+        assert np.allclose(np.diag(matrix), 2.0)
+        assert np.allclose(kernel.diag(x), 2.0)
+
+    @pytest.mark.parametrize("kernel_cls", [RBFKernel, Matern52Kernel])
+    def test_symmetry_and_psd(self, kernel_cls, rng):
+        kernel = kernel_cls()
+        x = rng.standard_normal((10, 4))
+        matrix = kernel(x, x)
+        assert np.allclose(matrix, matrix.T)
+        eigenvalues = np.linalg.eigvalsh(matrix + 1e-9 * np.eye(10))
+        assert (eigenvalues > -1e-8).all()
+
+    @pytest.mark.parametrize("kernel_cls", [RBFKernel, Matern52Kernel])
+    def test_decay_with_distance(self, kernel_cls):
+        kernel = kernel_cls(lengthscale=1.0)
+        near = kernel(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = kernel(np.array([[0.0]]), np.array([[3.0]]))[0, 0]
+        assert near > far
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ModelError):
+            RBFKernel(lengthscale=-1.0)
+        with pytest.raises(ModelError):
+            Matern52Kernel(outputscale=0.0)
+
+    def test_with_params(self):
+        kernel = RBFKernel().with_params(2.0, 3.0)
+        assert kernel.lengthscale == 2.0 and kernel.outputscale == 3.0
+
+
+class TestExactGP:
+    def objective(self, x):
+        return np.sin(3 * x).ravel()
+
+    def test_fit_and_interpolate(self, rng):
+        x = np.linspace(0, 2, 25).reshape(-1, 1)
+        y = self.objective(x)
+        gp = ExactGP().fit(x, y)
+        mean, std = gp.predict(x)
+        assert np.max(np.abs(mean - y)) < 0.2
+        assert (std >= 0).all()
+
+    def test_uncertainty_grows_away_from_data(self, rng):
+        x = np.linspace(0, 1, 15).reshape(-1, 1)
+        gp = ExactGP().fit(x, self.objective(x))
+        _, std_in = gp.predict(np.array([[0.5]]))
+        _, std_out = gp.predict(np.array([[3.0]]))
+        assert std_out[0] > std_in[0]
+
+    def test_posterior_samples_shape_and_spread(self, rng):
+        x = np.linspace(0, 1, 10).reshape(-1, 1)
+        gp = ExactGP().fit(x, self.objective(x))
+        samples = gp.posterior_samples(np.array([[0.2], [2.0]]), 64, rng)
+        assert samples.shape == (64, 2)
+        assert samples[:, 1].std() > samples[:, 0].std()
+
+    def test_fantasize_pulls_mean(self, rng):
+        x = np.linspace(0, 1, 10).reshape(-1, 1)
+        gp = ExactGP().fit(x, self.objective(x))
+        target = np.array([[2.0]])
+        before, _ = gp.predict(target)
+        after, _ = gp.fantasize(target[0], 5.0, target)
+        assert after[0] > before[0]
+
+    def test_requires_fit(self):
+        with pytest.raises(ModelError):
+            ExactGP().predict(np.array([[0.0]]))
+
+    def test_zero_observations_rejected(self):
+        with pytest.raises(ModelError):
+            ExactGP().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ModelError):
+            ExactGP().fit(np.zeros((3, 1)), np.zeros(2))
+
+    def test_num_observations(self, rng):
+        x = rng.standard_normal((7, 2))
+        gp = ExactGP().fit(x, rng.standard_normal(7))
+        assert gp.num_observations == 7
+
+
+class TestCensoredHelpers:
+    def test_truncated_normal_mean_above_threshold(self):
+        mean = truncated_normal_mean(np.array([0.0]), np.array([1.0]), np.array([1.0]))
+        assert mean[0] > 1.0
+
+    def test_truncated_normal_mean_far_below_threshold(self):
+        mean = truncated_normal_mean(np.array([0.0]), np.array([1.0]), np.array([-10.0]))
+        assert mean[0] == pytest.approx(0.0, abs=0.01)
+
+    def test_tobit_likelihood_censoring_increases_likelihood_above(self):
+        values = np.array([1.0])
+        censored = np.array([True])
+        high_mean = tobit_log_likelihood(values, censored, np.array([3.0]), np.array([1.0]))
+        low_mean = tobit_log_likelihood(values, censored, np.array([-3.0]), np.array([1.0]))
+        assert high_mean > low_mean
+
+    def test_expected_log_survival_monotone_in_mean(self):
+        threshold = np.array([0.0, 0.0])
+        values = expected_log_survival(np.array([2.0, -2.0]), np.array([0.5, 0.5]), threshold, 0.5)
+        assert values[0] > values[1]
+
+    def test_censored_elbo_combines_terms(self):
+        mu = np.array([0.0, 1.0])
+        var = np.array([0.1, 0.1])
+        values = np.array([0.0, 0.5])
+        both = censored_elbo_terms(mu, var, values, np.array([False, True]), noise_std=0.3)
+        uncensored_only = censored_elbo_terms(mu[:1], var[:1], values[:1], np.array([False]), 0.3)
+        assert both < uncensored_only + 1.0  # censored term adds a (negative) log-survival
+
+
+class TestCensoredGP:
+    def test_censoring_raises_posterior_mean(self, rng):
+        x = np.linspace(0, 1, 12).reshape(-1, 1)
+        y = np.zeros(12)
+        censored = np.zeros(12, dtype=bool)
+        # The last three observations are "at least 2.0" (timed out at 2.0).
+        y[-3:] = 2.0
+        censored[-3:] = True
+        gp = CensoredGP().fit(x, y, censored)
+        mean, _ = gp.predict(x[-3:])
+        assert (mean > 1.0).all()
+
+    def test_no_censoring_matches_exact_gp(self, rng):
+        x = np.linspace(0, 1, 10).reshape(-1, 1)
+        y = np.sin(x).ravel()
+        censored = np.zeros(10, dtype=bool)
+        censored_gp = CensoredGP().fit(x, y, censored)
+        exact = ExactGP().fit(x, y)
+        mean_c, _ = censored_gp.predict(x)
+        mean_e, _ = exact.predict(x)
+        assert np.allclose(mean_c, mean_e, atol=0.05)
+
+    def test_fantasize_censored(self, rng):
+        x = np.linspace(0, 1, 10).reshape(-1, 1)
+        gp = CensoredGP().fit(x, np.sin(x).ravel(), np.zeros(10, dtype=bool))
+        point = np.array([[0.5]])
+        before, _ = gp.predict(point)
+        after, _ = gp.fantasize(point[0], 3.0, point)
+        assert after[0] > before[0]
+
+    def test_counts(self, rng):
+        x = rng.standard_normal((6, 2))
+        gp = CensoredGP().fit(x, rng.standard_normal(6), np.array([True, False, False, True, False, False]))
+        assert gp.num_observations == 6
+        assert gp.num_censored == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            CensoredGP().fit(np.zeros((3, 1)), np.zeros(3), np.zeros(2, dtype=bool))

@@ -1,0 +1,219 @@
+"""Tests for the censored SVGP, trust regions, acquisition functions and the BO engine."""
+
+import numpy as np
+import pytest
+
+from repro.bo.acquisition import expected_improvement, lower_confidence_bound, thompson_sample
+from repro.bo.loop import BOEngine, BOEngineConfig
+from repro.bo.svgp import CensoredSVGP, SVGPConfig
+from repro.bo.turbo import TrustRegion, global_candidates
+from repro.exceptions import ModelError, OptimizationError
+
+
+def branin_like(x: np.ndarray) -> np.ndarray:
+    x = np.atleast_2d(x)
+    return ((x[:, 0] - 0.3) ** 2 + (x[:, 1] - 0.7) ** 2) * 5.0
+
+
+class TestCensoredSVGP:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((60, 2))
+        y = branin_like(x)
+        censored = np.zeros(60, dtype=bool)
+        model = CensoredSVGP(config=SVGPConfig(num_inducing=24, train_steps=120))
+        model.fit(x, y, censored)
+        return model, x, y
+
+    def test_predict_tracks_objective(self, fitted):
+        model, x, y = fitted
+        mean, std = model.predict(x)
+        correlation = np.corrcoef(mean, y)[0, 1]
+        assert correlation > 0.7
+        assert (std > 0).all()
+
+    def test_posterior_samples_shape(self, fitted, rng):
+        model, x, _ = fitted
+        samples = model.posterior_samples(x[:10], 32, rng)
+        assert samples.shape == (32, 10)
+        assert samples.std() > 0
+
+    def test_censored_observations_push_mean_up(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((40, 2))
+        y = np.full(40, 1.0)
+        censored = np.zeros(40, dtype=bool)
+        censored[:20] = True
+        y[:20] = 3.0  # "at least 3"
+        model = CensoredSVGP(config=SVGPConfig(num_inducing=20, train_steps=150))
+        model.fit(x, y, censored)
+        mean_censored, _ = model.predict(x[:20])
+        mean_plain, _ = model.predict(x[20:])
+        assert mean_censored.mean() > mean_plain.mean()
+
+    def test_fantasize_restores_state(self, fitted):
+        model, x, _ = fitted
+        before_mean, before_std = model.predict(x[:5])
+        model.fantasize(x[0], censor_level=10.0, x_query=x[:5], steps=10)
+        after_mean, after_std = model.predict(x[:5])
+        assert np.allclose(before_mean, after_mean)
+        assert np.allclose(before_std, after_std)
+
+    def test_elbo_finite(self, fitted):
+        model, _, _ = fitted
+        assert np.isfinite(model.elbo())
+
+    def test_requires_fit(self):
+        with pytest.raises(ModelError):
+            CensoredSVGP().predict(np.zeros((1, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            CensoredSVGP().fit(np.zeros((0, 2)), np.zeros(0), np.zeros(0, dtype=bool))
+
+
+class TestTrustRegion:
+    def test_expands_after_successes(self):
+        region = TrustRegion(dim=4, success_tolerance=2)
+        initial = region.length
+        region.update(True)
+        region.update(True)
+        assert region.length > initial
+
+    def test_shrinks_after_failures(self):
+        region = TrustRegion(dim=4, failure_tolerance=2)
+        initial = region.length
+        region.update(False)
+        region.update(False)
+        assert region.length < initial
+
+    def test_restart_on_collapse(self):
+        region = TrustRegion(dim=2, failure_tolerance=1, length=0.01, length_min=0.02)
+        region.update(False)
+        assert region.restarts == 1
+        assert region.length == pytest.approx(0.8)
+
+    def test_counters_reset_on_opposite_outcome(self):
+        region = TrustRegion(dim=3, success_tolerance=3)
+        region.update(True)
+        region.update(False)
+        assert region.success_count == 0
+        assert region.failure_count == 1
+
+    def test_candidates_inside_region_and_cube(self, rng):
+        region = TrustRegion(dim=6, length=0.4)
+        center = np.full(6, 0.5)
+        candidates = region.candidates(center, 100, rng)
+        assert candidates.shape == (100, 6)
+        assert (candidates >= 0).all() and (candidates <= 1).all()
+        assert (np.abs(candidates - center) <= 0.2 + 1e-12).all()
+
+    def test_candidates_perturb_at_least_one_dim(self, rng):
+        region = TrustRegion(dim=30, length=0.5)
+        center = np.full(30, 0.5)
+        candidates = region.candidates(center, 50, rng, perturbation_probability=0.01)
+        changed = (candidates != center).sum(axis=1)
+        assert (changed >= 1).all()
+
+    def test_global_candidates_cover_cube(self, rng):
+        candidates = global_candidates(3, 200, rng)
+        assert candidates.min() >= 0 and candidates.max() <= 1
+        assert candidates.std() > 0.2
+
+
+class TestAcquisition:
+    class _FakeSurrogate:
+        def predict(self, x):
+            x = np.atleast_2d(x)
+            return x[:, 0], np.full(len(x), 0.1)
+
+        def posterior_samples(self, x, count, rng):
+            mean, std = self.predict(x)
+            return mean[None, :] + rng.standard_normal((count, len(mean))) * std
+
+    def test_thompson_prefers_low_mean(self, rng):
+        surrogate = self._FakeSurrogate()
+        candidates = np.array([[0.9, 0.0], [0.1, 0.0], [0.5, 0.0]])
+        picks = [thompson_sample(surrogate, candidates, rng) for _ in range(20)]
+        assert max(set(picks), key=picks.count) == 1
+
+    def test_expected_improvement_prefers_low_mean(self):
+        surrogate = self._FakeSurrogate()
+        candidates = np.array([[0.9, 0.0], [0.1, 0.0]])
+        ei = expected_improvement(surrogate, candidates, best_value=0.5)
+        assert ei[1] > ei[0]
+
+    def test_lcb(self):
+        surrogate = self._FakeSurrogate()
+        scores = lower_confidence_bound(surrogate, np.array([[0.5, 0.0]]), kappa=2.0)
+        assert scores[0] == pytest.approx(0.5 - 0.2)
+
+
+class TestBOEngine:
+    def make_engine(self, **kwargs):
+        return BOEngine(np.zeros(2), np.ones(2), config=BOEngineConfig(**kwargs), seed=0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(OptimizationError):
+            BOEngine(np.ones(2), np.zeros(2))
+
+    def test_invalid_surrogate_rejected(self):
+        with pytest.raises(OptimizationError):
+            BOEngineConfig(surrogate="nope")
+
+    def test_add_and_best(self):
+        engine = self.make_engine()
+        engine.add_observation(np.array([0.2, 0.2]), 1.0)
+        engine.add_observation(np.array([0.8, 0.8]), 0.5)
+        engine.add_observation(np.array([0.5, 0.5]), 2.0, censored=True)
+        assert engine.best_value() == pytest.approx(0.5)
+        assert np.allclose(engine.best_point(), [0.8, 0.8])
+        assert engine.num_observations == 3
+
+    def test_wrong_dimension_rejected(self):
+        engine = self.make_engine()
+        with pytest.raises(OptimizationError):
+            engine.add_observation(np.array([0.1]), 1.0)
+
+    def test_fit_requires_observations(self):
+        with pytest.raises(OptimizationError):
+            self.make_engine().fit()
+
+    def test_suggest_within_bounds(self, rng):
+        engine = self.make_engine(num_candidates=64)
+        for _ in range(6):
+            x = engine.suggest()
+            assert (x >= 0).all() and (x <= 1).all()
+            engine.add_observation(x, float(branin_like(x)[0]))
+
+    def test_optimization_progresses_toward_minimum(self):
+        engine = self.make_engine(num_candidates=128)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            x = rng.random(2)
+            engine.add_observation(x, float(branin_like(x)[0]))
+        for _ in range(25):
+            x = engine.suggest()
+            engine.add_observation(x, float(branin_like(x)[0]))
+        best = engine.best_point()
+        assert np.linalg.norm(best - np.array([0.3, 0.7])) < 0.35
+
+    def test_global_mode(self):
+        engine = self.make_engine(use_trust_region=False, num_candidates=32)
+        engine.add_observation(np.array([0.5, 0.5]), 1.0)
+        engine.add_observation(np.array([0.4, 0.4]), 0.8)
+        x = engine.suggest()
+        assert x.shape == (2,)
+
+    def test_fantasize_censored(self):
+        engine = self.make_engine()
+        rng = np.random.default_rng(2)
+        for _ in range(8):
+            x = rng.random(2)
+            engine.add_observation(x, float(branin_like(x)[0]))
+        point = np.array([0.5, 0.5])
+        before_mean, _ = engine.predict(point)
+        mean, std = engine.fantasize_censored(point, censor_level=10.0)
+        assert mean > before_mean[0]
+        assert std >= 0

@@ -1,0 +1,156 @@
+"""Tests for the schema catalog."""
+
+import networkx as nx
+import pytest
+
+from repro.db.catalog import (
+    Column,
+    ForeignKey,
+    Index,
+    Schema,
+    Table,
+    alias_name,
+    alias_ordinal,
+    alias_table,
+)
+from repro.exceptions import CatalogError
+
+
+def make_schema() -> Schema:
+    tables = [
+        Table("a", [Column("id"), Column("x")]),
+        Table("b", [Column("id"), Column("a_id"), Column("y", "float")]),
+        Table("c", [Column("id"), Column("b_id")]),
+    ]
+    fks = [ForeignKey("b", "a_id", "a", "id"), ForeignKey("c", "b_id", "b", "id")]
+    return Schema("test", tables, fks)
+
+
+class TestColumn:
+    def test_valid_dtypes(self):
+        for dtype in ("int", "float", "date"):
+            assert Column("c", dtype).dtype == dtype
+
+    def test_invalid_dtype_raises(self):
+        with pytest.raises(CatalogError):
+            Column("c", "text")
+
+
+class TestTable:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", [Column("id"), Column("id")])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            Table("t", [Column("a")], primary_key="id")
+
+    def test_column_lookup(self):
+        table = Table("t", [Column("id"), Column("v")])
+        assert table.column("v").name == "v"
+        assert table.has_column("id")
+        assert not table.has_column("missing")
+        with pytest.raises(CatalogError):
+            table.column("missing")
+
+    def test_column_names(self):
+        table = Table("t", [Column("id"), Column("v")])
+        assert table.column_names == ["id", "v"]
+
+
+class TestSchema:
+    def test_table_lookup(self):
+        schema = make_schema()
+        assert schema.table("a").name == "a"
+        assert schema.has_table("b")
+        assert not schema.has_table("zzz")
+        with pytest.raises(CatalogError):
+            schema.table("zzz")
+
+    def test_duplicate_table_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema("s", [Table("a", [Column("id")]), Table("a", [Column("id")])])
+
+    def test_foreign_key_validation(self):
+        with pytest.raises(CatalogError):
+            Schema(
+                "s",
+                [Table("a", [Column("id")])],
+                [ForeignKey("a", "missing", "a", "id")],
+            )
+
+    def test_len_and_iter(self):
+        schema = make_schema()
+        assert len(schema) == 3
+        assert {table.name for table in schema} == {"a", "b", "c"}
+        assert schema.table_names == ["a", "b", "c"]
+
+    def test_join_columns(self):
+        schema = make_schema()
+        assert schema.join_columns("b", "a") == [("a_id", "id")]
+        assert schema.join_columns("a", "b") == [("id", "a_id")]
+        assert schema.join_columns("a", "c") == []
+
+
+class TestIndexes:
+    def test_add_index_idempotent(self):
+        schema = make_schema()
+        first = schema.add_index("b", "a_id")
+        second = schema.add_index("b", "a_id")
+        assert first is second
+        assert schema.has_index("b", "a_id")
+        assert not schema.has_index("a", "x")
+
+    def test_add_index_unknown_column(self):
+        schema = make_schema()
+        with pytest.raises(CatalogError):
+            schema.add_index("b", "missing")
+
+    def test_index_all_join_keys(self):
+        schema = make_schema()
+        schema.index_all_join_keys()
+        assert schema.has_index("b", "a_id")
+        assert schema.has_index("a", "id")
+        assert schema.has_index("c", "b_id")
+        assert schema.has_index("b", "id")
+
+    def test_index_name(self):
+        assert Index("t", "c").name == "idx_t_c"
+
+
+class TestReferenceGraphs:
+    def test_reference_graph_shape(self):
+        graph = make_schema().reference_graph()
+        assert set(graph.nodes) == {"a", "b", "c"}
+        assert graph.has_edge("a", "b") and graph.has_edge("b", "c")
+        assert not graph.has_edge("a", "c")
+
+    def test_alias_k_graph_nodes(self):
+        graph = make_schema().alias_k_graph(2)
+        assert graph.number_of_nodes() == 6
+        assert graph.has_node("a#1") and graph.has_node("a#2")
+
+    def test_alias_k_graph_edges_carry_fk(self):
+        graph = make_schema().alias_k_graph(1)
+        fk = graph.edges["a#1", "b#1"]["fk"]
+        assert fk.table == "b" and fk.ref_table == "a"
+
+    def test_alias_k_graph_connected(self):
+        graph = make_schema().alias_k_graph(2)
+        assert nx.is_connected(graph)
+
+    def test_alias_k_invalid(self):
+        with pytest.raises(CatalogError):
+            make_schema().alias_k_graph(0)
+
+
+class TestAliasHelpers:
+    def test_round_trip(self):
+        alias = alias_name("title", 2)
+        assert alias == "title#2"
+        assert alias_table(alias) == "title"
+        assert alias_ordinal(alias) == 2
+
+    def test_plain_alias(self):
+        assert alias_table("title") == "title"
+        assert alias_ordinal("title") == 1

@@ -1,0 +1,109 @@
+"""Integration tests for the BayesQO optimizer on the tiny database."""
+
+import pytest
+
+from repro.core import BayesQO, BayesQOConfig, reoptimize
+from repro.core.cache import PlanCache
+from repro.exceptions import OptimizationError
+
+
+@pytest.fixture(scope="module")
+def bayes(tiny_database, tiny_schema_model):
+    config = BayesQOConfig(max_executions=30, num_candidates=64, seed=0)
+    return BayesQO(tiny_database, tiny_schema_model, config=config)
+
+
+@pytest.fixture(scope="module")
+def run(bayes, tiny_query):
+    return bayes.optimize(tiny_query)
+
+
+class TestBayesQORun:
+    def test_budget_respected(self, run):
+        assert 1 <= run.num_executions <= 30
+
+    def test_best_plan_valid(self, run, tiny_query):
+        run.best_plan.validate_for_query(tiny_query)
+        assert run.best_latency > 0
+
+    def test_initialization_contains_bao_plans(self, run):
+        assert run.sources().get("init:bao", 0) >= 1
+
+    def test_bo_phase_ran(self, run):
+        assert run.sources().get("bo", 0) >= 1
+
+    def test_never_worse_than_bao_best(self, bayes, run, tiny_query):
+        from repro.baselines import BaoOptimizer
+
+        bao_best = BaoOptimizer(bayes.database).optimize(tiny_query).best_latency
+        assert run.best_latency <= bao_best + 1e-9
+
+    def test_cumulative_cost_monotone(self, run):
+        costs = [record.cumulative_cost for record in run.trace]
+        assert costs == sorted(costs)
+
+    def test_overhead_tracked(self, bayes):
+        breakdown = bayes.overhead.per_iteration()
+        assert set(breakdown) == {
+            "surrogate_update", "calculate_timeout", "vae_sampling", "generate_candidates",
+        }
+        assert all(value >= 0 for value in breakdown.values())
+
+    def test_time_budget_stops_early(self, bayes, tiny_query):
+        result = bayes.optimize(tiny_query, time_budget=0.001)
+        assert result.total_cost >= 0.001 or result.num_executions <= 2
+
+    def test_three_table_query(self, bayes, tiny_three_table_query):
+        result = bayes.optimize(tiny_three_table_query, max_executions=15)
+        result.best_plan.validate_for_query(tiny_three_table_query)
+
+    def test_empty_initialization_rejected(self, bayes, tiny_query):
+        with pytest.raises(OptimizationError):
+            bayes.optimize(tiny_query, initial_plans=[])
+
+
+class TestCacheAndReoptimization:
+    def test_result_feeds_plan_cache(self, run, tiny_query):
+        cache = PlanCache()
+        entry = cache.store(tiny_query, run)
+        assert entry.offline_latency == pytest.approx(run.best_latency)
+
+    def test_reoptimize_with_past_plan(self, bayes, run, tiny_query):
+        outcome = reoptimize(bayes, tiny_query, run.best_plan, max_executions=15)
+        assert outcome.past_plan_latency > 0
+        assert outcome.best_latency <= outcome.past_plan_latency + 1e-9
+        sources = outcome.result.sources()
+        assert "init:past_plan" in sources
+
+    def test_reoptimize_without_bao(self, bayes, run, tiny_query):
+        outcome = reoptimize(bayes, tiny_query, run.best_plan, max_executions=8, include_bao=False)
+        assert outcome.result.num_executions <= 8
+
+
+class TestConfigVariants:
+    @pytest.mark.parametrize("strategy", ["none", "percentile", "best_seen", "multiplier"])
+    def test_timeout_strategies_run(self, tiny_database, tiny_schema_model, tiny_three_table_query, strategy):
+        config = BayesQOConfig(max_executions=12, timeout_strategy=strategy, seed=1)
+        optimizer = BayesQO(tiny_database, tiny_schema_model, config=config)
+        result = optimizer.optimize(tiny_three_table_query)
+        assert result.num_executions >= 1
+
+    def test_global_bo_variant(self, tiny_database, tiny_schema_model, tiny_three_table_query):
+        config = BayesQOConfig(max_executions=12, use_trust_region=False, seed=1)
+        optimizer = BayesQO(tiny_database, tiny_schema_model, config=config)
+        result = optimizer.optimize(tiny_three_table_query)
+        assert result.num_executions >= 1
+
+    def test_random_initialization_variant(self, tiny_database, tiny_schema_model, tiny_three_table_query):
+        config = BayesQOConfig(
+            max_executions=12, initialization="random", num_initial_plans=5, seed=1
+        )
+        optimizer = BayesQO(tiny_database, tiny_schema_model, config=config)
+        result = optimizer.optimize(tiny_three_table_query)
+        assert result.sources().get("init:random", 0) >= 1
+
+    def test_no_learning_from_timeouts_variant(self, tiny_database, tiny_schema_model, tiny_three_table_query):
+        config = BayesQOConfig(max_executions=12, learn_from_timeouts=False, seed=2)
+        optimizer = BayesQO(tiny_database, tiny_schema_model, config=config)
+        result = optimizer.optimize(tiny_three_table_query)
+        assert result.num_executions >= 1

@@ -1,0 +1,92 @@
+"""Tests for the timeout selection policies (Section 4.3.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bo.loop import BOEngine
+from repro.core.timeout import (
+    BestSeenTimeout,
+    MultiplierTimeout,
+    NoTimeout,
+    PercentileTimeout,
+    UncertaintyTimeout,
+    build_timeout_policy,
+)
+from repro.exceptions import OptimizationError
+
+
+class TestSimplePolicies:
+    def test_no_timeout(self):
+        assert NoTimeout().select(None, None, 1.0, [1.0, 2.0]) is None
+
+    def test_best_seen(self):
+        policy = BestSeenTimeout(fallback=99.0)
+        assert policy.select(None, None, None, []) == 99.0
+        assert policy.select(None, None, 2.5, [2.5, 4.0]) == 2.5
+
+    def test_percentile(self):
+        policy = PercentileTimeout(percentile=50.0, fallback=7.0)
+        assert policy.select(None, None, None, []) == 7.0
+        assert policy.select(None, None, 1.0, [1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_zeroth_percentile_equals_best_seen(self):
+        policy = PercentileTimeout(percentile=0.0)
+        latencies = [3.0, 1.5, 9.0]
+        assert policy.select(None, None, 1.5, latencies) == pytest.approx(1.5)
+
+    def test_multiplier(self):
+        policy = MultiplierTimeout(multiplier=1.5)
+        assert policy.select(None, None, 2.0, [2.0]) == pytest.approx(3.0)
+
+    def test_factory(self):
+        assert isinstance(build_timeout_policy("none"), NoTimeout)
+        assert isinstance(build_timeout_policy("uncertainty"), UncertaintyTimeout)
+        assert isinstance(build_timeout_policy("percentile"), PercentileTimeout)
+        assert isinstance(build_timeout_policy("best_seen"), BestSeenTimeout)
+        assert isinstance(build_timeout_policy("multiplier"), MultiplierTimeout)
+        with pytest.raises(OptimizationError):
+            build_timeout_policy("nope")
+
+
+class TestUncertaintyPolicy:
+    def make_engine(self, num_points: int = 12) -> BOEngine:
+        engine = BOEngine(np.zeros(2), np.ones(2), seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(num_points):
+            x = rng.random(2)
+            value = float((x**2).sum())  # log-latency surrogate target
+            engine.add_observation(x, value)
+        engine.fit()
+        return engine
+
+    def test_fallback_without_best(self):
+        policy = UncertaintyTimeout(fallback=42.0)
+        assert policy.select(None, None, None, []) == 42.0
+
+    def test_cap_without_enough_observations(self):
+        engine = BOEngine(np.zeros(2), np.ones(2), seed=0)
+        engine.add_observation(np.array([0.1, 0.1]), 0.0)
+        policy = UncertaintyTimeout(max_multiplier=8.0)
+        assert policy.select(engine, np.array([0.5, 0.5]), 2.0, [2.0]) == pytest.approx(16.0)
+
+    def test_timeout_within_bounds(self):
+        engine = self.make_engine()
+        policy = UncertaintyTimeout(kappa=1.0, max_multiplier=16.0)
+        best_latency = 1.0
+        timeout = policy.select(engine, np.array([0.9, 0.9]), best_latency, [best_latency])
+        assert best_latency <= timeout <= 16.0 * best_latency + 1e-6
+
+    def test_larger_kappa_never_shrinks_timeout(self):
+        engine = self.make_engine()
+        candidate = np.array([0.6, 0.6])
+        small = UncertaintyTimeout(kappa=0.1, max_multiplier=16.0).select(engine, candidate, 1.0, [1.0])
+        large = UncertaintyTimeout(kappa=3.0, max_multiplier=16.0).select(engine, candidate, 1.0, [1.0])
+        assert large >= small - 1e-9
+
+    def test_timeout_is_positive_and_finite(self):
+        engine = self.make_engine()
+        policy = UncertaintyTimeout()
+        timeout = policy.select(engine, np.array([0.2, 0.8]), 0.5, [0.5, 0.7])
+        assert math.isfinite(timeout) and timeout > 0

@@ -1,0 +1,83 @@
+"""Tests for the operator cost model."""
+
+import pytest
+
+from repro.db.cost import (
+    CostParams,
+    hash_join_cost,
+    index_scan_cost,
+    join_cost,
+    merge_join_cost,
+    nested_loop_cost,
+    seq_scan_cost,
+)
+from repro.plans.jointree import JoinOp
+
+
+class TestScanCosts:
+    def test_seq_scan_linear(self):
+        assert seq_scan_cost(2000) == pytest.approx(2 * seq_scan_cost(1000))
+
+    def test_index_scan_cheaper_when_selective(self):
+        table_rows = 100_000
+        assert index_scan_cost(table_rows, 10) < seq_scan_cost(table_rows)
+
+    def test_index_scan_more_expensive_when_unselective(self):
+        table_rows = 100_000
+        assert index_scan_cost(table_rows, table_rows) > seq_scan_cost(table_rows)
+
+    def test_negative_rows_clamped(self):
+        assert seq_scan_cost(-5) == 0.0
+
+
+class TestJoinCosts:
+    def test_hash_join_linear_in_inputs(self):
+        small = hash_join_cost(1000, 1000, 100)
+        large = hash_join_cost(10_000, 10_000, 100)
+        assert 5 < large / small < 15
+
+    def test_nested_loop_quadratic_without_index(self):
+        small = nested_loop_cost(1000, 1000, 0, inner_indexed=False, inner_table_rows=0)
+        large = nested_loop_cost(10_000, 10_000, 0, inner_indexed=False, inner_table_rows=0)
+        assert large / small == pytest.approx(100, rel=0.01)
+
+    def test_indexed_nested_loop_much_cheaper(self):
+        plain = nested_loop_cost(10_000, 50_000, 10_000, inner_indexed=False, inner_table_rows=50_000)
+        indexed = nested_loop_cost(10_000, 50_000, 10_000, inner_indexed=True, inner_table_rows=50_000)
+        assert indexed < plain / 20
+
+    def test_merge_join_includes_sort(self):
+        no_sort = merge_join_cost(1, 1, 0)
+        with_sort = merge_join_cost(100_000, 100_000, 0)
+        assert with_sort > no_sort
+
+    def test_hash_beats_nested_loop_on_large_inputs(self):
+        rows = 50_000
+        assert hash_join_cost(rows, rows, rows) < nested_loop_cost(
+            rows, rows, rows, inner_indexed=False, inner_table_rows=rows
+        )
+
+    def test_output_cost_counted(self):
+        base = hash_join_cost(1000, 1000, 0)
+        with_output = hash_join_cost(1000, 1000, 1_000_000)
+        assert with_output > base
+
+    def test_dispatch_matches_specific_functions(self):
+        args = dict(outer_rows=500.0, inner_rows=700.0, output_rows=50.0)
+        assert join_cost(JoinOp.HASH, **args) == pytest.approx(hash_join_cost(**args))
+        assert join_cost(JoinOp.MERGE, **args) == pytest.approx(merge_join_cost(**args))
+        assert join_cost(JoinOp.NESTED_LOOP, **args, inner_indexed=False, inner_table_rows=0) == (
+            pytest.approx(nested_loop_cost(**args, inner_indexed=False, inner_table_rows=0))
+        )
+
+    def test_custom_params_scale_costs(self):
+        cheap = CostParams(seq_row=1e-9)
+        assert seq_scan_cost(1000, cheap) < seq_scan_cost(1000)
+
+    def test_dynamic_range_spans_orders_of_magnitude(self):
+        # A bad plan (cross-join-sized nested loop) must be vastly slower than a
+        # good plan (hash join) over the same inputs: this is the property the
+        # timeout machinery exists for.
+        good = hash_join_cost(20_000, 20_000, 20_000)
+        bad = nested_loop_cost(20_000, 20_000, 20_000, inner_indexed=False, inner_table_rows=20_000)
+        assert bad / good > 50

@@ -1,0 +1,117 @@
+"""Tests for the default (System R style) plan optimizer."""
+
+import pytest
+
+from repro.db.optimizer import PlanOptimizer
+from repro.db.query import FilterPredicate, JoinPredicate, Query, TableRef
+from repro.exceptions import QueryError
+from repro.plans.hints import DEFAULT_HINT_SET, HintSet
+from repro.plans.jointree import JOIN_OPS, JoinOp, JoinTree
+
+
+@pytest.fixture()
+def optimizer(tiny_database):
+    return PlanOptimizer(tiny_database.schema, tiny_database.stats)
+
+
+class TestPlanning:
+    def test_plan_covers_query(self, optimizer, tiny_query):
+        plan = optimizer.plan(tiny_query)
+        plan.validate_for_query(tiny_query)
+        assert plan.num_joins == tiny_query.num_tables - 1
+
+    def test_single_table_query(self, optimizer):
+        query = Query("one", [TableRef("customer#1", "customer")], [])
+        plan = optimizer.plan(query)
+        assert plan.is_leaf
+
+    def test_empty_query_rejected(self, optimizer):
+        with pytest.raises(QueryError):
+            optimizer.plan(Query("zero", [], []))
+
+    def test_plan_has_no_cross_joins_for_connected_query(self, optimizer, tiny_query):
+        plan = optimizer.plan(tiny_query)
+        assert plan.count_cross_joins(tiny_query) == 0
+
+    def test_plan_deterministic(self, optimizer, tiny_query):
+        first = optimizer.plan(tiny_query)
+        second = optimizer.plan(tiny_query)
+        assert first.canonical() == second.canonical()
+
+    def test_greedy_fallback_used_above_dp_limit(self, tiny_database, tiny_query):
+        small_limit = PlanOptimizer(tiny_database.schema, tiny_database.stats, dp_table_limit=2)
+        plan = small_limit.plan(tiny_query)
+        plan.validate_for_query(tiny_query)
+        assert plan.count_cross_joins(tiny_query) == 0
+
+    def test_disconnected_query_planned(self, optimizer):
+        query = Query(
+            "disc",
+            [TableRef("customer#1", "customer"), TableRef("product#1", "product")],
+            [],
+        )
+        plan = optimizer.plan(query)
+        plan.validate_for_query(query)
+
+
+class TestHints:
+    def test_hint_restricts_operators(self, optimizer, tiny_query):
+        for op in JOIN_OPS:
+            hint = HintSet(join_ops=frozenset([op]))
+            plan = optimizer.plan(tiny_query, hint)
+            assert set(plan.operators()) == {op}
+
+    def test_hinted_plan_never_cheaper_than_default(self, optimizer, tiny_query):
+        default_cost = optimizer.estimated_cost(tiny_query, optimizer.plan(tiny_query))
+        for op in JOIN_OPS:
+            hint = HintSet(join_ops=frozenset([op]))
+            hinted = optimizer.plan(tiny_query, hint)
+            assert optimizer.estimated_cost(tiny_query, hinted, hint) >= default_cost - 1e-9
+
+    def test_different_hints_can_change_the_plan(self, optimizer, tiny_query):
+        plans = set()
+        for op in JOIN_OPS:
+            hint = HintSet(join_ops=frozenset([op]))
+            plans.add(optimizer.plan(tiny_query, hint).canonical())
+        assert len(plans) >= 2
+
+
+class TestCostEstimates:
+    def test_estimated_cost_positive(self, optimizer, tiny_query):
+        plan = optimizer.plan(tiny_query)
+        assert optimizer.estimated_cost(tiny_query, plan) > 0
+
+    def test_estimated_cost_validates_plan(self, optimizer, tiny_query):
+        wrong = JoinTree.left_deep(["orders#1", "customer#1"])
+        with pytest.raises(Exception):
+            optimizer.estimated_cost(tiny_query, wrong)
+
+    def test_default_plan_is_cost_minimal_among_alternatives(self, optimizer, tiny_query, rng):
+        from repro.plans.sampling import random_join_tree
+
+        chosen_cost = optimizer.estimated_cost(tiny_query, optimizer.plan(tiny_query))
+        for _ in range(20):
+            alternative = random_join_tree(tiny_query, rng)
+            assert optimizer.estimated_cost(tiny_query, alternative) >= chosen_cost - 1e-9
+
+    def test_filters_lower_estimated_cost(self, optimizer, tiny_database):
+        base = Query(
+            "nofilter",
+            [TableRef("orders#1", "orders"), TableRef("customer#1", "customer")],
+            [JoinPredicate("orders#1", "customer_id", "customer#1", "id")],
+        )
+        filtered = Query(
+            "filter",
+            base.table_refs,
+            base.join_predicates,
+            [FilterPredicate("customer#1", "region", "=", 1)],
+        )
+        plan = optimizer.plan(base)
+        assert optimizer.estimated_cost(filtered, plan) <= optimizer.estimated_cost(base, plan)
+
+    def test_scan_cost_respects_hint(self, optimizer, tiny_query):
+        no_index = HintSet(scan_methods=frozenset(["seq"]))
+        with_index = DEFAULT_HINT_SET
+        assert optimizer._scan_cost(tiny_query, "shipment#1", no_index) >= optimizer._scan_cost(
+            tiny_query, "shipment#1", with_index
+        )

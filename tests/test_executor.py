@@ -1,0 +1,159 @@
+"""Tests for the execution engine: correctness, latency model, timeouts."""
+
+import numpy as np
+import pytest
+
+from repro.db.executor import MAX_MATERIALIZED_ROWS, _expand_matches, _hash_match, _match_counts
+from repro.db.query import FilterPredicate, JoinPredicate, Query, TableRef
+from repro.exceptions import ExecutionError, PlanError
+from repro.plans.jointree import JoinOp, JoinTree
+from repro.plans.sampling import random_join_tree
+
+
+class TestHashMatch:
+    def test_simple_match(self):
+        left = np.array([1, 2, 3, 2])
+        right = np.array([2, 2, 4])
+        left_idx, right_idx = _hash_match(left, right)
+        pairs = set(zip(left_idx.tolist(), right_idx.tolist()))
+        assert pairs == {(1, 0), (1, 1), (3, 0), (3, 1)}
+
+    def test_no_matches(self):
+        left_idx, right_idx = _hash_match(np.array([1, 2]), np.array([3, 4]))
+        assert len(left_idx) == 0 and len(right_idx) == 0
+
+    def test_empty_inputs(self):
+        left_idx, _ = _hash_match(np.array([]), np.array([1]))
+        assert len(left_idx) == 0
+
+    def test_counts_total_matches_expansion(self, rng):
+        left = rng.integers(0, 50, 500)
+        right = rng.integers(0, 50, 700)
+        counts = _match_counts(left, right)
+        left_idx, right_idx = _expand_matches(counts)
+        assert counts.total == len(left_idx) == len(right_idx)
+        # Every reported pair actually matches.
+        assert np.all(left[left_idx] == right[right_idx])
+
+
+class TestExecution:
+    def test_default_plan_executes(self, tiny_database, tiny_query):
+        result = tiny_database.execute(tiny_query)
+        assert not result.timed_out
+        assert result.latency > 0
+        assert result.output_rows is not None and result.output_rows >= 0
+
+    def test_count_is_plan_invariant(self, tiny_database, tiny_query, rng):
+        """Every valid plan for the query must produce the same COUNT(*)."""
+        reference = tiny_database.execute(tiny_query).output_rows
+        for _ in range(8):
+            plan = random_join_tree(tiny_query, rng)
+            result = tiny_database.execute(tiny_query, plan, timeout=300.0)
+            if not result.timed_out:
+                assert result.output_rows == reference
+
+    def test_count_matches_bruteforce_on_small_join(self, tiny_database):
+        query = Query(
+            "pair",
+            [TableRef("orders#1", "orders"), TableRef("customer#1", "customer")],
+            [JoinPredicate("orders#1", "customer_id", "customer#1", "id")],
+            [FilterPredicate("customer#1", "region", "=", 1)],
+        )
+        result = tiny_database.execute(query)
+        orders = tiny_database.relations["orders"]
+        customers = tiny_database.relations["customer"]
+        keep = customers.column("id")[customers.column("region") == 1]
+        expected = int(np.isin(orders.column("customer_id"), keep).sum())
+        assert result.output_rows == expected
+
+    def test_latency_depends_on_operators(self, tiny_database, tiny_query):
+        plan = tiny_database.plan(tiny_query)
+        all_nl = plan.with_operators([JoinOp.NESTED_LOOP] * plan.num_joins)
+        all_hash = plan.with_operators([JoinOp.HASH] * plan.num_joins)
+        nl_latency = tiny_database.execute(tiny_query, all_nl, timeout=600.0).latency
+        hash_latency = tiny_database.execute(tiny_query, all_hash, timeout=600.0).latency
+        assert nl_latency != hash_latency
+
+    def test_latency_deterministic_without_noise(self, tiny_database, tiny_query):
+        plan = tiny_database.plan(tiny_query)
+        first = tiny_database.execute(tiny_query, plan).latency
+        second = tiny_database.execute(tiny_query, plan).latency
+        assert first == second
+
+    def test_invalid_plan_rejected(self, tiny_database, tiny_query):
+        wrong = JoinTree.left_deep(["orders#1", "customer#1"])
+        with pytest.raises(PlanError):
+            tiny_database.execute(tiny_query, wrong)
+
+    def test_breakdown_recorded(self, tiny_database, tiny_query):
+        result = tiny_database.execute(tiny_query)
+        assert "scan" in result.breakdown and "join" in result.breakdown
+        assert result.nodes_executed == 2 * tiny_query.num_tables - 1
+
+
+class TestTimeouts:
+    def test_tight_timeout_censors(self, tiny_database, tiny_query):
+        full = tiny_database.execute(tiny_query)
+        tight = tiny_database.execute(tiny_query, timeout=full.latency / 10.0)
+        assert tight.timed_out
+        assert tight.censored
+        assert tight.latency == pytest.approx(full.latency / 10.0)
+        assert tight.output_rows is None
+
+    def test_loose_timeout_does_not_censor(self, tiny_database, tiny_query):
+        full = tiny_database.execute(tiny_query)
+        loose = tiny_database.execute(tiny_query, timeout=full.latency * 10.0)
+        assert not loose.timed_out
+        assert loose.latency == pytest.approx(full.latency)
+
+    def test_censored_latency_equals_timeout(self, tiny_database, tiny_query):
+        result = tiny_database.execute(tiny_query, timeout=1e-6)
+        assert result.timed_out and result.latency == pytest.approx(1e-6)
+
+    def test_cross_join_plan_times_out(self, tiny_database):
+        query = Query(
+            "cross",
+            [TableRef("orders#1", "orders"), TableRef("shipment#1", "shipment")],
+            [],  # no join predicate: a forced cross join
+        )
+        plan = JoinTree.join(JoinTree.leaf("orders#1"), JoinTree.leaf("shipment#1"), JoinOp.NESTED_LOOP)
+        result = tiny_database.execute(query, plan, timeout=0.01)
+        assert result.timed_out
+
+    def test_work_cap_without_timeout_raises(self, tiny_database, monkeypatch):
+        import repro.db.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "MAX_MATERIALIZED_ROWS", 10)
+        query = Query(
+            "cap",
+            [TableRef("orders#1", "orders"), TableRef("customer#1", "customer")],
+            [JoinPredicate("orders#1", "customer_id", "customer#1", "id")],
+        )
+        with pytest.raises(ExecutionError):
+            tiny_database.execute(query)
+
+    def test_true_latency_raises_on_timeout_plans(self, tiny_database, tiny_query):
+        # true_latency refuses to report a latency for plans that cannot finish.
+        assert tiny_database.executor.true_latency(tiny_query, tiny_database.plan(tiny_query)) > 0
+
+
+class TestNoise:
+    def test_noise_is_deterministic_per_plan(self, tiny_schema, tiny_database, tiny_query):
+        from repro.db.executor import Executor
+
+        noisy = Executor(tiny_schema, tiny_database.relations, noise_sigma=0.2, seed=5)
+        plan = tiny_database.plan(tiny_query)
+        first = noisy.execute(tiny_query, plan).latency
+        second = noisy.execute(tiny_query, plan).latency
+        assert first == second
+
+    def test_noise_changes_latency(self, tiny_schema, tiny_database, tiny_query):
+        from repro.db.executor import Executor
+
+        clean = Executor(tiny_schema, tiny_database.relations, noise_sigma=0.0)
+        noisy = Executor(tiny_schema, tiny_database.relations, noise_sigma=0.3, seed=5)
+        plan = tiny_database.plan(tiny_query)
+        assert clean.execute(tiny_query, plan).latency != noisy.execute(tiny_query, plan).latency
+
+    def test_materialization_cap_is_large(self):
+        assert MAX_MATERIALIZED_ROWS >= 1_000_000

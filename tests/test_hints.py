@@ -1,0 +1,71 @@
+"""Tests for hint sets (the Bao steering knobs)."""
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.plans.hints import DEFAULT_HINT_SET, HintSet, bao_hint_sets, hint_set_by_name
+from repro.plans.jointree import JOIN_OPS, JoinOp
+
+
+class TestHintSet:
+    def test_default_enables_everything(self):
+        assert all(DEFAULT_HINT_SET.allows_join(op) for op in JOIN_OPS)
+        assert DEFAULT_HINT_SET.allows_seq_scan()
+        assert DEFAULT_HINT_SET.allows_index_scan()
+
+    def test_restricted_join_ops(self):
+        hint = HintSet(join_ops=frozenset([JoinOp.HASH]))
+        assert hint.allows_join(JoinOp.HASH)
+        assert not hint.allows_join(JoinOp.NESTED_LOOP)
+
+    def test_restricted_scans(self):
+        hint = HintSet(scan_methods=frozenset(["seq"]))
+        assert hint.allows_seq_scan()
+        assert not hint.allows_index_scan()
+        index_only = HintSet(scan_methods=frozenset(["index_only"]))
+        assert index_only.allows_index_scan()
+        assert not index_only.allows_seq_scan()
+
+    def test_empty_join_ops_rejected(self):
+        with pytest.raises(PlanError):
+            HintSet(join_ops=frozenset())
+
+    def test_empty_scans_rejected(self):
+        with pytest.raises(PlanError):
+            HintSet(scan_methods=frozenset())
+
+    def test_unknown_scan_rejected(self):
+        with pytest.raises(PlanError):
+            HintSet(scan_methods=frozenset(["bitmap"]))
+
+    def test_name_is_stable(self):
+        hint = HintSet(join_ops=frozenset([JoinOp.HASH, JoinOp.MERGE]))
+        assert "hash" in hint.name and "merge" in hint.name
+        assert str(hint) == hint.name
+
+
+class TestBaoHintSets:
+    def test_exactly_49(self):
+        # 7 non-empty join-op subsets x 7 non-empty scan subsets.
+        assert len(bao_hint_sets()) == 49
+
+    def test_all_distinct(self):
+        names = [hint.name for hint in bao_hint_sets()]
+        assert len(names) == len(set(names))
+
+    def test_first_is_all_enabled(self):
+        first = bao_hint_sets()[0]
+        assert first.join_ops == frozenset(JOIN_OPS)
+        assert len(first.scan_methods) == 3
+
+    def test_every_set_valid(self):
+        for hint in bao_hint_sets():
+            assert hint.join_ops and hint.scan_methods
+
+    def test_lookup_by_name(self):
+        target = bao_hint_sets()[5]
+        assert hint_set_by_name(target.name) == target
+
+    def test_lookup_unknown_name(self):
+        with pytest.raises(PlanError):
+            hint_set_by_name("nope")

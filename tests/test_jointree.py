@@ -1,0 +1,133 @@
+"""Tests for join trees."""
+
+import pytest
+
+from repro.db.query import JoinPredicate, Query, TableRef
+from repro.exceptions import PlanError
+from repro.plans.jointree import JOIN_OPS, JoinOp, JoinTree
+
+
+def chain_query(n: int = 4) -> Query:
+    refs = [TableRef(f"t{i}#1", f"t{i}") for i in range(n)]
+    joins = [JoinPredicate(f"t{i}#1", "id", f"t{i + 1}#1", "fk") for i in range(n - 1)]
+    return Query("chain", refs, joins)
+
+
+class TestConstruction:
+    def test_leaf(self):
+        leaf = JoinTree.leaf("a#1")
+        assert leaf.is_leaf
+        assert leaf.leaf_aliases() == ["a#1"]
+        assert leaf.num_joins == 0
+        assert leaf.depth() == 0
+
+    def test_join(self):
+        tree = JoinTree.join(JoinTree.leaf("a"), JoinTree.leaf("b"), JoinOp.HASH)
+        assert not tree.is_leaf
+        assert tree.num_joins == 1
+        assert tree.leaf_aliases() == ["a", "b"]
+
+    def test_leaf_with_children_rejected(self):
+        with pytest.raises(PlanError):
+            JoinTree(alias="a", left=JoinTree.leaf("b"), right=JoinTree.leaf("c"), op=JoinOp.HASH)
+
+    def test_internal_missing_parts_rejected(self):
+        with pytest.raises(PlanError):
+            JoinTree(left=JoinTree.leaf("a"), right=None, op=JoinOp.HASH)
+
+    def test_overlapping_subtrees_rejected(self):
+        with pytest.raises(PlanError):
+            JoinTree.join(JoinTree.leaf("a"), JoinTree.leaf("a"), JoinOp.HASH)
+
+    def test_left_deep_constructor(self):
+        tree = JoinTree.left_deep(["a", "b", "c"], [JoinOp.HASH, JoinOp.MERGE])
+        assert tree.is_left_deep()
+        assert tree.leaf_aliases() == ["a", "b", "c"]
+        assert tree.operators() == [JoinOp.HASH, JoinOp.MERGE]
+
+    def test_left_deep_defaults_to_hash(self):
+        tree = JoinTree.left_deep(["a", "b", "c"])
+        assert all(op is JoinOp.HASH for op in tree.operators())
+
+    def test_left_deep_wrong_op_count(self):
+        with pytest.raises(PlanError):
+            JoinTree.left_deep(["a", "b", "c"], [JoinOp.HASH])
+
+    def test_left_deep_empty(self):
+        with pytest.raises(PlanError):
+            JoinTree.left_deep([])
+
+
+class TestStructure:
+    def bushy(self) -> JoinTree:
+        left = JoinTree.join(JoinTree.leaf("a"), JoinTree.leaf("b"), JoinOp.HASH)
+        right = JoinTree.join(JoinTree.leaf("c"), JoinTree.leaf("d"), JoinOp.MERGE)
+        return JoinTree.join(left, right, JoinOp.NESTED_LOOP)
+
+    def test_postorder_children_before_parents(self):
+        tree = self.bushy()
+        nodes = list(tree.postorder())
+        assert nodes[-1] is tree
+        assert len(nodes) == 7
+
+    def test_join_pairs(self):
+        pairs = self.bushy().join_pairs()
+        assert pairs[-1] == (frozenset({"a", "b"}), frozenset({"c", "d"}), JoinOp.NESTED_LOOP)
+
+    def test_depth_and_left_deep(self):
+        tree = self.bushy()
+        assert tree.depth() == 2
+        assert not tree.is_left_deep()
+        assert JoinTree.left_deep(["a", "b", "c", "d"]).is_left_deep()
+
+    def test_with_operators(self):
+        tree = self.bushy()
+        new_ops = [JoinOp.MERGE, JoinOp.HASH, JoinOp.HASH]
+        replaced = tree.with_operators(new_ops)
+        assert replaced.operators() == new_ops
+        assert replaced.leaf_aliases() == tree.leaf_aliases()
+
+    def test_with_operators_wrong_count(self):
+        with pytest.raises(PlanError):
+            self.bushy().with_operators([JoinOp.HASH])
+
+    def test_canonical_and_str(self):
+        tree = JoinTree.join(JoinTree.leaf("a"), JoinTree.leaf("b"), JoinOp.HASH)
+        assert tree.canonical() == "(a ⋈h b)"
+        assert str(tree) == tree.canonical()
+
+    def test_logical_key_ignores_operator_and_child_order(self):
+        left = JoinTree.join(JoinTree.leaf("a"), JoinTree.leaf("b"), JoinOp.HASH)
+        right = JoinTree.join(JoinTree.leaf("b"), JoinTree.leaf("a"), JoinOp.MERGE)
+        assert left.logical_key() == right.logical_key()
+        assert left.canonical() != right.canonical()
+
+
+class TestQueryValidation:
+    def test_validate_for_query_accepts_cover(self):
+        query = chain_query(3)
+        plan = JoinTree.left_deep(query.aliases)
+        plan.validate_for_query(query)
+
+    def test_validate_for_query_missing_alias(self):
+        query = chain_query(3)
+        plan = JoinTree.left_deep(query.aliases[:2])
+        with pytest.raises(PlanError):
+            plan.validate_for_query(query)
+
+    def test_validate_for_query_extra_alias(self):
+        query = chain_query(2)
+        plan = JoinTree.left_deep(query.aliases + ["extra#1"])
+        with pytest.raises(PlanError):
+            plan.validate_for_query(query)
+
+    def test_cross_join_count(self):
+        query = chain_query(3)  # t0 - t1 - t2
+        good = JoinTree.left_deep(["t0#1", "t1#1", "t2#1"])
+        assert good.count_cross_joins(query) == 0
+        bad = JoinTree.left_deep(["t0#1", "t2#1", "t1#1"])
+        assert bad.count_cross_joins(query) == 1
+
+    def test_join_ops_constant(self):
+        assert len(JOIN_OPS) == 3
+        assert JoinOp.HASH.symbol == "⋈h"

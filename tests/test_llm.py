@@ -1,0 +1,99 @@
+"""Tests for the PlanLM cross-query initializer."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import OptimizationResult
+from repro.exceptions import ModelError
+from repro.llm import PlanLM, PlanLMConfig, build_finetune_dataset, query_context
+from repro.plans.encoding import sequence_length
+from repro.plans.sampling import random_join_trees
+
+
+@pytest.fixture(scope="module")
+def finetune_setup(tiny_database, tiny_vocabulary, tiny_query, tiny_three_table_query):
+    """Fake optimization runs over the two fixture queries to fine-tune on."""
+    max_length = sequence_length(4)
+    runs = {}
+    queries = {}
+    for query in (tiny_query, tiny_three_table_query):
+        result = OptimizationResult(query.name, "BayesQO")
+        for i, plan in enumerate(random_join_trees(query, 8, seed=11)):
+            execution = tiny_database.execute(query, plan, timeout=300.0)
+            if execution.timed_out:
+                result.record(plan, execution.latency, True, 300.0)
+            else:
+                result.record(plan, execution.latency, False, None)
+        default = tiny_database.plan(query)
+        result.record(default, tiny_database.execute(query, default).latency, False, None)
+        runs[query.name] = result
+        queries[query.name] = query
+    examples = build_finetune_dataset(runs, queries, tiny_vocabulary, max_length, top_k=3)
+    return runs, queries, examples, max_length
+
+
+class TestFineTuneDataset:
+    def test_examples_built(self, finetune_setup):
+        _, _, examples, max_length = finetune_setup
+        assert len(examples) >= 2
+        for example in examples:
+            assert example.tokens.shape == (max_length,)
+            assert example.context.sum() >= 2  # at least two aliases in context
+
+    def test_top_k_respected(self, finetune_setup, tiny_vocabulary):
+        runs, queries, _, max_length = finetune_setup
+        examples = build_finetune_dataset(runs, queries, tiny_vocabulary, max_length, top_k=1)
+        per_query = {}
+        for example in examples:
+            per_query[example.query_name] = per_query.get(example.query_name, 0) + 1
+        assert all(count == 1 for count in per_query.values())
+
+    def test_query_context_multi_hot(self, tiny_query, tiny_vocabulary):
+        context = query_context(tiny_query, tiny_vocabulary)
+        assert context.sum() == len(tiny_query.aliases)
+        assert set(np.unique(context)) <= {0.0, 1.0}
+
+
+class TestPlanLM:
+    @pytest.fixture(scope="class")
+    def trained(self, finetune_setup, tiny_vocabulary):
+        _, _, examples, max_length = finetune_setup
+        model = PlanLM(tiny_vocabulary, max_length, PlanLMConfig(epochs=40, hidden_dim=48, seed=0))
+        losses = model.fit(examples)
+        return model, losses
+
+    def test_training_reduces_loss(self, trained):
+        _, losses = trained
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_generate_plans_valid(self, trained, tiny_query):
+        model, _ = trained
+        plans = model.generate_plans(tiny_query, 5, seed=1)
+        assert len(plans) == 5
+        for plan in plans:
+            plan.validate_for_query(tiny_query)
+
+    def test_generate_for_other_query(self, trained, tiny_three_table_query):
+        model, _ = trained
+        for plan in model.generate_plans(tiny_three_table_query, 3, seed=2):
+            plan.validate_for_query(tiny_three_table_query)
+
+    def test_generation_requires_training(self, tiny_vocabulary):
+        model = PlanLM(tiny_vocabulary, sequence_length(4))
+        with pytest.raises(ModelError):
+            model.generate_plans(None, 1)
+
+    def test_empty_dataset_rejected(self, tiny_vocabulary):
+        model = PlanLM(tiny_vocabulary, sequence_length(4))
+        with pytest.raises(ModelError):
+            model.fit([])
+
+    def test_usable_as_initialization_generator(self, trained, tiny_database, tiny_query):
+        from repro.core.initialization import llm_initialization
+
+        model, _ = trained
+        plans = llm_initialization(model, tiny_query, 4)
+        assert plans
+        for plan, source in plans:
+            assert source == "init:llm"
+            plan.validate_for_query(tiny_query)

@@ -1,0 +1,169 @@
+"""Tests for the numpy neural-network substrate (gradient checks included)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.nn import (
+    Adam,
+    Embedding,
+    LayerNorm,
+    Linear,
+    ReLU,
+    SGD,
+    Sequential,
+    Tanh,
+    clip_gradients,
+    cross_entropy,
+    gaussian_kl,
+    log_softmax,
+    mlp,
+    mse,
+    softmax,
+)
+
+
+def numeric_gradient(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(len(flat)):
+        original = flat[i]
+        flat[i] = original + eps
+        up = f()
+        flat[i] = original - eps
+        down = f()
+        flat[i] = original
+        out[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestLayers:
+    def test_linear_forward_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer.forward(rng.standard_normal((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_linear_gradient_check(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 2))
+
+        def loss():
+            return float(((layer.forward(x) - target) ** 2).sum())
+
+        layer.forward(x)
+        grad_out = 2 * (layer.forward(x) - target)
+        layer.weight.zero_grad()
+        layer.backward(grad_out)
+        numeric = numeric_gradient(loss, layer.weight.value)
+        assert np.allclose(layer.weight.grad, numeric, atol=1e-4)
+
+    def test_linear_backward_before_forward(self, rng):
+        with pytest.raises(ModelError):
+            Linear(2, 2, rng).backward(np.ones((1, 2)))
+
+    def test_embedding_lookup_and_gradient(self, rng):
+        layer = Embedding(10, 4, rng)
+        tokens = np.array([[1, 2], [2, 3]])
+        out = layer.forward(tokens)
+        assert out.shape == (2, 2, 4)
+        layer.backward(np.ones_like(out))
+        # Token 2 appears twice, so its gradient row sums to 2 in every column.
+        assert np.allclose(layer.table.grad[2], 2.0)
+        assert np.allclose(layer.table.grad[0], 0.0)
+
+    def test_activations(self, rng):
+        x = rng.standard_normal((3, 3))
+        assert np.allclose(Tanh().forward(x), np.tanh(x))
+        relu = ReLU()
+        out = relu.forward(x)
+        assert (out >= 0).all()
+        grad = relu.backward(np.ones_like(x))
+        assert np.array_equal(grad, (x > 0).astype(float))
+
+    def test_layernorm_normalizes(self, rng):
+        layer = LayerNorm(8)
+        out = layer.forward(rng.standard_normal((5, 8)) * 10 + 3)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_sequential_collects_parameters(self, rng):
+        model = Sequential(Linear(4, 8, rng), Tanh(), Linear(8, 2, rng))
+        assert len(model.parameters()) == 4
+
+    def test_mlp_shapes(self, rng):
+        model = mlp(6, [16, 16], 3, rng)
+        out = model.forward(rng.standard_normal((7, 6)))
+        assert out.shape == (7, 3)
+
+
+class TestLosses:
+    def test_softmax_normalizes(self, rng):
+        probs = softmax(rng.standard_normal((4, 5)))
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert np.allclose(np.exp(log_softmax(rng.standard_normal((4, 5)))).sum(axis=-1), 1.0)
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, grad = cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-4
+        assert np.abs(grad).max() < 1e-4
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = np.zeros((1, 3))
+        _, grad = cross_entropy(logits, np.array([1]))
+        assert grad[0, 1] < 0 and grad[0, 0] > 0
+
+    def test_mse(self):
+        loss, grad = mse(np.array([1.0, 2.0]), np.array([1.0, 0.0]))
+        assert loss == pytest.approx(2.0)
+        assert grad[1] > 0
+
+    def test_gaussian_kl_zero_at_prior(self):
+        kl, grad_mu, grad_logvar = gaussian_kl(np.zeros((2, 3)), np.zeros((2, 3)))
+        assert kl == pytest.approx(0.0)
+        assert np.allclose(grad_mu, 0.0) and np.allclose(grad_logvar, 0.0)
+
+    def test_gaussian_kl_positive(self, rng):
+        kl, _, _ = gaussian_kl(rng.standard_normal((4, 3)), rng.standard_normal((4, 3)))
+        assert kl > 0
+
+
+class TestOptimizers:
+    def quadratic_problem(self, rng):
+        layer = Linear(1, 1, rng)
+        x = np.array([[1.0], [2.0], [3.0], [-1.0]])
+        y = 3.0 * x + 1.0
+        return layer, x, y
+
+    def _train(self, optimizer_cls, **kwargs):
+        rng = np.random.default_rng(0)
+        layer, x, y = self.quadratic_problem(rng)
+        optimizer = optimizer_cls(layer.parameters(), **kwargs)
+        for _ in range(400):
+            optimizer.zero_grad()
+            prediction = layer.forward(x)
+            _, grad = mse(prediction, y)
+            layer.backward(grad)
+            optimizer.step()
+        return float(layer.weight.value[0, 0]), float(layer.bias.value[0])
+
+    def test_sgd_converges(self):
+        weight, bias = self._train(SGD, lr=0.05, momentum=0.9)
+        assert weight == pytest.approx(3.0, abs=0.1)
+        assert bias == pytest.approx(1.0, abs=0.1)
+
+    def test_adam_converges(self):
+        weight, bias = self._train(Adam, lr=0.05)
+        assert weight == pytest.approx(3.0, abs=0.1)
+        assert bias == pytest.approx(1.0, abs=0.1)
+
+    def test_clip_gradients(self, rng):
+        layer = Linear(4, 4, rng)
+        layer.weight.grad += 100.0
+        layer.bias.grad += 100.0
+        norm = clip_gradients(layer.parameters(), max_norm=1.0)
+        assert norm > 1.0
+        total = sum(float(np.sum(p.grad**2)) for p in layer.parameters())
+        assert np.sqrt(total) == pytest.approx(1.0, rel=1e-6)

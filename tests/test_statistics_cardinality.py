@@ -1,0 +1,130 @@
+"""Tests for table statistics and the cardinality estimator."""
+
+import numpy as np
+import pytest
+
+from repro.db.cardinality import CardinalityEstimator
+from repro.db.catalog import Column, Table
+from repro.db.query import FilterPredicate, JoinPredicate, Query, TableRef
+from repro.db.relation import Relation
+from repro.db.statistics import analyze_all, analyze_relation
+from repro.exceptions import CatalogError, QueryError
+
+
+def uniform_relation(name: str, rows: int, distinct: int) -> Relation:
+    table = Table(name, [Column("id"), Column("v")])
+    rng = np.random.default_rng(0)
+    return Relation(table, {"id": np.arange(rows), "v": rng.integers(0, distinct, rows)})
+
+
+class TestColumnStats:
+    def test_basic_fields(self):
+        stats = analyze_relation(uniform_relation("t", 1000, 10))
+        column = stats.column("v")
+        assert column.num_rows == 1000
+        assert column.num_distinct == 10
+        assert column.min_value == 0.0
+        assert column.max_value == 9.0
+
+    def test_eq_selectivity_roughly_uniform(self):
+        stats = analyze_relation(uniform_relation("t", 5000, 10))
+        sel = stats.column("v").selectivity("=", 3)
+        assert 0.05 < sel < 0.2
+
+    def test_mcv_catches_heavy_hitter(self):
+        table = Table("t", [Column("id"), Column("v")])
+        values = np.concatenate([np.zeros(900), np.arange(1, 101)])
+        relation = Relation(table, {"id": np.arange(1000), "v": values})
+        sel = analyze_relation(relation).column("v").selectivity("=", 0)
+        assert sel == pytest.approx(0.9, abs=0.02)
+
+    def test_range_selectivity_monotone(self):
+        stats = analyze_relation(uniform_relation("t", 2000, 100)).column("v")
+        low = stats.selectivity("<=", 10)
+        high = stats.selectivity("<=", 80)
+        assert low < high
+        assert stats.selectivity(">=", 10) == pytest.approx(1.0 - stats.selectivity("<", 10), abs=0.05)
+
+    def test_range_bounds_clamped(self):
+        stats = analyze_relation(uniform_relation("t", 100, 10)).column("v")
+        assert stats.selectivity("<", -5) == 0.0
+        assert stats.selectivity("<=", 100) == 1.0
+
+    def test_in_and_neq(self):
+        stats = analyze_relation(uniform_relation("t", 1000, 4)).column("v")
+        in_sel = stats.selectivity("in", (0, 1))
+        assert 0.3 < in_sel < 0.7
+        assert stats.selectivity("!=", 0) == pytest.approx(1.0 - stats.selectivity("=", 0))
+
+    def test_empty_relation(self):
+        table = Table("t", [Column("id")])
+        stats = analyze_relation(Relation(table, {"id": np.array([], dtype=np.int64)}))
+        assert stats.num_rows == 0
+        assert stats.column("id").selectivity("=", 1) == 0.0
+
+    def test_unknown_column(self):
+        stats = analyze_relation(uniform_relation("t", 10, 2))
+        with pytest.raises(CatalogError):
+            stats.column("missing")
+
+
+class TestCardinalityEstimator:
+    @pytest.fixture()
+    def setup(self):
+        a = uniform_relation("a", 1000, 50)
+        table_b = Table("b", [Column("id"), Column("a_id"), Column("flag")])
+        rng = np.random.default_rng(1)
+        b = Relation(
+            table_b,
+            {
+                "id": np.arange(5000),
+                "a_id": rng.integers(0, 1000, 5000),
+                "flag": rng.integers(0, 4, 5000),
+            },
+        )
+        stats = analyze_all({"a": a, "b": b})
+        query = Query(
+            "q",
+            [TableRef("a#1", "a"), TableRef("b#1", "b")],
+            [JoinPredicate("b#1", "a_id", "a#1", "id")],
+            [FilterPredicate("b#1", "flag", "=", 1)],
+        )
+        return CardinalityEstimator(stats), query
+
+    def test_base_estimate_with_filter(self, setup):
+        estimator, query = setup
+        estimate = estimator.base_estimate(query, "b#1")
+        assert 800 < estimate.rows < 1800  # ~5000/4
+
+    def test_base_estimate_without_filter(self, setup):
+        estimator, query = setup
+        assert estimator.base_estimate(query, "a#1").rows == pytest.approx(1000)
+
+    def test_join_estimate_pk_fk(self, setup):
+        estimator, query = setup
+        rows = estimator.estimate_subset(query, frozenset(["a#1", "b#1"]))
+        # |filtered b| * |a| / max(ndv) ~= 1250 * 1000 / 1000 = ~1250.
+        assert 500 < rows < 3000
+
+    def test_join_order_independent(self, setup):
+        estimator, query = setup
+        left, right, out = estimator.estimate_join(query, frozenset(["a#1"]), frozenset(["b#1"]))
+        left2, right2, out2 = estimator.estimate_join(query, frozenset(["b#1"]), frozenset(["a#1"]))
+        assert out == pytest.approx(out2)
+        assert left == pytest.approx(right2)
+        assert right == pytest.approx(left2)
+
+    def test_cross_join_selectivity_is_one(self, setup):
+        estimator, query = setup
+        assert estimator.join_selectivity(query, {"a#1"}, set()) == 1.0
+
+    def test_empty_subset_rejected(self, setup):
+        estimator, query = setup
+        with pytest.raises(QueryError):
+            estimator.estimate_subset(query, frozenset())
+
+    def test_missing_stats_rejected(self, setup):
+        estimator, query = setup
+        estimator.stats.pop("a")
+        with pytest.raises(QueryError):
+            estimator.base_estimate(query, "a#1")

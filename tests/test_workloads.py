@@ -1,0 +1,191 @@
+"""Tests for the workload builders, the random query sampler and drift simulation."""
+
+import numpy as np
+import pytest
+
+from repro.db.catalog import alias_table
+from repro.exceptions import QueryError
+from repro.workloads import (
+    RandomQuerySampler,
+    STACK_DATE_2017,
+    Workload,
+    build_dsb_schema,
+    build_imdb_schema,
+    build_stack_database,
+    build_stack_schema,
+    deletion_fraction,
+    drift_timeline,
+    per_table_deletion,
+    rollback_to_date,
+    sample_connected_aliases,
+)
+from repro.workloads.dsb import build_dsb_workload
+from repro.workloads.imdb import build_ceb_workload
+
+
+class TestSchemas:
+    def test_imdb_schema_shape(self):
+        schema = build_imdb_schema()
+        assert len(schema) == 14
+        assert schema.has_table("title") and schema.has_table("cast_info")
+        assert schema.has_index("cast_info", "movie_id")
+        assert nx_connected(schema)
+
+    def test_stack_schema_shape(self):
+        schema = build_stack_schema()
+        assert len(schema) == 10
+        assert schema.has_table("question") and schema.has_table("so_user")
+        assert nx_connected(schema)
+
+    def test_dsb_schema_shape(self):
+        schema = build_dsb_schema()
+        assert len(schema) == 11
+        assert schema.has_table("store_sales")
+        assert nx_connected(schema)
+
+
+def nx_connected(schema) -> bool:
+    import networkx as nx
+
+    return nx.is_connected(schema.reference_graph())
+
+
+class TestQuerySampling:
+    def test_sample_connected_aliases(self, rng):
+        schema = build_imdb_schema()
+        graph = schema.alias_k_graph(2)
+        aliases = sample_connected_aliases(graph, 6, rng)
+        assert len(aliases) == 6
+        assert len(set(aliases)) == 6
+
+    def test_sample_size_one(self, rng):
+        schema = build_imdb_schema()
+        graph = schema.alias_k_graph(1)
+        assert len(sample_connected_aliases(graph, 1, rng)) == 1
+
+    def test_sample_invalid_size(self, rng):
+        schema = build_imdb_schema()
+        with pytest.raises(QueryError):
+            sample_connected_aliases(schema.alias_k_graph(1), 0, rng)
+
+    def test_random_query_sampler(self, tiny_database):
+        sampler = RandomQuerySampler(tiny_database.schema, max_aliases=2, min_tables=2, max_tables=4)
+        queries = sampler.sample(10, seed=0)
+        assert len(queries) == 10
+        for query in queries:
+            query.validate_against(tiny_database.schema)
+            assert query.is_connected()
+            assert 2 <= query.num_tables <= 4
+
+    def test_sampler_deterministic(self, tiny_database):
+        sampler = RandomQuerySampler(tiny_database.schema, max_aliases=1, min_tables=2, max_tables=4)
+        first = [q.sql() for q in sampler.sample(5, seed=3)]
+        second = [q.sql() for q in sampler.sample(5, seed=3)]
+        assert first == second
+
+
+class TestWorkloadBuilders:
+    def test_job_workload_shape(self, job_workload_small):
+        assert job_workload_small.name == "JOB"
+        assert job_workload_small.num_queries == 16
+        assert job_workload_small.median_joins() >= 3
+        for query in job_workload_small.queries:
+            query.validate_against(job_workload_small.database.schema)
+            assert query.is_connected()
+
+    def test_job_query_names_unique(self, job_workload_small):
+        names = [q.name for q in job_workload_small.queries]
+        assert len(names) == len(set(names))
+
+    def test_workload_helpers(self, job_workload_small):
+        assert job_workload_small.size_bytes() > 0
+        first = job_workload_small.queries[0]
+        assert job_workload_small.query(first.name) is first
+        with pytest.raises(QueryError):
+            job_workload_small.query("nope")
+        assert job_workload_small.templates()
+
+    def test_duplicate_query_names_rejected(self, job_workload_small):
+        with pytest.raises(QueryError):
+            Workload(
+                name="dup",
+                database=job_workload_small.database,
+                queries=[job_workload_small.queries[0], job_workload_small.queries[0]],
+            )
+
+    def test_ceb_workload_templates(self):
+        workload = build_ceb_workload(scale=0.05, seed=1, num_templates=3, queries_per_template=4)
+        assert workload.num_queries == 12
+        assert len(workload.templates()) == 3
+        template = workload.templates()[0]
+        queries = workload.queries_for_template(template)
+        # All queries of a template join the same alias set.
+        alias_sets = {tuple(sorted(q.aliases)) for q in queries}
+        assert len(alias_sets) == 1
+
+    def test_dsb_workload_shape(self):
+        workload = build_dsb_workload(scale=0.05, seed=1, num_templates=6, queries_per_template=2)
+        assert workload.num_queries == 12
+        assert workload.median_joins() >= 3
+
+    def test_aliases_reference_their_tables(self, job_workload_small):
+        for query in job_workload_small.queries[:5]:
+            for ref in query.table_refs:
+                assert alias_table(ref.alias) == ref.table
+
+
+class TestDrift:
+    @pytest.fixture(scope="class")
+    def stack_db(self):
+        return build_stack_database(scale=0.05, seed=2)
+
+    def test_rollback_deletes_rows(self, stack_db):
+        past = rollback_to_date(stack_db, STACK_DATE_2017)
+        fraction = deletion_fraction(stack_db, past)
+        assert 0.0 < fraction < 0.6
+
+    def test_rollback_respects_date_column(self, stack_db):
+        past = rollback_to_date(stack_db, STACK_DATE_2017)
+        assert past.relations["question"].column("creation_date").max() <= STACK_DATE_2017
+
+    def test_rollback_preserves_referential_integrity(self, stack_db):
+        past = rollback_to_date(stack_db, STACK_DATE_2017)
+        for fk in stack_db.schema.foreign_keys:
+            referencing = past.relations[fk.table]
+            referenced = past.relations[fk.ref_table]
+            if referencing.num_rows == 0:
+                continue
+            assert np.isin(referencing.column(fk.column), referenced.column(fk.ref_column)).all()
+
+    def test_per_table_deletion_fractions(self, stack_db):
+        past = rollback_to_date(stack_db, STACK_DATE_2017)
+        fractions = per_table_deletion(stack_db, past)
+        assert set(fractions) == set(stack_db.schema.table_names)
+        assert all(0.0 <= fraction <= 1.0 for fraction in fractions.values())
+        # Tables without a creation_date column only shrink through FK cascades.
+        assert fractions["site"] == 0.0
+
+    def test_rollback_monotone_in_cutoff(self, stack_db):
+        early = rollback_to_date(stack_db, 1000)
+        late = rollback_to_date(stack_db, 4000)
+        assert sum(r.num_rows for r in early.relations.values()) <= sum(
+            r.num_rows for r in late.relations.values()
+        )
+
+    def test_drift_timeline(self, stack_db):
+        timeline = drift_timeline(stack_db, 3000, 4300, steps=3)
+        assert len(timeline) == 3
+        cutoffs = [cutoff for cutoff, _ in timeline]
+        assert cutoffs == sorted(cutoffs)
+        sizes = [sum(r.num_rows for r in snapshot.relations.values()) for _, snapshot in timeline]
+        assert sizes == sorted(sizes)
+
+    def test_queries_still_run_after_rollback(self, stack_db):
+        from repro.workloads.stack import build_stack_workload
+
+        workload = build_stack_workload(scale=0.05, seed=2, num_templates=4, num_queries=8,
+                                        database=stack_db)
+        past = rollback_to_date(stack_db, STACK_DATE_2017)
+        query = workload.queries[0]
+        result = past.execute(query, timeout=300.0)
+        assert result.latency > 0
