@@ -1,0 +1,299 @@
+"""Microbenchmark: incremental surrogate engine vs the from-scratch seed path.
+
+The paper's Figure 9 argues that BO overhead (surrogate update + timeout
+calculation) stays sub-second per iteration.  The seed implementation refit the
+exact GP from scratch (hyper-parameter optimization included) on every
+observation and cloned + refit the model once per bisection level of the
+uncertainty-timeout rule.  This bench measures both hot-path components at
+``n = 60`` observations:
+
+* **seed path** — full ``CensoredGP.fit`` per iteration, plus sequential
+  bisection where every level imputes and refits a fresh ``ExactGP``;
+* **incremental path** — warm ``add_observation`` (rank-1 Cholesky update,
+  amortizing one full refit every ``refit_every`` iterations), plus one
+  batched ``fantasize_batch`` call covering the whole bisection grid.
+
+It asserts the two paths agree numerically (atol 1e-6) and that the
+incremental path is at least 5x faster, then optionally writes the breakdown
+to JSON for CI perf trajectories.
+
+Run:  PYTHONPATH=src python benchmarks/bench_surrogate_hotpath.py [--smoke] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import math
+import sys
+import time
+
+import numpy as np
+from scipy import linalg, optimize
+
+from repro.bo.censored import truncated_normal_mean
+from repro.bo.gp import CensoredGP, ExactGP
+
+N_OBSERVATIONS = 60
+DIM = 8
+BISECTION_STEPS = 8
+REFIT_EVERY = 5
+KAPPA = 1.0
+MAX_MULTIPLIER = 16.0
+ATOL = 1e-6
+REQUIRED_SPEEDUP = 5.0
+
+
+def make_dataset(n: int = N_OBSERVATIONS, dim: int = DIM, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    x = rng.random((n, dim))
+    y = np.sin(3.0 * x.sum(axis=1)) + 0.1 * rng.standard_normal(n)
+    censored = rng.random(n) < 0.15
+    y[censored] += 0.5  # censored entries are lower bounds
+    return x, y, censored, rng
+
+
+def timed(fn, repetitions: int) -> tuple[float, object]:
+    """Best-of-``repetitions`` wall time in seconds, plus the last result."""
+    best, result = math.inf, None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# --------------------------------------------------------------------- seed path
+class SeedExactGP(ExactGP):
+    """Replica of the seed fit path: every marginal-likelihood evaluation
+    recomputes the Gram matrix from the raw inputs, and L-BFGS approximates
+    gradients by finite differences (~4 extra evaluations per step)."""
+
+    def _negative_log_marginal(self, params):
+        lengthscale, outputscale, noise = np.exp(params)
+        kernel = self.kernel.with_params(float(lengthscale), float(outputscale))
+        cov = kernel(self._x, self._x) + (noise + 1e-8) * np.eye(len(self._x))
+        try:
+            chol = linalg.cholesky(cov, lower=True)
+        except linalg.LinAlgError:
+            return 1e10
+        alpha = linalg.cho_solve((chol, True), self._y)
+        return float(
+            0.5 * self._y @ alpha
+            + np.log(np.diag(chol)).sum()
+            + 0.5 * len(self._y) * np.log(2.0 * np.pi)
+        )
+
+    def _optimize_hyperparameters(self):
+        initial = np.log([self.kernel.lengthscale, self.kernel.outputscale, self.noise])
+        result = optimize.minimize(
+            self._negative_log_marginal,
+            initial,
+            method="L-BFGS-B",
+            bounds=[(-3.0, 3.0), (-4.0, 4.0), (-8.0, 1.0)],
+            options={"maxiter": 40},
+        )
+        lengthscale, outputscale, noise = np.exp(result.x)
+        self.kernel = self.kernel.with_params(float(lengthscale), float(outputscale))
+        self.noise = float(noise)
+
+
+class SeedCensoredGP(CensoredGP):
+    """CensoredGP wired to the seed ExactGP (refit from scratch, no gradients),
+    including the seed EM loop that refits the whole GP per imputation step."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.gp = SeedExactGP(kernel=self.gp.kernel, noise=self.gp.noise)
+
+    def fit(self, x, y, censored):
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        censored = np.asarray(censored, dtype=bool).reshape(-1)
+        self._x, self._values, self._censored = x, y, censored
+        imputed = y.copy()
+        self.gp.fit(x, imputed)
+        for _ in range(self.em_iterations if censored.any() else 0):
+            mean, std = self.gp.predict(x[censored])
+            imputed[censored] = truncated_normal_mean(mean, std, y[censored])
+            self.gp.fit(x, imputed, optimize_hyperparameters=False)
+        return self
+
+
+def seed_clone_fantasize(gp: ExactGP, x_train, y_train, x_new, level, x_query):
+    """The seed fantasize: impute under the posterior, clone, refit, predict."""
+    mean, std = gp.predict(np.atleast_2d(x_new))
+    imputed = float(truncated_normal_mean(mean, std, np.array([level]))[0])
+    clone = ExactGP(kernel=gp.kernel, noise=gp.noise)
+    clone.fit(np.vstack([x_train, x_new]), np.append(y_train, imputed), optimize_hyperparameters=False)
+    return clone.predict(x_query)
+
+
+def seed_timeout(gp: ExactGP, x_train, y_train, candidate, best_log, high_log):
+    """Sequential bisection, one clone-and-refit per probed level (seed path)."""
+    query = np.atleast_2d(candidate)
+
+    def confident(log_tau: float) -> bool:
+        mean, std = seed_clone_fantasize(gp, x_train, y_train, candidate, log_tau, query)
+        return best_log <= mean[0] - KAPPA * std[0]
+
+    low, high = best_log, high_log
+    if not confident(high):
+        return math.exp(high)
+    for _ in range(BISECTION_STEPS):
+        mid = 0.5 * (low + high)
+        if confident(mid):
+            high = mid
+        else:
+            low = mid
+    return math.exp(high)
+
+
+# --------------------------------------------------- incremental path
+def batched_timeout(surrogate: CensoredGP, candidate, best_log, high_log):
+    """One vectorized fantasize over the full bisection grid."""
+    levels = np.linspace(best_log, high_log, 2**BISECTION_STEPS + 1)
+    means, stds = surrogate.fantasize_batch(candidate, levels, np.atleast_2d(candidate))
+    confident = best_log <= means[:, 0] - KAPPA * stds[:, 0]
+    if not confident[-1]:
+        return math.exp(high_log)
+    return math.exp(float(levels[int(np.argmax(confident))]))
+
+
+# --------------------------------------------------------------- equivalence
+def check_equivalence(x, y, censored, rng) -> dict[str, float]:
+    """Incremental / batched results must match the from-scratch path to atol 1e-6."""
+    query = rng.random((25, x.shape[1]))
+    # Rank-1 updates vs from-scratch refit (uncensored tail, fixed hyper-parameters).
+    warm = ExactGP().fit(x[:-5], y[:-5])
+    for i in range(len(x) - 5, len(x)):
+        warm.add_observation(x[i], y[i])
+    scratch = ExactGP(kernel=warm.kernel, noise=warm.noise).fit(x, y, optimize_hyperparameters=False)
+    mean_w, std_w = warm.predict(query)
+    mean_s, std_s = scratch.predict(query)
+    update_diff = max(np.abs(mean_w - mean_s).max(), np.abs(std_w - std_s).max())
+
+    # Batched fantasize vs the seed clone-and-refit per level.
+    surrogate = CensoredGP().fit(x, y, censored)
+    candidate = rng.random(x.shape[1])
+    levels = np.linspace(-0.5, 2.0, 9)
+    means_b, stds_b = surrogate.fantasize_batch(candidate, levels, np.atleast_2d(candidate))
+    fitted_values = surrogate.gp._y_raw
+    fantasize_diff = 0.0
+    for i, level in enumerate(levels):
+        mean_r, std_r = seed_clone_fantasize(
+            surrogate.gp, x, fitted_values, candidate, float(level), np.atleast_2d(candidate)
+        )
+        fantasize_diff = max(
+            fantasize_diff,
+            abs(means_b[i, 0] - mean_r[0]),
+            abs(stds_b[i, 0] - std_r[0]),
+        )
+    return {"update_max_abs_diff": float(update_diff), "fantasize_max_abs_diff": float(fantasize_diff)}
+
+
+# ------------------------------------------------------------------------ bench
+def run_benchmark(repetitions: int = 3, seed: int = 0) -> dict:
+    x, y, censored, rng = make_dataset(seed=seed)
+    candidate = rng.random(DIM)
+    best_latency = float(np.exp(y[~censored].min()))
+    best_log = math.log(best_latency)
+    high_log = math.log(best_latency * MAX_MULTIPLIER)
+
+    # Seed path: full refit (with finite-difference hyper-parameter
+    # optimization) each iteration.
+    seed_update, seed_surrogate = timed(lambda: SeedCensoredGP().fit(x, y, censored), repetitions)
+    fitted_values = seed_surrogate.gp._y_raw
+    seed_tau_time, seed_tau = timed(
+        lambda: seed_timeout(seed_surrogate.gp, x, fitted_values, candidate, best_log, high_log),
+        repetitions,
+    )
+
+    # Incremental path: warm rank-1 update, amortizing one full refit per window.
+    warm_base = CensoredGP().fit(x[:-1], y[:-1], censored[:-1])
+
+    def warm_update():
+        surrogate = copy.deepcopy(warm_base)
+        start = time.perf_counter()
+        surrogate.add_observation(x[-1], y[-1], censored[-1])
+        return time.perf_counter() - start, surrogate
+
+    incremental_update = math.inf
+    warm_surrogate = None
+    for _ in range(repetitions):
+        elapsed, warm_surrogate = warm_update()
+        incremental_update = min(incremental_update, elapsed)
+    # One in every `refit_every` iterations pays a full from-scratch refit —
+    # the new one, with cached distances and analytic MLL gradients.
+    full_refit, _ = timed(lambda: CensoredGP().fit(x, y, censored), repetitions)
+    amortized_update = (
+        (REFIT_EVERY - 1) * incremental_update + full_refit
+    ) / REFIT_EVERY
+    fast_tau_time, fast_tau = timed(
+        lambda: batched_timeout(warm_surrogate, candidate, best_log, high_log), repetitions
+    )
+
+    equivalence = check_equivalence(x, y, censored, rng)
+    seed_total = seed_update + seed_tau_time
+    fast_total = amortized_update + fast_tau_time
+    return {
+        "n_observations": N_OBSERVATIONS,
+        "dim": DIM,
+        "refit_every": REFIT_EVERY,
+        "bisection_steps": BISECTION_STEPS,
+        "seed_ms": {
+            "surrogate_update": seed_update * 1e3,
+            "calculate_timeout": seed_tau_time * 1e3,
+            "total": seed_total * 1e3,
+        },
+        "incremental_ms": {
+            "surrogate_update_raw": incremental_update * 1e3,
+            "full_refit": full_refit * 1e3,
+            "surrogate_update_amortized": amortized_update * 1e3,
+            "calculate_timeout": fast_tau_time * 1e3,
+            "total": fast_total * 1e3,
+        },
+        "speedup": seed_total / fast_total,
+        "timeouts": {"seed": seed_tau, "incremental": fast_tau},
+        "equivalence": equivalence,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="single repetition (CI smoke mode)")
+    parser.add_argument("--json", metavar="PATH", help="write the result breakdown to PATH")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(repetitions=1 if args.smoke else 3)
+    print(f"surrogate hot path @ n={report['n_observations']}, dim={report['dim']}")
+    print(f"  seed        update {report['seed_ms']['surrogate_update']:8.2f} ms   "
+          f"timeout {report['seed_ms']['calculate_timeout']:8.2f} ms   "
+          f"total {report['seed_ms']['total']:8.2f} ms")
+    print(f"  incremental update {report['incremental_ms']['surrogate_update_amortized']:8.2f} ms   "
+          f"timeout {report['incremental_ms']['calculate_timeout']:8.2f} ms   "
+          f"total {report['incremental_ms']['total']:8.2f} ms")
+    print(f"  speedup {report['speedup']:.1f}x   "
+          f"(update diff {report['equivalence']['update_max_abs_diff']:.2e}, "
+          f"fantasize diff {report['equivalence']['fantasize_max_abs_diff']:.2e})")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"  wrote {args.json}")
+
+    failures = []
+    if report["equivalence"]["update_max_abs_diff"] > ATOL:
+        failures.append("incremental update diverges from the from-scratch posterior")
+    if report["equivalence"]["fantasize_max_abs_diff"] > ATOL:
+        failures.append("batched fantasize diverges from the clone-refit posterior")
+    if report["speedup"] < REQUIRED_SPEEDUP:
+        failures.append(f"speedup {report['speedup']:.1f}x below the required {REQUIRED_SPEEDUP}x")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

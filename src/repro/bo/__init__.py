@@ -1,4 +1,35 @@
-"""Bayesian-optimization substrate: kernels, GPs, censored likelihoods, TuRBO."""
+"""Bayesian-optimization substrate: kernels, GPs, censored likelihoods, TuRBO.
+
+Surrogate-state lifecycle
+-------------------------
+
+The surrogate inside :class:`BOEngine` is *persistent and warm*: it is not
+rebuilt on every observation.  The lifecycle has two tiers:
+
+1. **Warm updates** (every observation).  ``BOEngine.fit`` pushes each new
+   point into the already-fitted model via ``CensoredGP.add_observation``,
+   which extends the cached Cholesky factor with a rank-1 update in O(n^2)
+   (``ExactGP.add_observation``).  A censored response is imputed with a
+   single EM step under the cached posterior — the truncated-normal mean given
+   the current factorization — rather than re-running the full EM loop.
+   Hyper-parameters are frozen during warm updates.
+
+2. **Full refits** (every ``refit_every``-th observation, on the first fit, on
+   ``fit(force=True)``, and always for the SVGP surrogate, which has no
+   incremental path).  A fresh surrogate is fitted from scratch: the unscaled
+   pairwise squared-distance matrix is computed once and cached, L-BFGS
+   re-optimizes the kernel hyper-parameters on analytic marginal-likelihood
+   gradients (re-scaling the cached distances instead of recomputing Gram
+   matrices), and the complete censored-EM loop re-imputes every censored
+   observation.
+
+``refit_every`` therefore bounds hyper-parameter staleness: ``1`` recovers the
+old refit-from-scratch-per-observation behavior, larger values amortize the
+O(n^3) fit over cheap warm updates.  Fantasized conditioning (the
+uncertainty-timeout rule) never refits at all: ``fantasize``/``fantasize_batch``
+condition on hypothetical censored observations in closed form against the
+cached factorization, sharing one rank-1 extension across all probed levels.
+"""
 
 from repro.bo.acquisition import expected_improvement, lower_confidence_bound, thompson_sample
 from repro.bo.censored import (
@@ -9,7 +40,7 @@ from repro.bo.censored import (
     truncated_normal_mean,
 )
 from repro.bo.gp import CensoredGP, ExactGP
-from repro.bo.kernels import Matern52Kernel, RBFKernel
+from repro.bo.kernels import Matern52Kernel, RBFKernel, pairwise_sqdist
 from repro.bo.loop import BOEngine, BOEngineConfig
 from repro.bo.svgp import CensoredSVGP, SVGPConfig
 from repro.bo.turbo import TrustRegion, global_candidates
@@ -30,6 +61,7 @@ __all__ = [
     "expected_log_survival",
     "global_candidates",
     "lower_confidence_bound",
+    "pairwise_sqdist",
     "thompson_sample",
     "tobit_log_likelihood",
     "truncated_normal_mean",

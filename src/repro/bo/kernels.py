@@ -1,4 +1,14 @@
-"""Covariance kernels for the Gaussian-process surrogates."""
+"""Covariance kernels for the Gaussian-process surrogates.
+
+Every kernel here is a stationary function of the pairwise squared Euclidean
+distance, so the Gram matrix factors into an *input-only* part (the unscaled
+squared-distance matrix, computed once per dataset by :func:`pairwise_sqdist`)
+and a cheap *hyper-parameter* part (``from_sqdist``).  The GP caches the
+former; hyper-parameter optimization then re-scales the cached matrix instead
+of recomputing ``O(n^2 d)`` distances on every likelihood evaluation, and
+``grad_from_sqdist`` supplies the analytic Gram-matrix derivatives the
+marginal-likelihood gradient needs (no finite differencing).
+"""
 
 from __future__ import annotations
 
@@ -8,11 +18,13 @@ import numpy as np
 
 from repro.exceptions import ModelError
 
+_SQRT5 = np.sqrt(5.0)
 
-def _scaled_sqdist(x1: np.ndarray, x2: np.ndarray, lengthscale: float) -> np.ndarray:
-    """Pairwise squared Euclidean distances of length-scaled inputs."""
-    a = np.atleast_2d(x1) / lengthscale
-    b = np.atleast_2d(x2) / lengthscale
+
+def pairwise_sqdist(x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+    """Unscaled pairwise squared Euclidean distances (cacheable: no hyper-parameters)."""
+    a = np.atleast_2d(np.asarray(x1, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(x2, dtype=np.float64))
     sq = (a**2).sum(axis=1)[:, None] + (b**2).sum(axis=1)[None, :] - 2.0 * a @ b.T
     return np.maximum(sq, 0.0)
 
@@ -29,7 +41,16 @@ class RBFKernel:
             raise ModelError("kernel hyper-parameters must be positive")
 
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
-        return self.outputscale * np.exp(-0.5 * _scaled_sqdist(x1, x2, self.lengthscale))
+        return self.from_sqdist(pairwise_sqdist(x1, x2))
+
+    def from_sqdist(self, sqdist: np.ndarray) -> np.ndarray:
+        """Gram matrix from a precomputed unscaled squared-distance matrix."""
+        return self.outputscale * np.exp(-0.5 * sqdist / self.lengthscale**2)
+
+    def grad_from_sqdist(self, sqdist: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(K, dK/d log lengthscale)``; ``dK/d log outputscale`` is ``K`` itself."""
+        matrix = self.from_sqdist(sqdist)
+        return matrix, matrix * sqdist / self.lengthscale**2
 
     def diag(self, x: np.ndarray) -> np.ndarray:
         return np.full(len(np.atleast_2d(x)), self.outputscale)
@@ -50,9 +71,21 @@ class Matern52Kernel:
             raise ModelError("kernel hyper-parameters must be positive")
 
     def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
-        r = np.sqrt(_scaled_sqdist(x1, x2, self.lengthscale))
-        sqrt5_r = np.sqrt(5.0) * r
-        return self.outputscale * (1.0 + sqrt5_r + 5.0 * r**2 / 3.0) * np.exp(-sqrt5_r)
+        return self.from_sqdist(pairwise_sqdist(x1, x2))
+
+    def from_sqdist(self, sqdist: np.ndarray) -> np.ndarray:
+        """Gram matrix from a precomputed unscaled squared-distance matrix."""
+        r = np.sqrt(sqdist) / self.lengthscale
+        return self.outputscale * (1.0 + _SQRT5 * r + 5.0 * r**2 / 3.0) * np.exp(-_SQRT5 * r)
+
+    def grad_from_sqdist(self, sqdist: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(K, dK/d log lengthscale)``; ``dK/d log outputscale`` is ``K`` itself."""
+        r = np.sqrt(sqdist) / self.lengthscale
+        decay = np.exp(-_SQRT5 * r)
+        matrix = self.outputscale * (1.0 + _SQRT5 * r + 5.0 * r**2 / 3.0) * decay
+        # d/dr collapses to -(5r/3)(1 + sqrt5 r) exp(-sqrt5 r); dr/d log l = -r.
+        grad = self.outputscale * (5.0 * r**2 / 3.0) * (1.0 + _SQRT5 * r) * decay
+        return matrix, grad
 
     def diag(self, x: np.ndarray) -> np.ndarray:
         return np.full(len(np.atleast_2d(x)), self.outputscale)

@@ -32,13 +32,17 @@ class BOEngineConfig:
     use_trust_region: bool = True
     num_candidates: int = 256
     thompson_samples: int = 1
-    #: Refit the surrogate from scratch every ``refit_every`` observations.
-    refit_every: int = 1
+    #: Full (hyper-parameter) refit cadence.  Between full refits, new
+    #: observations are pushed into the warm surrogate with O(n^2) incremental
+    #: updates; ``refit_every=1`` disables the warm path entirely.
+    refit_every: int = 5
     svgp: SVGPConfig | None = None
 
     def __post_init__(self) -> None:
         if self.surrogate not in SURROGATES:
             raise OptimizationError(f"unknown surrogate {self.surrogate!r}; pick one of {SURROGATES}")
+        if self.refit_every < 1:
+            raise OptimizationError("refit_every must be at least 1")
 
 
 class BOEngine:
@@ -63,7 +67,10 @@ class BOEngine:
         self._y: list[float] = []
         self._censored: list[bool] = []
         self._surrogate = None
-        self._observations_since_fit = 0
+        #: How many of the recorded observations the surrogate has seen.
+        self._num_in_surrogate = 0
+        #: Observations absorbed incrementally since the last full refit.
+        self._observations_since_refit = 0
 
     # ------------------------------------------------------------------ data handling
     def _normalize(self, x: np.ndarray) -> np.ndarray:
@@ -72,8 +79,16 @@ class BOEngine:
     def _denormalize(self, x: np.ndarray) -> np.ndarray:
         return np.atleast_2d(x) * (self.upper - self.lower) + self.lower
 
-    def add_observation(self, x: np.ndarray, value: float, censored: bool = False) -> None:
-        """Record one evaluated point; updates the trust region state."""
+    def add_observation(
+        self, x: np.ndarray, value: float, censored: bool = False, update_trust_region: bool = True
+    ) -> None:
+        """Record one evaluated point; updates the trust region state.
+
+        Pass ``update_trust_region=False`` for replayed observations (e.g. a
+        duplicate plan whose cached latency is fed back to the surrogate): a
+        replay spent no budget and says nothing new about local progress, so it
+        must not count as a trust-region success or failure.
+        """
         x = np.asarray(x, dtype=np.float64).reshape(-1)
         if x.shape != self.lower.shape:
             raise OptimizationError(f"point has dimension {len(x)}, expected {self.dim}")
@@ -81,9 +96,8 @@ class BOEngine:
         self._x.append(x)
         self._y.append(float(value))
         self._censored.append(bool(censored))
-        self._observations_since_fit += 1
         improved = (not censored) and (previous_best is None or value < previous_best)
-        if len(self._y) > 1:
+        if update_trust_region and len(self._y) > 1:
             self.trust_region.update(improved)
 
     @property
@@ -118,20 +132,40 @@ class BOEngine:
         return CensoredGP()
 
     def fit(self, force: bool = False) -> None:
-        """(Re)fit the surrogate on all observations."""
+        """Bring the surrogate up to date with all recorded observations.
+
+        The surrogate is kept *warm* between iterations: new observations are
+        pushed into the fitted model with O(n^2) incremental updates, and a
+        full from-scratch refit (with hyper-parameter optimization and the
+        complete censored-EM loop) only happens every
+        ``config.refit_every`` observations, on the first fit, on ``force``,
+        or for surrogates without an incremental path (the SVGP).
+        """
         if self.num_observations == 0:
             raise OptimizationError("cannot fit the surrogate with no observations")
-        if (
-            not force
-            and self._surrogate is not None
-            and self._observations_since_fit < self.config.refit_every
-        ):
+        pending = self.num_observations - self._num_in_surrogate
+        if not force and self._surrogate is not None and pending == 0:
             return
-        x, y, censored = self.observations()
-        surrogate = self._build_surrogate()
-        surrogate.fit(self._normalize(x), y, censored)
-        self._surrogate = surrogate
-        self._observations_since_fit = 0
+        incremental = (
+            not force
+            and pending > 0
+            and self._surrogate is not None
+            and hasattr(self._surrogate, "add_observation")
+            and self._observations_since_refit + pending < self.config.refit_every
+        )
+        if incremental:
+            for index in range(self._num_in_surrogate, self.num_observations):
+                self._surrogate.add_observation(
+                    self._normalize(self._x[index])[0], self._y[index], self._censored[index]
+                )
+            self._observations_since_refit += pending
+        else:
+            x, y, censored = self.observations()
+            surrogate = self._build_surrogate()
+            surrogate.fit(self._normalize(x), y, censored)
+            self._surrogate = surrogate
+            self._observations_since_refit = 0
+        self._num_in_surrogate = self.num_observations
 
     @property
     def surrogate(self):
@@ -149,6 +183,25 @@ class BOEngine:
         normalized = self._normalize(x)
         mean, std = self.surrogate.fantasize(normalized, censor_level, normalized)
         return float(mean[0]), float(std[0])
+
+    @property
+    def supports_batched_fantasize(self) -> bool:
+        """Whether the active surrogate can fantasize many censor levels at once."""
+        return hasattr(self.surrogate, "fantasize_batch")
+
+    def fantasize_censored_batch(
+        self, x: np.ndarray, censor_levels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior at ``x`` for every hypothetical censoring level, in one call.
+
+        The uncertainty-based timeout rule probes many levels per candidate;
+        batching them shares a single rank-1 Cholesky extension instead of
+        refitting the surrogate once per level.
+        """
+        normalized = self._normalize(x)
+        levels = np.asarray(censor_levels, dtype=np.float64).reshape(-1)
+        means, stds = self.surrogate.fantasize_batch(normalized, levels, normalized)
+        return means[:, 0], stds[:, 0]
 
     # ------------------------------------------------------------------ acquisition
     def suggest(self) -> np.ndarray:

@@ -33,6 +33,9 @@ class BayesQOConfig:
     use_trust_region: bool = True
     num_candidates: int = 256
     thompson_samples: int = 1
+    #: Full hyper-parameter refit cadence of the surrogate; between refits new
+    #: observations are absorbed with O(n^2) warm updates (1 = always refit).
+    refit_every: int = 5
 
     # Timeouts -----------------------------------------------------------------
     timeout_strategy: str = "uncertainty"
@@ -61,6 +64,8 @@ class BayesQOConfig:
     def __post_init__(self) -> None:
         if self.max_executions < 1:
             raise OptimizationError("max_executions must be at least 1")
+        if self.refit_every < 1:
+            raise OptimizationError("refit_every must be at least 1")
         if self.surrogate not in SURROGATES:
             raise OptimizationError(f"unknown surrogate {self.surrogate!r}")
         if self.timeout_strategy not in TIMEOUT_STRATEGIES:
@@ -73,6 +78,8 @@ class BayesQOConfig:
             )
         if self.timeout_kappa < 0:
             raise OptimizationError("timeout_kappa must be non-negative")
+        if not 0.0 <= self.timeout_percentile <= 100.0:
+            raise OptimizationError("timeout_percentile must be in [0, 100]")
         if self.timeout_max_multiplier < 1.0:
             raise OptimizationError("timeout_max_multiplier must be at least 1")
 

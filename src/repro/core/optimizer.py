@@ -167,6 +167,7 @@ class BayesQO:
                 use_trust_region=config.use_trust_region,
                 num_candidates=config.num_candidates,
                 thompson_samples=config.thompson_samples,
+                refit_every=config.refit_every,
             ),
             seed=config.seed,
         )
@@ -264,9 +265,17 @@ class BayesQO:
 
             key = plan.canonical()
             if key in executed:
-                # Duplicate plan: reuse the cached observation without spending budget.
+                # Duplicate plan: reuse the cached observation without spending
+                # budget.  The replay must not touch the trust region — it is
+                # not a fresh success or failure, and counting it as one would
+                # spuriously shrink (or grow) the region.  Censored replays
+                # obey the same learn_from_timeouts gate as fresh executions.
                 latency, censored, _ = executed[key]
-                self._observe(engine, query, plan, latency, censored, None, x=candidate)
+                if not censored or self.config.learn_from_timeouts:
+                    self._observe(
+                        engine, query, plan, latency, censored, None, x=candidate,
+                        update_trust_region=False,
+                    )
                 continue
 
             best_latency = self._best_latency(result)
@@ -299,9 +308,12 @@ class BayesQO:
         censored: bool,
         observed_latencies: list[float] | None,
         x: np.ndarray | None = None,
+        update_trust_region: bool = True,
     ) -> None:
         if x is None:
             x = self.schema_model.latent_space.embed_plan(plan, query)
-        engine.add_observation(x, math.log(max(latency, _MIN_LATENCY)), censored)
+        engine.add_observation(
+            x, math.log(max(latency, _MIN_LATENCY)), censored, update_trust_region=update_trust_region
+        )
         if observed_latencies is not None and not censored:
             observed_latencies.append(latency)

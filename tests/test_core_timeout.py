@@ -40,6 +40,41 @@ class TestSimplePolicies:
         policy = MultiplierTimeout(multiplier=1.5)
         assert policy.select(None, None, 2.0, [2.0]) == pytest.approx(3.0)
 
+    def test_percentile_incremental_matches_numpy(self):
+        """The sorted running structure must agree with a full np.percentile
+        recomputation as the (append-only) latency list grows."""
+        rng = np.random.default_rng(0)
+        policy = PercentileTimeout(percentile=25.0)
+        latencies: list[float] = []
+        for _ in range(40):
+            latencies.append(float(rng.exponential(2.0)))
+            expected = float(np.percentile(np.asarray(latencies), 25.0))
+            assert policy.select(None, None, latencies[0], latencies) == pytest.approx(expected)
+
+    def test_percentile_rebuilds_on_shorter_list(self):
+        policy = PercentileTimeout(percentile=50.0)
+        assert policy.select(None, None, 1.0, [1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        # A new (shorter) history means a new run: the mirror must be rebuilt.
+        assert policy.select(None, None, 5.0, [5.0, 7.0]) == pytest.approx(6.0)
+        assert policy.select(None, None, 5.0, []) == policy.fallback
+        assert policy.select(None, None, 4.0, [4.0]) == pytest.approx(4.0)
+
+    def test_percentile_out_of_range_rejected(self):
+        with pytest.raises(OptimizationError):
+            PercentileTimeout(percentile=-10.0).select(None, None, 1.0, [1.0, 5.0])
+        with pytest.raises(OptimizationError):
+            PercentileTimeout(percentile=150.0).select(None, None, 1.0, [1.0, 5.0])
+
+    def test_percentile_rebuilds_on_different_history_of_equal_or_longer_length(self):
+        """Reusing one policy instance across runs must not mix histories,
+        even when the new run's list is already longer than the consumed one."""
+        policy = PercentileTimeout(percentile=50.0)
+        assert policy.select(None, None, 1.0, [9.0, 10.0]) == pytest.approx(9.5)
+        fresh = [1.0, 2.0, 3.0]  # different run, longer than the consumed prefix
+        assert policy.select(None, None, 1.0, fresh) == pytest.approx(2.0)
+        fresh.append(4.0)
+        assert policy.select(None, None, 1.0, fresh) == pytest.approx(2.5)
+
     def test_factory(self):
         assert isinstance(build_timeout_policy("none"), NoTimeout)
         assert isinstance(build_timeout_policy("uncertainty"), UncertaintyTimeout)
@@ -90,3 +125,26 @@ class TestUncertaintyPolicy:
         policy = UncertaintyTimeout()
         timeout = policy.select(engine, np.array([0.2, 0.8]), 0.5, [0.5, 0.7])
         assert math.isfinite(timeout) and timeout > 0
+
+    def test_batched_path_is_used_and_agrees_with_sequential(self):
+        """The CensoredGP engine exposes the batched fantasize path; forcing
+        the sequential bisection fallback must land on (nearly) the same
+        timeout, since both probe the same fantasized LCB boundary."""
+        engine = self.make_engine()
+        assert engine.supports_batched_fantasize
+        candidate = np.array([0.7, 0.3])
+        policy = UncertaintyTimeout(kappa=1.0, max_multiplier=16.0)
+        batched = policy.select(engine, candidate, 1.0, [1.0])
+
+        low, high = math.log(1.0), math.log(16.0)
+        sequential = policy._select_sequential(engine, candidate, low, high, low)
+        # Grid and bisection share the same resolution over log tau.
+        resolution = (high - low) / 2**policy.bisection_steps
+        assert abs(math.log(batched) - math.log(sequential)) <= 2 * resolution + 1e-9
+
+    def test_batched_grid_is_capped_for_large_bisection_steps(self):
+        """A huge bisection_steps must not allocate an exponential grid."""
+        engine = self.make_engine()
+        policy = UncertaintyTimeout(bisection_steps=30, max_multiplier=16.0)
+        timeout = policy.select(engine, np.array([0.4, 0.4]), 1.0, [1.0])
+        assert 1.0 <= timeout <= 16.0 + 1e-6
