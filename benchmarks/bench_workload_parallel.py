@@ -1,0 +1,222 @@
+"""Workload scheduler benchmark: sequential vs interleaved plan execution.
+
+The ask/tell refactor makes the harness the loop owner, so a
+``WorkloadSession`` can keep one plan execution in flight per query while
+suggest/observe stepping stays on the scheduler thread.  This bench measures
+the wall-clock effect on a multi-query workload.
+
+Plan "execution" in this repository is simulated (the executor charges a cost
+model, not wall-clock), so to model the deployment the paper targets — where
+each execution is a round-trip to a DBMS that dwarfs optimizer overhead — the
+workload's database is wrapped so every ``execute`` also sleeps for a bounded
+slice proportional to the execution's charged cost.  That is exactly the
+regime the interleaved scheduler exploits: while one query's plan waits on
+the (simulated) DBMS, other queries' plans proceed.
+
+The bench runs the ``random`` technique (deterministic per-query RNG, no VAE
+training) twice with the same seed — ``max_workers=1`` sequential vs
+``max_workers=N`` interleaved — asserts the per-query traces are *identical*,
+and requires the interleaved pass to be at least 1.5x faster in wall-clock.
+
+Run:  PYTHONPATH=src python benchmarks/bench_workload_parallel.py [--smoke] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.protocol import BudgetSpec
+from repro.db.catalog import Column, ForeignKey, Schema, Table
+from repro.db.datagen import ColumnSpec, DataGenerator, TableSpec
+from repro.db.engine import Database
+from repro.db.query import FilterPredicate, JoinPredicate, Query, TableRef
+from repro.harness import WorkloadSession
+from repro.workloads.base import Workload
+
+NUM_QUERIES = 6
+EXECUTIONS_PER_QUERY = 12
+SMOKE_EXECUTIONS = 8
+MAX_WORKERS = 4
+REQUIRED_SPEEDUP = 1.5
+#: Simulated DBMS round-trip per execution: cost * scale, clamped to a band so
+#: the bench finishes quickly but the per-execution wait dominates scheduling
+#: overhead.
+SLEEP_SCALE = 0.005
+SLEEP_FLOOR = 0.010
+SLEEP_CAP = 0.040
+
+
+class RoundTripDatabase:
+    """Database wrapper that sleeps per execution, modelling DBMS round-trips.
+
+    The sleep is derived from the execution's charged cost (timeout when
+    censored, latency otherwise), so both scheduling modes pay identical
+    per-execution waits and wall-clock differences come purely from overlap.
+    """
+
+    def __init__(self, inner, scale=SLEEP_SCALE, floor=SLEEP_FLOOR, cap=SLEEP_CAP):
+        self._inner = inner
+        self._scale = scale
+        self._floor = floor
+        self._cap = cap
+
+    def execute(self, query, plan=None, timeout=None):
+        execution = self._inner.execute(query, plan, timeout=timeout)
+        charged = execution.latency if not execution.timed_out else (timeout or execution.latency)
+        time.sleep(min(max(charged * self._scale, self._floor), self._cap))
+        return execution
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def build_bench_workload() -> Workload:
+    """A small star-schema workload: executions cost ~1 ms of real CPU, so the
+    modelled DBMS round-trip (not local compute) dominates — the regime the
+    interleaved scheduler targets."""
+    tables = [
+        Table("orders", [Column("id"), Column("customer_id"), Column("product_id"),
+                         Column("quantity"), Column("order_date", "date")]),
+        Table("customer", [Column("id"), Column("region"), Column("segment")]),
+        Table("product", [Column("id"), Column("category"), Column("price")]),
+        Table("shipment", [Column("id"), Column("order_id"), Column("carrier"),
+                           Column("ship_date", "date")]),
+    ]
+    foreign_keys = [
+        ForeignKey("orders", "customer_id", "customer", "id"),
+        ForeignKey("orders", "product_id", "product", "id"),
+        ForeignKey("shipment", "order_id", "orders", "id"),
+    ]
+    schema = Schema("bench_star", tables, foreign_keys)
+    schema.index_all_join_keys()
+    specs = {
+        "orders": TableSpec(4000, {
+            "quantity": ColumnSpec("categorical", cardinality=20, skew=1.2),
+            "order_date": ColumnSpec("date", date_min=0, date_max=1000),
+        }, fk_skew=1.3),
+        "customer": TableSpec(500, {
+            "region": ColumnSpec("categorical", cardinality=8, skew=1.0),
+            "segment": ColumnSpec("categorical", cardinality=4, skew=0.8),
+        }),
+        "product": TableSpec(400, {
+            "category": ColumnSpec("categorical", cardinality=10, skew=1.1),
+            "price": ColumnSpec("categorical", cardinality=50, skew=1.3),
+        }),
+        "shipment": TableSpec(4500, {
+            "carrier": ColumnSpec("categorical", cardinality=5, skew=1.0),
+            "ship_date": ColumnSpec("date", date_min=0, date_max=1000),
+        }, fk_skew=1.4),
+    }
+    database = Database(schema, DataGenerator(schema, specs, seed=11).generate(), seed=11)
+    queries = []
+    for i in range(NUM_QUERIES):
+        if i % 2 == 0:
+            queries.append(Query(
+                name=f"bench_q{i}",
+                table_refs=[TableRef("orders#1", "orders"), TableRef("customer#1", "customer"),
+                            TableRef("product#1", "product"), TableRef("shipment#1", "shipment")],
+                join_predicates=[
+                    JoinPredicate("orders#1", "customer_id", "customer#1", "id"),
+                    JoinPredicate("orders#1", "product_id", "product#1", "id"),
+                    JoinPredicate("shipment#1", "order_id", "orders#1", "id"),
+                ],
+                filters=[FilterPredicate("customer#1", "region", "=", i % 8),
+                         FilterPredicate("shipment#1", "ship_date", ">=", 100 * i)],
+                template="bench_T1",
+            ))
+        else:
+            queries.append(Query(
+                name=f"bench_q{i}",
+                table_refs=[TableRef("orders#1", "orders"), TableRef("customer#1", "customer"),
+                            TableRef("product#1", "product")],
+                join_predicates=[
+                    JoinPredicate("orders#1", "customer_id", "customer#1", "id"),
+                    JoinPredicate("orders#1", "product_id", "product#1", "id"),
+                ],
+                filters=[FilterPredicate("product#1", "category", "=", i % 10)],
+                template="bench_T2",
+            ))
+    return Workload(name="bench_star", database=database, queries=queries, max_aliases=1,
+                    description="scheduler bench workload")
+
+
+def run_benchmark(executions: int, workers: int, seed: int = 0) -> dict:
+    base = build_bench_workload()
+    workload = Workload(
+        name=base.name,
+        database=RoundTripDatabase(base.database),
+        queries=base.queries,
+        max_aliases=base.max_aliases,
+        description=base.description,
+    )
+    budget = BudgetSpec(max_executions=executions)
+
+    def timed_run(max_workers: int):
+        session = WorkloadSession(
+            workload, budget=budget, seed=seed, max_workers=max_workers
+        )
+        start = time.perf_counter()
+        results = session.run("random")
+        return time.perf_counter() - start, results
+
+    sequential_s, sequential = timed_run(1)
+    interleaved_s, interleaved = timed_run(workers)
+
+    equivalent = all(
+        sequential[name].trace_signature() == interleaved[name].trace_signature()
+        for name in sequential
+    )
+    total_executions = sum(result.num_executions for result in sequential.values())
+    return {
+        "technique": "random",
+        "num_queries": NUM_QUERIES,
+        "executions_per_query": executions,
+        "total_executions": total_executions,
+        "max_workers": workers,
+        "sequential_s": sequential_s,
+        "interleaved_s": interleaved_s,
+        "speedup": sequential_s / interleaved_s,
+        "traces_equivalent": equivalent,
+        "sleep_model": {"scale": SLEEP_SCALE, "floor": SLEEP_FLOOR, "cap": SLEEP_CAP},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="smaller budget (CI smoke mode)")
+    parser.add_argument("--json", metavar="PATH", help="write the result breakdown to PATH")
+    parser.add_argument("--workers", type=int, default=MAX_WORKERS, help="interleaved pool size")
+    args = parser.parse_args(argv)
+
+    executions = SMOKE_EXECUTIONS if args.smoke else EXECUTIONS_PER_QUERY
+    report = run_benchmark(executions, args.workers)
+    print(
+        f"workload scheduler @ {report['num_queries']} queries x "
+        f"{report['executions_per_query']} executions ({report['max_workers']} workers)"
+    )
+    print(f"  sequential  {report['sequential_s'] * 1e3:8.1f} ms")
+    print(f"  interleaved {report['interleaved_s'] * 1e3:8.1f} ms")
+    print(f"  speedup {report['speedup']:.1f}x   traces equivalent: {report['traces_equivalent']}")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"  wrote {args.json}")
+
+    failures = []
+    if not report["traces_equivalent"]:
+        failures.append("interleaved traces diverge from the sequential schedule")
+    if report["speedup"] < REQUIRED_SPEEDUP:
+        failures.append(
+            f"speedup {report['speedup']:.2f}x below the required {REQUIRED_SPEEDUP}x"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,21 @@ Runs BayesQO, Random search and the simplified Balsa agent with the same
 per-query execution budget (the Figure 3 methodology) and prints per-query
 improvements over the best Bao hint-set plan plus the improvement CDF.
 
+The loop owner is a :class:`repro.harness.WorkloadSession`: it resolves each
+technique from the registry, drives it through the ask/tell protocol
+(``start``/``suggest``/``observe``/``finish``), shares one schema model and
+budget, and computes the Bao baseline exactly once.  With ``max_workers > 1``
+the session interleaves the per-query optimizers, overlapping plan executions
+on a thread pool without changing any technique's plan sequence — techniques
+whose registry entry is marked ``order_sensitive`` (Balsa shares its RNG and
+value network across queries) are automatically kept sequential so their
+results stay deterministic too.
+
+Calling ``optimizer.optimize(...)`` directly still works but is deprecated:
+it spins up a private single-query loop that cannot share budgets, schema
+models or the execution pool.  Prefer a session (or the thin
+``run_technique``/``run_comparison`` wrappers).
+
 Run with::
 
     python examples/compare_techniques.py
@@ -14,17 +29,17 @@ from __future__ import annotations
 from repro.core import BayesQOConfig, VAETrainingConfig
 from repro.harness import (
     BudgetSpec,
+    WorkloadSession,
     format_cdf,
     format_table,
     improvement_cdf,
     improvement_distribution,
-    prepare_schema_model,
-    run_comparison,
 )
 from repro.workloads import build_job_workload
 
 NUM_QUERIES = 4
 EXECUTIONS = 40
+TECHNIQUES = ("bayesqo", "random", "balsa")
 
 
 def main() -> None:
@@ -32,23 +47,24 @@ def main() -> None:
     queries = workload.queries[:NUM_QUERIES]
     print(f"Comparing techniques on {len(queries)} {workload.name} queries "
           f"({EXECUTIONS} plan executions each)...")
-    schema_model = prepare_schema_model(
-        workload, VAETrainingConfig(training_steps=1500, corpus_queries=120)
-    )
-    run = run_comparison(
+
+    session = WorkloadSession(
         workload,
-        queries,
-        BudgetSpec(max_executions=EXECUTIONS),
-        techniques=["bayesqo", "random", "balsa"],
-        schema_model=schema_model,
+        queries=queries,
+        budget=BudgetSpec(max_executions=EXECUTIONS),
         bayes_config=BayesQOConfig(max_executions=EXECUTIONS, seed=0),
+        vae_config=VAETrainingConfig(training_steps=1500, corpus_queries=120),
+        seed=0,
+        max_workers=4,  # interleave per-query optimizers over a thread pool
     )
+    bao_latencies = session.bao_latencies()
+    results = {technique: session.run(technique) for technique in TECHNIQUES}
 
     rows = []
     for query in queries:
-        row = [query.name, f"{run.bao_latencies[query.name]:.4f}"]
-        for technique in ("bayesqo", "random", "balsa"):
-            best = run.results[technique][query.name].best_latency_or(float("nan"))
+        row = [query.name, f"{bao_latencies[query.name]:.4f}"]
+        for technique in TECHNIQUES:
+            best = results[technique][query.name].best_latency_or(float("nan"))
             row.append(f"{best:.4f}")
         rows.append(row)
     print()
@@ -56,9 +72,9 @@ def main() -> None:
                        title="Best plan latency per technique"))
 
     series = {
-        technique: improvement_cdf(improvement_distribution(results, run.bao_latencies),
+        technique: improvement_cdf(improvement_distribution(technique_results, bao_latencies),
                                    thresholds=[0.0, 10.0, 25.0, 50.0])
-        for technique, results in run.results.items()
+        for technique, technique_results in results.items()
     }
     print()
     print(format_cdf(series, "Fraction of queries with >= x% improvement over Bao"))

@@ -1,19 +1,33 @@
-"""Baseline offline-optimization techniques: Bao, Random, Balsa and LimeQO."""
+"""Baseline offline-optimization techniques: Bao, Random, Balsa and LimeQO.
 
-from repro.baselines.balsa import BalsaConfig, BalsaOptimizer, PlanFeaturizer
-from repro.baselines.bao import BaoOptimizer, BaoOutcome, bao_best_latency
-from repro.baselines.limeqo import LimeQOConfig, LimeQOOptimizer, complete_matrix
-from repro.baselines.random_search import RandomSearch
+Importing this package registers every baseline with the technique registry
+(:mod:`repro.core.registry`); all of them implement the ask/tell protocol of
+:mod:`repro.core.protocol` and are driven by the harness's WorkloadSession.
+"""
+
+from repro.baselines.balsa import BalsaConfig, BalsaOptimizer, BalsaState, PlanFeaturizer
+from repro.baselines.bao import BaoOptimizer, BaoOutcome, BaoState, bao_best_latency
+from repro.baselines.limeqo import (
+    LimeQOConfig,
+    LimeQOOptimizer,
+    LimeQOWorkloadState,
+    complete_matrix,
+)
+from repro.baselines.random_search import RandomSearch, RandomSearchState
 
 __all__ = [
     "BalsaConfig",
     "BalsaOptimizer",
+    "BalsaState",
     "BaoOptimizer",
     "BaoOutcome",
+    "BaoState",
     "LimeQOConfig",
     "LimeQOOptimizer",
+    "LimeQOWorkloadState",
     "PlanFeaturizer",
     "RandomSearch",
+    "RandomSearchState",
     "bao_best_latency",
     "complete_matrix",
 ]

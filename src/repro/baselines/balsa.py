@@ -23,10 +23,18 @@ Its training set is seeded with the Bao hint-set plans, as in the paper.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.protocol import (
+    BudgetSpec,
+    ExecutionOutcome,
+    OptimizerState,
+    PlanProposal,
+    drive_state,
+)
+from repro.core.registry import TechniqueContext, register_technique
 from repro.core.result import OptimizationResult
 from repro.db.engine import Database
 from repro.db.query import Query
@@ -88,6 +96,29 @@ class PlanFeaturizer:
         return np.concatenate([adjacency.reshape(-1), op_counts, extras])
 
 
+@dataclass
+class BalsaState(OptimizerState):
+    """Resumable Balsa state: training set, plan cache and the incumbent.
+
+    The value network and its RNG live on the *optimizer* (shared across
+    queries, as in the original agent), so interleaving queries shuffles the
+    exploration stream; run Balsa sequentially when bitwise reproducibility
+    across scheduling modes matters.
+    """
+
+    hint_sets: list = field(default_factory=list)
+    next_hint: int = 0
+    seen_hint_plans: set = field(default_factory=set)
+    features: list = field(default_factory=list)
+    targets: list = field(default_factory=list)
+    #: plan canonical -> training label (the plan cache; duplicates are free).
+    executed: dict = field(default_factory=dict)
+    best_latency: float | None = None
+    best_plan: JoinTree | None = None
+    steps: int = 0
+    step_cap: int = 0
+
+
 class BalsaOptimizer:
     """Offline optimization with a regret-minimizing RL-style agent."""
 
@@ -119,73 +150,101 @@ class BalsaOptimizer:
         features = np.stack([self.featurizer.featurize(query, plan) for plan in plans])
         return self._model.forward(features).reshape(-1)
 
-    # ------------------------------------------------------------------ optimization loop
-    def optimize(
-        self,
-        query: Query,
-        max_executions: int = 100,
-        time_budget: float | None = None,
-    ) -> OptimizationResult:
-        config = self.config
-        result = OptimizationResult(query_name=query.name, technique="Balsa")
-        features: list[np.ndarray] = []
-        targets: list[float] = []
-        executed: dict[str, float] = {}
-        best_latency: float | None = None
-        best_plan: JoinTree | None = None
+    # ------------------------------------------------------------------ ask/tell protocol
+    def start(self, query: Query, budget: BudgetSpec | None = None) -> BalsaState:
+        budget = budget or BudgetSpec(max_executions=100)
+        max_executions = budget.max_executions if budget.max_executions is not None else 100
+        return BalsaState(
+            query=query,
+            result=OptimizationResult(query_name=query.name, technique="Balsa"),
+            budget=budget,
+            hint_sets=list(bao_hint_sets()),
+            step_cap=max_executions * 10,
+        )
 
-        def budget_left() -> bool:
-            if result.num_executions >= max_executions:
-                return False
-            if time_budget is not None and result.total_cost >= time_budget:
-                return False
-            return True
+    def _timeout(self, state: BalsaState) -> float:
+        return (
+            600.0
+            if state.best_latency is None
+            else state.best_latency * self.config.timeout_multiplier
+        )
 
-        def run_plan(plan: JoinTree, source: str) -> None:
-            nonlocal best_latency, best_plan
-            timeout = (
-                600.0 if best_latency is None else best_latency * config.timeout_multiplier
-            )
-            execution = self.database.execute(query, plan, timeout=timeout)
-            result.record(plan, execution.latency, execution.timed_out, timeout, source)
-            label = execution.latency if not execution.timed_out else (timeout or execution.latency)
-            executed[plan.canonical()] = label
-            features.append(self.featurizer.featurize(query, plan))
-            targets.append(math.log(max(label, _MIN_LATENCY)))
-            if not execution.timed_out and (best_latency is None or execution.latency < best_latency):
-                best_latency = execution.latency
-                best_plan = plan
-
+    def suggest(self, state: BalsaState) -> PlanProposal | None:
+        """Bao hint-set seeds first, then epsilon-greedy value-network search."""
+        state.require_idle()
+        config, query = self.config, state.query
         # Seed with the Bao hint-set plans (training examples include the Bao optimum).
-        seen_hint_plans: set[str] = set()
-        for hint_set in bao_hint_sets():
-            if not budget_left():
-                break
+        while state.next_hint < len(state.hint_sets):
+            hint_set = state.hint_sets[state.next_hint]
+            state.next_hint += 1
             plan = self.database.plan(query, hint_set)
-            if plan.canonical() in seen_hint_plans:
+            if plan.canonical() in state.seen_hint_plans:
                 continue
-            seen_hint_plans.add(plan.canonical())
-            run_plan(plan, "init:bao")
-
-        steps = 0
-        step_cap = max_executions * 10
-        while budget_left() and steps < step_cap:
-            steps += 1
-            if steps % config.retrain_every == 1 and features:
-                self._train(np.stack(features), np.asarray(targets))
+            state.seen_hint_plans.add(plan.canonical())
+            return state.park(
+                PlanProposal(plan=plan, timeout=self._timeout(state), source="init:bao", query=query)
+            )
+        while state.steps < state.step_cap:
+            state.steps += 1
+            if state.steps % config.retrain_every == 1 and state.features:
+                self._train(np.stack(state.features), np.asarray(state.targets))
             roll = self._rng.random()
-            if roll < config.exploit_probability and best_plan is not None:
+            if roll < config.exploit_probability and state.best_plan is not None:
                 # Regret-minimizing exploitation: re-run the best known plan.
-                candidate = best_plan
+                candidate = state.best_plan
             elif roll < config.exploit_probability + config.epsilon:
                 candidate = random_join_tree(query, self._rng)
             else:
                 pool = [random_join_tree(query, self._rng) for _ in range(config.candidates_per_step)]
                 scores = self._predict(query, pool)
                 candidate = pool[int(np.argmin(scores))]
-            key = candidate.canonical()
-            if key in executed:
+            if candidate.canonical() in state.executed:
                 # Duplicate plans are served from the plan cache (no budget spent).
                 continue
-            run_plan(candidate, "balsa")
-        return result
+            return state.park(
+                PlanProposal(plan=candidate, timeout=self._timeout(state), source="balsa", query=query)
+            )
+        return None
+
+    def observe(self, state: BalsaState, outcome: ExecutionOutcome) -> None:
+        record = state.record_pending(outcome)
+        label = record.latency if not record.censored else (record.timeout or record.latency)
+        state.executed[record.plan.canonical()] = label
+        state.features.append(self.featurizer.featurize(state.query, record.plan))
+        state.targets.append(math.log(max(label, _MIN_LATENCY)))
+        if not record.censored and (
+            state.best_latency is None or record.latency < state.best_latency
+        ):
+            state.best_latency = record.latency
+            state.best_plan = record.plan
+
+    def finish(self, state: BalsaState) -> OptimizationResult:
+        return state.result
+
+    # ------------------------------------------------------------------ legacy driver
+    def optimize(
+        self,
+        query: Query,
+        max_executions: int = 100,
+        time_budget: float | None = None,
+    ) -> OptimizationResult:
+        """Run the Balsa agent for one query.
+
+        .. deprecated:: PR 2
+            Compatibility shim over the ask/tell protocol; prefer driving the
+            optimizer through a WorkloadSession.
+        """
+        state = self.start(
+            query, budget=BudgetSpec(max_executions=max_executions, time_budget=time_budget)
+        )
+        drive_state(self, self.database, state)
+        return self.finish(state)
+
+
+@register_technique(
+    "balsa",
+    order_sensitive=True,  # value network + RNG are shared across queries
+    description="Simplified Balsa: RL-style value-network plan search (regret minimizing)",
+)
+def _build_balsa(context: TechniqueContext) -> BalsaOptimizer:
+    return BalsaOptimizer(context.database, BalsaConfig(seed=context.seed))

@@ -7,6 +7,15 @@ squares), and uses the completed matrix to decide which entry to observe
 next.  Its search space is limited to the 49 hint sets, so once every hint has
 been explored there is nothing left to improve — the behaviour Figure 10
 contrasts with BayesQO's continued progress.
+
+As the one *workload-level* technique, LimeQO implements the
+:class:`~repro.core.protocol.WorkloadOptimizer` protocol: a single resumable
+state spans every query, and each :class:`~repro.core.protocol.PlanProposal`
+names the query whose matrix cell it wants observed.  Budget normalization
+lives with the caller: a :class:`~repro.harness.runner.WorkloadSession`
+charges LimeQO against the shared pool ``BudgetSpec.scaled(len(queries))`` —
+the same per-query budget every other technique pays — instead of the old
+private ``max_executions * len(queries)`` arithmetic.
 """
 
 from __future__ import annotations
@@ -16,6 +25,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.protocol import (
+    BudgetSpec,
+    ExecutionOutcome,
+    PlanProposal,
+    WorkloadOptimizerState,
+    drive_state,
+)
+from repro.core.registry import TechniqueContext, register_technique
 from repro.core.result import OptimizationResult
 from repro.db.engine import Database
 from repro.db.query import Query
@@ -78,6 +95,18 @@ def complete_matrix(
     return u @ v.T
 
 
+@dataclass
+class LimeQOWorkloadState(WorkloadOptimizerState):
+    """Resumable LimeQO state: the partially observed latency matrix."""
+
+    matrix: LimeQOState | None = None
+    #: Pre-planned hint plans, ``plans[query_index][hint_index]``.
+    plans: list = field(default_factory=list)
+    best: list = field(default_factory=list)
+    #: How many queries have had their default hint set bootstrapped.
+    bootstrapped: int = 0
+
+
 class LimeQOOptimizer:
     """Workload-level hint exploration with low-rank completion."""
 
@@ -85,67 +114,109 @@ class LimeQOOptimizer:
         self.database = database
         self.config = config or LimeQOConfig()
 
+    # ------------------------------------------------------------------ ask/tell protocol
+    def start_workload(
+        self, queries: list[Query], budget: BudgetSpec | None = None
+    ) -> LimeQOWorkloadState:
+        """Build one resumable state spanning every query's hint matrix."""
+        hint_sets = bao_hint_sets()
+        return LimeQOWorkloadState(
+            queries=list(queries),
+            results={query.name: OptimizationResult(query.name, "LimeQO") for query in queries},
+            budget=budget if budget is not None else BudgetSpec(max_executions=None),
+            matrix=LimeQOState(queries=list(queries), hint_sets=hint_sets),
+            plans=[
+                [self.database.plan(query, hint_set) for hint_set in hint_sets]
+                for query in queries
+            ],
+            best=[None] * len(queries),
+        )
+
+    def _propose_cell(
+        self, state: LimeQOWorkloadState, query_index: int, hint_index: int
+    ) -> PlanProposal:
+        query = state.queries[query_index]
+        timeout = (
+            600.0
+            if state.best[query_index] is None
+            else state.best[query_index] * self.config.timeout_multiplier
+        )
+        return state.park(
+            PlanProposal(
+                plan=state.plans[query_index][hint_index],
+                timeout=timeout,
+                source="limeqo",
+                query=query,
+                metadata={"cell": (query_index, hint_index)},
+            )
+        )
+
+    def suggest(self, state: LimeQOWorkloadState) -> PlanProposal | None:
+        """Bootstrap the default hint per query, then follow the completed matrix."""
+        state.require_idle()
+        if state.bootstrapped < len(state.queries):
+            query_index = state.bootstrapped
+            state.bootstrapped += 1
+            return self._propose_cell(state, query_index, 0)
+        matrix = state.matrix
+        if matrix.observed.all():
+            return None
+        completed = complete_matrix(
+            matrix.latencies,
+            matrix.observed,
+            rank=self.config.rank,
+            iterations=self.config.als_iterations,
+            regularization=self.config.regularization,
+            seed=self.config.seed,
+        )
+        candidate = np.where(matrix.observed, np.inf, completed)
+        query_index, hint_index = np.unravel_index(np.argmin(candidate), candidate.shape)
+        return self._propose_cell(state, int(query_index), int(hint_index))
+
+    def observe(self, state: LimeQOWorkloadState, outcome: ExecutionOutcome) -> None:
+        proposal = state.pending
+        record = state.record_pending(outcome)
+        query_index, hint_index = proposal.metadata["cell"]
+        label = record.latency if not record.censored else (record.timeout or record.latency)
+        state.matrix.observed[query_index, hint_index] = True
+        state.matrix.latencies[query_index, hint_index] = math.log(max(label, _MIN_LATENCY))
+        if not record.censored:
+            current = state.best[query_index]
+            if current is None or record.latency < current:
+                state.best[query_index] = record.latency
+
+    def finish_workload(self, state: LimeQOWorkloadState) -> dict[str, OptimizationResult]:
+        return state.results
+
+    # ------------------------------------------------------------------ legacy driver
     def optimize_workload(
         self,
         queries: list[Query],
         max_executions: int | None = None,
         time_budget: float | None = None,
     ) -> dict[str, OptimizationResult]:
-        """Explore hints for the whole workload; returns per-query traces."""
-        hint_sets = bao_hint_sets()
-        state = LimeQOState(queries=queries, hint_sets=hint_sets)
-        results = {query.name: OptimizationResult(query.name, "LimeQO") for query in queries}
-        plans = [[self.database.plan(query, hint_set) for hint_set in hint_sets] for query in queries]
-        best: list[float | None] = [None] * len(queries)
-        total_executions = 0
+        """Explore hints for the whole workload; returns per-query traces.
 
-        def budget_left() -> bool:
-            if max_executions is not None and total_executions >= max_executions:
-                return False
-            if time_budget is not None:
-                spent = sum(result.total_cost for result in results.values())
-                if spent >= time_budget:
-                    return False
-            return True
+        ``max_executions``/``time_budget`` are *workload-level* totals, kept
+        for backward compatibility.
 
-        def observe(query_index: int, hint_index: int) -> None:
-            nonlocal total_executions
-            query = queries[query_index]
-            plan = plans[query_index][hint_index]
-            timeout = (
-                600.0
-                if best[query_index] is None
-                else best[query_index] * self.config.timeout_multiplier
-            )
-            execution = self.database.execute(query, plan, timeout=timeout)
-            results[query.name].record(
-                plan, execution.latency, execution.timed_out, timeout, source="limeqo"
-            )
-            label = execution.latency if not execution.timed_out else (timeout or execution.latency)
-            state.observed[query_index, hint_index] = True
-            state.latencies[query_index, hint_index] = math.log(max(label, _MIN_LATENCY))
-            if not execution.timed_out:
-                current = best[query_index]
-                if current is None or execution.latency < current:
-                    best[query_index] = execution.latency
-            total_executions += 1
+        .. deprecated:: PR 2
+            Compatibility shim over the ask/tell protocol; prefer driving the
+            optimizer through a WorkloadSession, which charges LimeQO the same
+            per-query budget as every other technique via
+            ``BudgetSpec.scaled(len(queries))``.
+        """
+        state = self.start_workload(
+            queries, budget=BudgetSpec(max_executions=max_executions, time_budget=time_budget)
+        )
+        drive_state(self, self.database, state)
+        return self.finish_workload(state)
 
-        # Bootstrap: the default (all-enabled) hint set for every query.
-        for query_index in range(len(queries)):
-            if not budget_left():
-                return results
-            observe(query_index, 0)
-        # Greedy exploration driven by the completed matrix.
-        while budget_left() and not state.observed.all():
-            completed = complete_matrix(
-                state.latencies,
-                state.observed,
-                rank=self.config.rank,
-                iterations=self.config.als_iterations,
-                regularization=self.config.regularization,
-                seed=self.config.seed,
-            )
-            candidate = np.where(state.observed, np.inf, completed)
-            query_index, hint_index = np.unravel_index(np.argmin(candidate), candidate.shape)
-            observe(int(query_index), int(hint_index))
-        return results
+
+@register_technique(
+    "limeqo",
+    workload_level=True,
+    description="LimeQO: workload-level hint exploration via low-rank matrix completion",
+)
+def _build_limeqo(context: TechniqueContext) -> LimeQOOptimizer:
+    return LimeQOOptimizer(context.database)

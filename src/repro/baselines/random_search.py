@@ -5,16 +5,47 @@ each with a timeout equal to the best latency seen so far (initialized with the
 default optimizer plan's latency).  There is no model and no feedback beyond
 tightening the timeout, yet — because offline optimization can afford to
 execute terrible plans — this is a surprisingly strong baseline.
+
+Implemented as an ask/tell optimizer: the first proposal is the default plan,
+every later ``suggest`` draws a novel random join tree, and ``observe`` only
+tightens the incumbent timeout.  The per-query RNG is derived from
+``(seed, query name)``, so interleaving queries cannot change any query's plan
+sequence.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
+from repro.core.protocol import (
+    BudgetSpec,
+    ExecutionOutcome,
+    OptimizerState,
+    PlanProposal,
+    drive_state,
+)
+from repro.core.registry import TechniqueContext, register_technique
 from repro.core.result import OptimizationResult
 from repro.db.engine import Database
 from repro.db.query import Query
 from repro.plans.sampling import random_join_tree
+
+#: Cap on consecutive duplicate draws in one ``suggest`` call; hitting it means
+#: the plan space is (effectively) drained and the optimizer reports ``None``.
+_MAX_SAMPLE_ATTEMPTS = 10_000
+
+
+@dataclass
+class RandomSearchState(OptimizerState):
+    """Resumable random-search state: RNG, dedup set and incumbent timeout."""
+
+    rng: np.random.Generator | None = None
+    initial_timeout: float | None = 600.0
+    best: float | None = None
+    seen: set = field(default_factory=set)
+    started: bool = False
 
 
 class RandomSearch:
@@ -24,6 +55,55 @@ class RandomSearch:
         self.database = database
         self.seed = seed
 
+    # ------------------------------------------------------------------ ask/tell protocol
+    def start(
+        self,
+        query: Query,
+        budget: BudgetSpec | None = None,
+        initial_timeout: float | None = 600.0,
+    ) -> RandomSearchState:
+        return RandomSearchState(
+            query=query,
+            result=OptimizationResult(query_name=query.name, technique="Random"),
+            budget=budget or BudgetSpec(max_executions=100),
+            rng=np.random.default_rng((self.seed, abs(hash(query.name)) % (2**31))),
+            initial_timeout=initial_timeout,
+        )
+
+    def suggest(self, state: RandomSearchState) -> PlanProposal | None:
+        """The default plan first, then novel random join trees."""
+        state.require_idle()
+        if not state.started:
+            state.started = True
+            plan = self.database.plan(state.query)
+            state.seen.add(plan.canonical())
+            return state.park(
+                PlanProposal(
+                    plan=plan, timeout=state.initial_timeout, source="default", query=state.query
+                )
+            )
+        for _ in range(_MAX_SAMPLE_ATTEMPTS):
+            plan = random_join_tree(state.query, state.rng)
+            key = plan.canonical()
+            if key in state.seen:
+                continue
+            state.seen.add(key)
+            return state.park(
+                PlanProposal(plan=plan, timeout=state.best, source="random", query=state.query)
+            )
+        return None
+
+    def observe(self, state: RandomSearchState, outcome: ExecutionOutcome) -> None:
+        record = state.record_pending(outcome)
+        if record.source == "default":
+            state.best = record.latency if not record.censored else state.initial_timeout
+        elif not record.censored and (state.best is None or record.latency < state.best):
+            state.best = record.latency
+
+    def finish(self, state: RandomSearchState) -> OptimizationResult:
+        return state.result
+
+    # ------------------------------------------------------------------ legacy driver
     def optimize(
         self,
         query: Query,
@@ -31,31 +111,24 @@ class RandomSearch:
         time_budget: float | None = None,
         initial_timeout: float | None = 600.0,
     ) -> OptimizationResult:
-        """Run random search for ``query`` under the shared budget model."""
-        rng = np.random.default_rng((self.seed, abs(hash(query.name)) % (2**31)))
-        result = OptimizationResult(query_name=query.name, technique="Random")
-        default_plan = self.database.plan(query)
-        default_execution = self.database.execute(query, default_plan, timeout=initial_timeout)
-        result.record(
-            default_plan,
-            default_execution.latency,
-            default_execution.timed_out,
-            initial_timeout,
-            source="default",
+        """Run random search for ``query`` under the shared budget model.
+
+        .. deprecated:: PR 2
+            Compatibility shim over the ask/tell protocol; prefer driving the
+            optimizer through a WorkloadSession.
+        """
+        state = self.start(
+            query,
+            budget=BudgetSpec(max_executions=max_executions, time_budget=time_budget),
+            initial_timeout=initial_timeout,
         )
-        best = default_execution.latency if not default_execution.timed_out else initial_timeout
-        seen = {default_plan.canonical()}
-        while result.num_executions < max_executions:
-            if time_budget is not None and result.total_cost >= time_budget:
-                break
-            plan = random_join_tree(query, rng)
-            key = plan.canonical()
-            if key in seen:
-                continue
-            seen.add(key)
-            timeout = best
-            execution = self.database.execute(query, plan, timeout=timeout)
-            result.record(plan, execution.latency, execution.timed_out, timeout, source="random")
-            if not execution.timed_out and (best is None or execution.latency < best):
-                best = execution.latency
-        return result
+        drive_state(self, self.database, state)
+        return self.finish(state)
+
+
+@register_technique(
+    "random",
+    description="Random: uniform cross-join-free plan sampling with best-seen timeouts",
+)
+def _build_random(context: TechniqueContext) -> RandomSearch:
+    return RandomSearch(context.database, seed=context.seed)

@@ -1,4 +1,4 @@
-"""BayesQO core: the offline optimizer, its configuration, timeouts, cache and re-optimization."""
+"""BayesQO core: the optimizer protocol, registry, configuration, timeouts and cache."""
 
 from repro.core.cache import CachedPlan, OnlinePlanner, PlanCache, amortized_benefit
 from repro.core.config import BayesQOConfig, VAETrainingConfig
@@ -9,7 +9,33 @@ from repro.core.initialization import (
     llm_initialization,
     random_initialization,
 )
-from repro.core.optimizer import BayesQO, OverheadBreakdown, SchemaModel, train_schema_model
+from repro.core.optimizer import (
+    BayesQO,
+    BayesQOState,
+    OverheadBreakdown,
+    SchemaModel,
+    train_schema_model,
+)
+from repro.core.protocol import (
+    BudgetSpec,
+    ExecutionOutcome,
+    Optimizer,
+    OptimizerState,
+    PlanProposal,
+    WorkloadOptimizer,
+    WorkloadOptimizerState,
+    drive_query,
+    drive_state,
+    drive_workload,
+)
+from repro.core.registry import (
+    TechniqueContext,
+    TechniqueSpec,
+    create_optimizer,
+    get_technique,
+    register_technique,
+    technique_names,
+)
 from repro.core.reoptimize import ReoptimizationOutcome, reoptimize
 from repro.core.result import OptimizationResult, TraceRecord
 from repro.core.timeout import (
@@ -25,28 +51,45 @@ from repro.core.timeout import (
 __all__ = [
     "BayesQO",
     "BayesQOConfig",
+    "BayesQOState",
     "BestSeenTimeout",
+    "BudgetSpec",
     "CachedPlan",
+    "ExecutionOutcome",
     "MultiplierTimeout",
     "NoTimeout",
     "OnlinePlanner",
     "OptimizationResult",
+    "Optimizer",
+    "OptimizerState",
     "OverheadBreakdown",
     "PercentileTimeout",
     "PlanCache",
+    "PlanProposal",
     "ReoptimizationOutcome",
     "SchemaModel",
+    "TechniqueContext",
+    "TechniqueSpec",
     "TimeoutPolicy",
     "TraceRecord",
     "UncertaintyTimeout",
     "VAETrainingConfig",
+    "WorkloadOptimizer",
+    "WorkloadOptimizerState",
     "amortized_benefit",
     "bao_initialization",
     "build_initial_plans",
     "build_timeout_policy",
+    "create_optimizer",
     "default_initialization",
+    "drive_query",
+    "drive_state",
+    "drive_workload",
+    "get_technique",
     "llm_initialization",
     "random_initialization",
+    "register_technique",
     "reoptimize",
+    "technique_names",
     "train_schema_model",
 ]

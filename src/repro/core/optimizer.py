@@ -1,21 +1,27 @@
 """BayesQO: the offline query optimizer (Sections 3 and 4 of the paper).
 
-The optimizer ties every substrate together.  For a given query it:
+The optimizer ties every substrate together.  It implements the ask/tell
+:class:`~repro.core.protocol.Optimizer` protocol; for a given query it:
 
-1. produces initialization plans (Bao hint sets by default) and executes them,
+1. proposes initialization plans (Bao hint sets by default) for execution,
 2. embeds executed plans into the VAE latent space and feeds their (log)
    latencies — censored for timed-out plans — to the BO engine,
-3. repeatedly asks the engine for a new latent point, decodes it to a plan,
-   chooses a per-plan timeout with the uncertainty rule, executes the plan
-   against the read snapshot and updates the surrogate,
-4. stops when the execution-count or time budget is exhausted and reports the
-   full trace.
+3. repeatedly asks the engine for a new latent point, decodes it to a plan and
+   chooses a per-plan timeout with the uncertainty rule; the caller executes
+   the plan against the read snapshot and tells the outcome back,
+4. reports the full trace when the caller's budget is exhausted.
+
+The loop itself is owned by the caller — usually a
+:class:`~repro.harness.runner.WorkloadSession` that interleaves many queries —
+and :meth:`BayesQO.optimize` survives as a compatibility shim over
+:func:`~repro.core.protocol.drive_query`.
 """
 
 from __future__ import annotations
 
 import math
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,6 +29,14 @@ import numpy as np
 from repro.bo.loop import BOEngine, BOEngineConfig
 from repro.core.config import BayesQOConfig, VAETrainingConfig
 from repro.core.initialization import InitialPlan, PlanGenerator, build_initial_plans
+from repro.core.protocol import (
+    BudgetSpec,
+    ExecutionOutcome,
+    OptimizerState,
+    PlanProposal,
+    drive_query,
+)
+from repro.core.registry import TechniqueContext, register_technique
 from repro.core.result import OptimizationResult
 from repro.core.timeout import TimeoutPolicy, build_timeout_policy
 from repro.db.engine import Database
@@ -114,6 +128,30 @@ def train_schema_model(
     return SchemaModel(vocabulary=vocabulary, codec=codec, latent_space=latent_space, vae_report=report)
 
 
+@dataclass
+class BayesQOState(OptimizerState):
+    """Resumable BayesQO state: engine, timeout policy and execution caches.
+
+    ``iterations`` counts BO loop steps (including duplicate-plan replays that
+    consume no budget) against ``iteration_cap`` so a degenerate latent space
+    cannot spin forever.
+    """
+
+    engine: BOEngine | None = None
+    policy: TimeoutPolicy | None = None
+    #: Remaining initialization plans (executed before the BO phase starts).
+    init_queue: deque = field(default_factory=deque)
+    #: Best uncensored latency among initialization executions (drives the
+    #: initialization-phase timeout rule).
+    init_best: float | None = None
+    #: plan canonical -> (latency, censored, timeout) for duplicate replays.
+    executed: dict = field(default_factory=dict)
+    #: Uncensored latencies in observation order (for percentile timeouts).
+    observed_latencies: list = field(default_factory=list)
+    iterations: int = 0
+    iteration_cap: int = 0
+
+
 class BayesQO:
     """The offline query optimizer."""
 
@@ -146,20 +184,31 @@ class BayesQO:
         )
         return cls(workload.database, schema_model, config=config, plan_generator=plan_generator)
 
-    # ------------------------------------------------------------------ main loop
-    def optimize(
+    # ------------------------------------------------------------------ ask/tell protocol
+    def start(
         self,
         query: Query,
+        budget: BudgetSpec | None = None,
         initial_plans: list[InitialPlan] | None = None,
-        max_executions: int | None = None,
-        time_budget: float | None = None,
-    ) -> OptimizationResult:
-        """Run offline optimization for one query and return the execution trace."""
+    ) -> BayesQOState:
+        """Build a resumable per-query state (engine, timeout policy, init plans)."""
         config = self.config
-        max_executions = max_executions or config.max_executions
-        time_budget = time_budget if time_budget is not None else config.time_budget
+        # Unset budget axes fall back to the configuration's own budget, the
+        # same resolution the legacy optimize(max_executions=, time_budget=)
+        # signature applied.
+        budget = BudgetSpec(
+            max_executions=(
+                budget.max_executions
+                if budget is not None and budget.max_executions is not None
+                else config.max_executions
+            ),
+            time_budget=(
+                budget.time_budget
+                if budget is not None and budget.time_budget is not None
+                else config.time_budget
+            ),
+        )
         latent = self.schema_model.latent_space
-        result = OptimizationResult(query_name=query.name, technique="BayesQO")
         engine = BOEngine(
             *latent.bounds(),
             config=BOEngineConfig(
@@ -178,9 +227,6 @@ class BayesQO:
             percentile=config.timeout_percentile,
             multiplier=config.timeout_multiplier,
         )
-        executed: dict[str, tuple[float, bool, float | None]] = {}
-        observed_latencies: list[float] = []
-
         if initial_plans is None:
             plans = build_initial_plans(
                 config.initialization,
@@ -194,62 +240,37 @@ class BayesQO:
             plans = initial_plans
         if not plans:
             raise OptimizationError(f"no initialization plans produced for query {query.name!r}")
-        self._run_initialization(
-            query, plans, engine, result, executed, observed_latencies, max_executions, time_budget
+        return BayesQOState(
+            query=query,
+            result=OptimizationResult(query_name=query.name, technique="BayesQO"),
+            budget=budget,
+            engine=engine,
+            policy=policy,
+            init_queue=deque(plans),
+            iteration_cap=budget.max_executions * 5,
         )
-        self._run_bo_loop(
-            query, engine, policy, result, executed, observed_latencies, max_executions, time_budget
-        )
-        return result
 
-    # ------------------------------------------------------------------ phases
-    def _budget_left(
-        self, result: OptimizationResult, max_executions: int, time_budget: float | None
-    ) -> bool:
-        if result.num_executions >= max_executions:
-            return False
-        if time_budget is not None and result.total_cost >= time_budget:
-            return False
-        return True
-
-    def _run_initialization(
-        self,
-        query: Query,
-        plans: list[InitialPlan],
-        engine: BOEngine,
-        result: OptimizationResult,
-        executed: dict,
-        observed_latencies: list[float],
-        max_executions: int,
-        time_budget: float | None,
-    ) -> None:
-        best: float | None = None
-        for plan, source in plans:
-            if not self._budget_left(result, max_executions, time_budget):
-                return
-            timeout = 600.0 if best is None else best * self.config.timeout_max_multiplier
-            execution = self.database.execute(query, plan, timeout=timeout)
-            record = result.record(plan, execution.latency, execution.timed_out, timeout, source)
-            self._observe(engine, query, plan, record.latency, record.censored, observed_latencies)
-            executed[plan.canonical()] = (record.latency, record.censored, timeout)
-            if not record.censored:
-                best = record.latency if best is None else min(best, record.latency)
-
-    def _run_bo_loop(
-        self,
-        query: Query,
-        engine: BOEngine,
-        policy: TimeoutPolicy,
-        result: OptimizationResult,
-        executed: dict,
-        observed_latencies: list[float],
-        max_executions: int,
-        time_budget: float | None,
-    ) -> None:
-        iterations = 0
-        iteration_cap = max_executions * 5
-        while self._budget_left(result, max_executions, time_budget) and iterations < iteration_cap:
-            iterations += 1
+    def suggest(self, state: BayesQOState) -> PlanProposal | None:
+        """Propose the next plan: initialization plans first, then BO candidates."""
+        state.require_idle()
+        if state.init_queue:
+            plan, source = state.init_queue.popleft()
+            timeout = (
+                600.0
+                if state.init_best is None
+                else state.init_best * self.config.timeout_max_multiplier
+            )
+            # The phase marker (not the caller-chosen source label) is what
+            # observe() keys on: initial_plans may carry any source string.
+            return state.park(
+                PlanProposal(
+                    plan=plan, timeout=timeout, source=source, query=state.query,
+                    metadata={"phase": "init"},
+                )
+            )
+        engine, query = state.engine, state.query
+        while state.iterations < state.iteration_cap:
+            state.iterations += 1
             self.overhead.iterations += 1
             start = time.perf_counter()
             engine.fit()
@@ -264,13 +285,13 @@ class BayesQO:
             self.overhead.vae_sampling += time.perf_counter() - start
 
             key = plan.canonical()
-            if key in executed:
+            if key in state.executed:
                 # Duplicate plan: reuse the cached observation without spending
                 # budget.  The replay must not touch the trust region — it is
                 # not a fresh success or failure, and counting it as one would
                 # spuriously shrink (or grow) the region.  Censored replays
                 # obey the same learn_from_timeouts gate as fresh executions.
-                latency, censored, _ = executed[key]
+                latency, censored, _ = state.executed[key]
                 if not censored or self.config.learn_from_timeouts:
                     self._observe(
                         engine, query, plan, latency, censored, None, x=candidate,
@@ -278,19 +299,73 @@ class BayesQO:
                     )
                 continue
 
-            best_latency = self._best_latency(result)
+            best_latency = self._best_latency(state.result)
             start = time.perf_counter()
-            timeout = policy.select(engine, candidate, best_latency, observed_latencies)
+            timeout = state.policy.select(engine, candidate, best_latency, state.observed_latencies)
             self.overhead.calculate_timeout += time.perf_counter() - start
-
-            execution = self.database.execute(query, plan, timeout=timeout)
-            record = result.record(plan, execution.latency, execution.timed_out, timeout, "bo")
-            executed[key] = (record.latency, record.censored, timeout)
-            if record.censored and not self.config.learn_from_timeouts:
-                continue
-            self._observe(
-                engine, query, plan, record.latency, record.censored, observed_latencies, x=candidate
+            return state.park(
+                PlanProposal(
+                    plan=plan,
+                    timeout=timeout,
+                    source="bo",
+                    query=query,
+                    metadata={"latent": candidate},
+                )
             )
+        return None
+
+    def observe(self, state: BayesQOState, outcome: ExecutionOutcome) -> None:
+        """Record the pending proposal's outcome and update the surrogate."""
+        proposal = state.pending
+        record = state.record_pending(outcome)
+        state.executed[record.plan.canonical()] = (
+            record.latency, record.censored, record.timeout,
+        )
+        if proposal.metadata.get("phase") == "init":
+            # Initialization observations always reach the surrogate and
+            # drive the init-phase timeout via the best uncensored latency.
+            self._observe(
+                state.engine, state.query, record.plan, record.latency, record.censored,
+                state.observed_latencies,
+            )
+            if not record.censored:
+                state.init_best = (
+                    record.latency
+                    if state.init_best is None
+                    else min(state.init_best, record.latency)
+                )
+            return
+        if record.censored and not self.config.learn_from_timeouts:
+            return
+        self._observe(
+            state.engine, state.query, record.plan, record.latency, record.censored,
+            state.observed_latencies, x=proposal.metadata.get("latent"),
+        )
+
+    def finish(self, state: BayesQOState) -> OptimizationResult:
+        """Close the state and return the execution trace."""
+        return state.result
+
+    # ------------------------------------------------------------------ legacy driver
+    def optimize(
+        self,
+        query: Query,
+        initial_plans: list[InitialPlan] | None = None,
+        max_executions: int | None = None,
+        time_budget: float | None = None,
+    ) -> OptimizationResult:
+        """Run offline optimization for one query and return the execution trace.
+
+        .. deprecated:: PR 2
+            Compatibility shim over the ask/tell protocol
+            (:meth:`start`/:meth:`suggest`/:meth:`observe`/:meth:`finish`).
+            New code should drive the optimizer through a
+            :class:`~repro.harness.runner.WorkloadSession`, which owns the
+            loop and can interleave many queries under one budget.
+        """
+        # start() resolves unset axes against the configuration's own budget.
+        budget = BudgetSpec(max_executions=max_executions, time_budget=time_budget)
+        return drive_query(self, self.database, query, budget, initial_plans=initial_plans)
 
     # ------------------------------------------------------------------ bookkeeping
     def _best_latency(self, result: OptimizationResult) -> float | None:
@@ -317,3 +392,15 @@ class BayesQO:
         )
         if observed_latencies is not None and not censored:
             observed_latencies.append(latency)
+
+
+@register_technique(
+    "bayesqo",
+    needs_schema_model=True,
+    description="BayesQO: latent-space BO with censored observations (the paper's system)",
+)
+def _build_bayesqo(context: TechniqueContext) -> BayesQO:
+    if context.schema_model is None:
+        raise OptimizationError("bayesqo needs a trained SchemaModel in the technique context")
+    config = context.bayes_config or BayesQOConfig(seed=context.seed)
+    return BayesQO(context.database, context.schema_model, config=config)

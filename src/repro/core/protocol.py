@@ -1,0 +1,320 @@
+"""The ask/tell optimizer protocol shared by every technique.
+
+Classic SMBO frameworks expose the optimizer as a steppable object so that a
+harness can own the loop; this module defines that contract for the offline
+query-planning setting.  Every technique (BayesQO, Bao, Random, Balsa, LimeQO)
+implements the same four-phase protocol:
+
+1. ``start(query, budget=...)`` builds a resumable :class:`OptimizerState`,
+2. ``suggest(state)`` proposes the next plan to execute (a
+   :class:`PlanProposal`, with its per-plan timeout already chosen), or
+   ``None`` when the technique has nothing left to try,
+3. ``observe(state, outcome)`` feeds the :class:`ExecutionOutcome` of the
+   pending proposal back into the technique's model,
+4. ``finish(state)`` returns the completed
+   :class:`~repro.core.result.OptimizationResult` trace.
+
+The caller — usually :class:`repro.harness.runner.WorkloadSession` — executes
+plans against the database and enforces the :class:`BudgetSpec`.  Inverting the
+loops this way is what lets the harness interleave many per-query optimizers
+under one shared budget and run their plan executions concurrently.
+
+Workload-level techniques (LimeQO decides *which query* to spend budget on
+next) implement the :class:`WorkloadOptimizer` variant: ``start_workload``
+over all queries at once, with each :class:`PlanProposal` naming the query it
+belongs to, and a shared workload-level budget.
+
+:func:`drive_query` / :func:`drive_workload` are the reference loop owners;
+the legacy blocking ``optimize(...)`` methods on each technique are thin
+deprecation shims over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.result import OptimizationResult, TraceRecord
+from repro.db.query import Query
+from repro.exceptions import OptimizationError
+from repro.plans.jointree import JoinTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.engine import Database
+    from repro.db.executor import ExecutionResult
+
+
+# --------------------------------------------------------------------- budget
+@dataclass(frozen=True)
+class BudgetSpec:
+    """The Section 5.2 budget model: execution count and/or simulated time.
+
+    For per-query techniques the spec is charged per query; workload-level
+    techniques are charged against :meth:`scaled` (the same per-query budget
+    multiplied by the number of queries), so every technique pays for plan
+    executions on identical terms.  ``max_executions=None`` leaves the count
+    axis unbounded (Bao's fixed 49-plan space is naturally bounded instead).
+    """
+
+    max_executions: int | None = 60
+    time_budget: float | None = None
+
+    def exhausted(self, progress) -> bool:
+        """Whether ``progress`` (anything with ``num_executions`` and
+        ``total_cost``) has consumed this budget."""
+        if self.max_executions is not None and progress.num_executions >= self.max_executions:
+            return True
+        if self.time_budget is not None and progress.total_cost >= self.time_budget:
+            return True
+        return False
+
+    def scaled(self, factor: int) -> "BudgetSpec":
+        """The workload-level pool: both axes multiplied by ``factor`` queries."""
+        return BudgetSpec(
+            max_executions=None if self.max_executions is None else self.max_executions * factor,
+            time_budget=None if self.time_budget is None else self.time_budget * factor,
+        )
+
+    def without_execution_cap(self) -> "BudgetSpec":
+        """The same budget with the execution-count axis removed."""
+        return replace(self, max_executions=None)
+
+
+# ----------------------------------------------------------------- vocabulary
+@dataclass(frozen=True)
+class PlanProposal:
+    """One plan the optimizer wants executed, with its chosen timeout.
+
+    ``query`` names the query the plan belongs to — always the state's query
+    for per-query optimizers, but meaningful for workload-level techniques
+    that pick which query to spend budget on.  ``metadata`` carries
+    technique-private context (e.g. the latent vector a plan was decoded
+    from) back to ``observe``.
+    """
+
+    plan: JoinTree
+    timeout: float | None = None
+    source: str = "bo"
+    query: Query | None = None
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """What happened when the harness executed a proposal's plan."""
+
+    latency: float
+    timed_out: bool = False
+    timeout: float | None = None
+
+    @classmethod
+    def from_execution(
+        cls, execution: "ExecutionResult", timeout: float | None = None
+    ) -> "ExecutionOutcome":
+        return cls(
+            latency=execution.latency,
+            timed_out=execution.timed_out,
+            timeout=timeout if timeout is not None else execution.timeout,
+        )
+
+
+# ---------------------------------------------------------------------- state
+class _PendingProposal:
+    """The one-outstanding-proposal invariant shared by both state shapes.
+
+    At most one proposal is outstanding per state: ``suggest`` parks it in
+    ``pending`` and ``observe`` consumes it, which is the invariant that makes
+    interleaving states across a thread pool safe.  Subclasses provide
+    ``_describe()`` (for error messages), ``_validate_proposal`` and
+    ``_result_for`` (which trace the outcome lands in).
+    """
+
+    pending: PlanProposal | None
+
+    def require_idle(self) -> None:
+        """Reject a ``suggest`` while a proposal is outstanding.
+
+        Called at the *top* of every ``suggest`` implementation, before any
+        state mutation, so a protocol violation leaves the state untouched
+        (no hint skipped, no RNG draw burned) and the pending proposal can
+        still be observed.
+        """
+        if self.pending is not None:
+            raise OptimizationError(
+                f"{self._describe()} already has a pending proposal; "
+                "observe() its outcome before suggesting again"
+            )
+
+    def park(self, proposal: PlanProposal) -> PlanProposal:
+        """Record ``proposal`` as the outstanding one and return it."""
+        self.require_idle()
+        self._validate_proposal(proposal)
+        self.pending = proposal
+        return proposal
+
+    def record_pending(self, outcome: ExecutionOutcome) -> TraceRecord:
+        """Consume the pending proposal, appending its outcome to the trace."""
+        proposal = self.take_pending()
+        return self._result_for(proposal).record(
+            proposal.plan, outcome.latency, outcome.timed_out, proposal.timeout, proposal.source
+        )
+
+    def take_pending(self) -> PlanProposal:
+        if self.pending is None:
+            raise OptimizationError(
+                f"no pending proposal for {self._describe()}; call suggest() first"
+            )
+        proposal, self.pending = self.pending, None
+        return proposal
+
+    def _validate_proposal(self, proposal: PlanProposal) -> None:
+        pass
+
+    def _result_for(self, proposal: PlanProposal) -> OptimizationResult:
+        raise NotImplementedError
+
+    def _describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class OptimizerState(_PendingProposal):
+    """Resumable per-query optimizer state.
+
+    Techniques subclass this with their private fields (surrogate engines,
+    RNGs, plan caches).
+    """
+
+    query: Query
+    result: OptimizationResult
+    budget: BudgetSpec = field(default_factory=BudgetSpec)
+    pending: PlanProposal | None = None
+    #: Set when the optimizer has nothing left to suggest (hint space drained,
+    #: iteration cap reached) independent of the budget.
+    exhausted: bool = False
+
+    def budget_left(self) -> bool:
+        return not self.exhausted and not self.budget.exhausted(self.result)
+
+    def _result_for(self, proposal: PlanProposal) -> OptimizationResult:
+        return self.result
+
+    def _describe(self) -> str:
+        return f"state for {self.query.name!r}"
+
+
+@dataclass
+class WorkloadOptimizerState(_PendingProposal):
+    """Resumable state of a workload-level optimizer (e.g. LimeQO).
+
+    One state spans every query; the budget is the workload-level pool
+    (:meth:`BudgetSpec.scaled`), and executions for any query charge it.
+    """
+
+    queries: list[Query]
+    results: dict[str, OptimizationResult]
+    budget: BudgetSpec = field(default_factory=lambda: BudgetSpec(max_executions=None))
+    pending: PlanProposal | None = None
+    exhausted: bool = False
+
+    @property
+    def num_executions(self) -> int:
+        return sum(result.num_executions for result in self.results.values())
+
+    @property
+    def total_cost(self) -> float:
+        return sum(result.total_cost for result in self.results.values())
+
+    def budget_left(self) -> bool:
+        return not self.exhausted and not self.budget.exhausted(self)
+
+    def _validate_proposal(self, proposal: PlanProposal) -> None:
+        if proposal.query is None:
+            raise OptimizationError("workload-level proposals must name their query")
+
+    def _result_for(self, proposal: PlanProposal) -> OptimizationResult:
+        return self.results[proposal.query.name]
+
+    def _describe(self) -> str:
+        return "workload state"
+
+
+# ------------------------------------------------------------------ protocols
+@runtime_checkable
+class Optimizer(Protocol):
+    """A per-query steppable optimizer."""
+
+    def start(self, query: Query, budget: BudgetSpec | None = None) -> OptimizerState:
+        """Build a resumable state for one query."""
+
+    def suggest(self, state: OptimizerState) -> PlanProposal | None:
+        """Propose the next plan, or ``None`` when nothing is left to try.
+
+        The proposal is parked in ``state.pending`` (via ``state.park``); the
+        matching ``observe`` call consumes it.
+        """
+
+    def observe(self, state: OptimizerState, outcome: ExecutionOutcome) -> None:
+        """Feed the pending proposal's execution outcome back to the model."""
+
+    def finish(self, state: OptimizerState) -> OptimizationResult:
+        """Close the state and return its trace."""
+
+
+@runtime_checkable
+class WorkloadOptimizer(Protocol):
+    """A workload-level steppable optimizer (decides which query to spend on)."""
+
+    def start_workload(
+        self, queries: list[Query], budget: BudgetSpec | None = None
+    ) -> WorkloadOptimizerState:
+        """Build one resumable state covering every query."""
+
+    def suggest(self, state: WorkloadOptimizerState) -> PlanProposal | None: ...
+
+    def observe(self, state: WorkloadOptimizerState, outcome: ExecutionOutcome) -> None: ...
+
+    def finish_workload(self, state: WorkloadOptimizerState) -> dict[str, OptimizationResult]:
+        """Close the state and return per-query traces."""
+
+
+# -------------------------------------------------------------------- drivers
+def drive_state(optimizer, database: "Database", state) -> None:
+    """Run one state's suggest/execute/observe loop until its budget is spent.
+
+    The reference single-threaded loop owner; works for both per-query and
+    workload-level states (proposals name their query in the latter case).
+    """
+    while state.budget_left():
+        proposal = optimizer.suggest(state)
+        if proposal is None:
+            state.exhausted = True
+            break
+        query = proposal.query if proposal.query is not None else state.query
+        execution = database.execute(query, proposal.plan, timeout=proposal.timeout)
+        optimizer.observe(state, ExecutionOutcome.from_execution(execution, proposal.timeout))
+
+
+def drive_query(
+    optimizer,
+    database: "Database",
+    query: Query,
+    budget: BudgetSpec | None = None,
+    **start_kwargs,
+) -> OptimizationResult:
+    """Start, drive and finish one per-query optimizer run."""
+    state = optimizer.start(query, budget=budget, **start_kwargs)
+    drive_state(optimizer, database, state)
+    return optimizer.finish(state)
+
+
+def drive_workload(
+    optimizer,
+    database: "Database",
+    queries: list[Query],
+    budget: BudgetSpec | None = None,
+) -> dict[str, OptimizationResult]:
+    """Start, drive and finish one workload-level optimizer run."""
+    state = optimizer.start_workload(queries, budget=budget)
+    drive_state(optimizer, database, state)
+    return optimizer.finish_workload(state)

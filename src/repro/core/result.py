@@ -138,6 +138,19 @@ class OptimizationResult:
             raise OptimizationError("baseline latency must be positive")
         return 100.0 * (1.0 - self.best_latency / baseline_latency)
 
+    def trace_signature(self) -> list[tuple]:
+        """Comparable trace summary: (plan, latency, censored, timeout, source).
+
+        Two runs are equivalent iff their signatures match; used by the
+        protocol-conformance tests and the scheduler benchmark to check
+        sequential vs interleaved (and legacy vs session) runs.
+        """
+        return [
+            (record.plan.canonical(), record.latency, record.censored,
+             record.timeout, record.source)
+            for record in self.trace
+        ]
+
     def sources(self) -> dict[str, int]:
         """Execution counts per source label (init:bao, bo, random, ...)."""
         counts: dict[str, int] = {}

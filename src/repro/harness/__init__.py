@@ -1,4 +1,11 @@
-"""Benchmark harness: technique runners, metrics and text reporting."""
+"""Benchmark harness: the workload scheduler, metrics and text reporting.
+
+The loop owner is :class:`~repro.harness.runner.WorkloadSession`, which drives
+every registered ask/tell technique over a workload under one shared
+:class:`~repro.core.protocol.BudgetSpec` — sequentially or interleaved across
+a thread pool.  ``run_technique``/``run_comparison`` are thin wrappers kept
+for existing call sites.
+"""
 
 from repro.harness.metrics import (
     WorkloadSummary,
@@ -11,18 +18,22 @@ from repro.harness.metrics import (
 )
 from repro.harness.reporting import format_cdf, format_summaries, format_table
 from repro.harness.runner import (
-    BudgetSpec,
     ComparisonRun,
     TECHNIQUES,
+    WorkloadSession,
     prepare_schema_model,
     run_comparison,
     run_technique,
 )
+from repro.core.protocol import BudgetSpec, ExecutionOutcome, PlanProposal
 
 __all__ = [
     "BudgetSpec",
     "ComparisonRun",
+    "ExecutionOutcome",
+    "PlanProposal",
     "TECHNIQUES",
+    "WorkloadSession",
     "WorkloadSummary",
     "best_latency_curve",
     "format_cdf",

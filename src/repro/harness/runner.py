@@ -1,36 +1,61 @@
-"""Run optimization techniques over workloads under a shared budget model.
+"""The workload scheduler: drive ask/tell optimizers over whole workloads.
+
+:class:`WorkloadSession` owns the optimization loop that each technique used
+to hide behind a blocking ``optimize()`` call.  Techniques implement the
+ask/tell protocol of :mod:`repro.core.protocol` and are looked up in the
+registry (:mod:`repro.core.registry`); the session
+
+* resolves per-query budgets from one shared :class:`BudgetSpec` (the paper's
+  Section 5.2 model: budget is time spent *executing* proposed plans,
+  technique overhead excluded),
+* charges workload-level techniques (LimeQO) against the identical pool
+  ``budget.scaled(len(queries))`` so every technique pays the same,
+* trains the per-schema :class:`SchemaModel` once and shares it,
+* schedules the per-query steppers either **sequentially** (one query drained
+  at a time — bit-for-bit the behaviour of the old private loops) or
+  **interleaved**, round-robining suggest/observe on the scheduler thread
+  while plan executions run concurrently on a thread pool.  Each state has at
+  most one outstanding proposal, so techniques with per-query RNG state
+  (BayesQO, Random) produce identical traces in both modes,
+* memoizes per-technique results, so a comparison that needs Bao both as the
+  improvement baseline and as a contender executes it once.
 
 Comparisons across techniques follow the paper's methodology (Section 5.2):
 every technique gets the same per-query budget, counted only as time spent
-executing proposed plans against the database (technique overhead is excluded
-and analyzed separately in Figure 9).
+executing proposed plans against the database.
+
+``run_technique`` and ``run_comparison`` remain as thin wrappers over a
+session.  Calling ``optimizer.optimize(...)`` directly still works but is
+deprecated: it spins up a throwaway single-query loop and cannot share
+budgets, schema models or the thread pool.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 
-from repro.baselines.balsa import BalsaConfig, BalsaOptimizer
-from repro.baselines.bao import BaoOptimizer
-from repro.baselines.limeqo import LimeQOOptimizer
-from repro.baselines.random_search import RandomSearch
+# Importing the technique modules registers them with the registry.
+from repro.baselines import balsa, bao, limeqo, random_search  # noqa: F401
+from repro.core import optimizer as _bayesqo_module  # noqa: F401
 from repro.core.config import BayesQOConfig, VAETrainingConfig
-from repro.core.optimizer import BayesQO, SchemaModel, train_schema_model
+from repro.core.optimizer import SchemaModel, train_schema_model
+from repro.core.protocol import BudgetSpec, ExecutionOutcome, PlanProposal, drive_query
+from repro.core.registry import TechniqueContext, get_technique, technique_names
 from repro.core.result import OptimizationResult
 from repro.db.query import Query
 from repro.exceptions import OptimizationError
 from repro.workloads.base import Workload
 
-#: Technique identifiers accepted by :func:`run_technique`.
-TECHNIQUES = ("bayesqo", "bao", "random", "balsa", "limeqo")
+#: Deprecated alias: the registered technique names at import time.  Prefer
+#: :func:`repro.core.registry.technique_names`, which reflects late
+#: registrations too.
+TECHNIQUES = technique_names()
 
-
-@dataclass
-class BudgetSpec:
-    """Per-query optimization budget: execution count and/or simulated time."""
-
-    max_executions: int = 60
-    time_budget: float | None = None
+#: Latency reported for a query whose Bao runs were all censored —
+#: BaoOptimizer's own fallback of "default plan at the initial timeout".
+_BAO_FALLBACK_LATENCY = bao.BAO_INITIAL_TIMEOUT
 
 
 @dataclass
@@ -55,6 +80,205 @@ def prepare_schema_model(
     )
 
 
+class WorkloadSession:
+    """Drives registered techniques over one workload under a shared budget.
+
+    Parameters
+    ----------
+    workload:
+        The workload (database + queries) to optimize.
+    queries:
+        Subset of queries to run (defaults to every workload query).
+    budget:
+        Per-query budget.  Workload-level techniques are charged against
+        ``budget.scaled(len(queries))`` — the same total pool.
+    schema_model:
+        Pre-trained per-schema artifacts; trained lazily (once) when a
+        technique needs them and none was given.
+    bayes_config / vae_config:
+        Configuration forwarded to BayesQO / the lazy schema-model training.
+    seed:
+        Base seed forwarded to every technique factory.
+    max_workers:
+        Size of the plan-execution thread pool.  With ``max_workers > 1``
+        per-query techniques are interleaved: many queries in flight at once,
+        each with at most one outstanding plan execution.
+    interleave:
+        Force interleaving on/off; defaults to ``max_workers > 1``.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        queries: list[Query] | None = None,
+        budget: BudgetSpec | None = None,
+        *,
+        schema_model: SchemaModel | None = None,
+        bayes_config: BayesQOConfig | None = None,
+        vae_config: VAETrainingConfig | None = None,
+        seed: int = 0,
+        max_workers: int = 1,
+        interleave: bool | None = None,
+    ) -> None:
+        if max_workers < 1:
+            raise OptimizationError("max_workers must be at least 1")
+        self.workload = workload
+        self.database = workload.database
+        self.queries = list(queries) if queries is not None else list(workload.queries)
+        self.budget = budget or BudgetSpec()
+        self.bayes_config = bayes_config
+        self.vae_config = vae_config
+        self.seed = seed
+        self.max_workers = max_workers
+        self.interleave = interleave if interleave is not None else max_workers > 1
+        self._schema_model = schema_model
+        self._results: dict[str, dict[str, OptimizationResult]] = {}
+
+    # ------------------------------------------------------------------ shared artifacts
+    def ensure_schema_model(self) -> SchemaModel:
+        """The shared per-schema VAE/latent space, trained on first use."""
+        if self._schema_model is None:
+            self._schema_model = prepare_schema_model(self.workload, self.vae_config)
+        return self._schema_model
+
+    def _context(self, needs_schema_model: bool) -> TechniqueContext:
+        return TechniqueContext(
+            database=self.database,
+            workload=self.workload,
+            schema_model=self.ensure_schema_model() if needs_schema_model else self._schema_model,
+            bayes_config=self.bayes_config,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------ public API
+    def run(self, technique: str, *, refresh: bool = False) -> dict[str, OptimizationResult]:
+        """Run one technique over the session's queries; results are memoized.
+
+        The memo is what lets :func:`run_comparison` use Bao both as the
+        improvement baseline and as a contender without executing it twice.
+        Pass ``refresh=True`` to force a fresh run.
+        """
+        if not refresh and technique in self._results:
+            return self._results[technique]
+        spec = get_technique(technique)
+        optimizer = spec.factory(self._context(spec.needs_schema_model))
+        # Techniques with a naturally bounded search space (Bao's 49 hint
+        # sets) are charged on the time axis only.
+        budget = self.budget.without_execution_cap() if spec.ignores_execution_cap else self.budget
+        interleave = (
+            self.interleave
+            and self.max_workers > 1
+            and len(self.queries) > 1
+            # Order-sensitive techniques share mutable state across queries
+            # (Balsa's RNG and value network); interleaving them would make
+            # results depend on thread-completion timing.
+            and not spec.order_sensitive
+        )
+        if spec.workload_level:
+            results = self._run_workload_level(optimizer, budget)
+        elif interleave:
+            results = self._run_interleaved(optimizer, budget)
+        else:
+            results = self._run_sequential(optimizer, budget)
+        self._results[technique] = results
+        return results
+
+    def bao_latencies(self) -> dict[str, float]:
+        """Best Bao hint-set latency per query (the improvement baseline).
+
+        The baseline must reflect the best plan Bao could *ever* produce, so
+        it is never truncated by the comparison's time budget; when no time
+        budget is set this is the same run as ``run("bao")`` and is shared.
+        """
+        if self.budget.time_budget is None:
+            results = self.run("bao")
+        elif "bao:baseline" in self._results:
+            results = self._results["bao:baseline"]
+        else:
+            spec = get_technique("bao")
+            optimizer = spec.factory(self._context(spec.needs_schema_model))
+            unbounded = BudgetSpec(max_executions=None, time_budget=None)
+            results = {
+                query.name: drive_query(optimizer, self.database, query, unbounded)
+                for query in self.queries
+            }
+            self._results["bao:baseline"] = results
+        return {
+            name: result.best_latency_or(_BAO_FALLBACK_LATENCY)
+            for name, result in results.items()
+        }
+
+    def default_latencies(self, timeout: float = 600.0) -> dict[str, float]:
+        """Default-optimizer plan latency per query."""
+        return {
+            query.name: self.database.execute(query, timeout=timeout).latency
+            for query in self.queries
+        }
+
+    # ------------------------------------------------------------------ execution
+    def _execute(self, proposal: PlanProposal, query: Query) -> ExecutionOutcome:
+        target = proposal.query if proposal.query is not None else query
+        execution = self.database.execute(target, proposal.plan, timeout=proposal.timeout)
+        return ExecutionOutcome.from_execution(execution, proposal.timeout)
+
+    # ------------------------------------------------------------------ schedulers
+    def _run_sequential(self, optimizer, budget: BudgetSpec) -> dict[str, OptimizationResult]:
+        """Drain one query at a time (the behaviour of the old private loops)."""
+        results: dict[str, OptimizationResult] = {}
+        for query in self.queries:
+            state = optimizer.start(query, budget=budget)
+            while state.budget_left():
+                proposal = optimizer.suggest(state)
+                if proposal is None:
+                    break
+                optimizer.observe(state, self._execute(proposal, query))
+            results[query.name] = optimizer.finish(state)
+        return results
+
+    def _run_workload_level(self, optimizer, budget: BudgetSpec) -> dict[str, OptimizationResult]:
+        """Drive a workload-level optimizer against the shared budget pool."""
+        state = optimizer.start_workload(self.queries, budget=budget.scaled(len(self.queries)))
+        while state.budget_left():
+            proposal = optimizer.suggest(state)
+            if proposal is None:
+                break
+            optimizer.observe(state, self._execute(proposal, proposal.query))
+        return optimizer.finish_workload(state)
+
+    def _run_interleaved(self, optimizer, budget: BudgetSpec) -> dict[str, OptimizationResult]:
+        """Round-robin all per-query states; execute plans on a thread pool.
+
+        ``suggest``/``observe`` always run on this (scheduler) thread, so
+        technique internals need no locking; only ``database.execute`` — pure
+        over immutable relations — runs concurrently.  Each state has at most
+        one plan in flight, so per-query optimization remains sequential and
+        techniques with per-query RNGs reproduce their sequential traces
+        exactly.
+        """
+        results: dict[str, OptimizationResult] = {}
+        ready = deque(optimizer.start(query, budget=budget) for query in self.queries)
+        in_flight: dict = {}
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            while ready or in_flight:
+                while ready and len(in_flight) < self.max_workers:
+                    state = ready.popleft()
+                    proposal = optimizer.suggest(state) if state.budget_left() else None
+                    if proposal is None:
+                        results[state.query.name] = optimizer.finish(state)
+                        continue
+                    future = pool.submit(self._execute, proposal, state.query)
+                    in_flight[future] = state
+                if not in_flight:
+                    continue
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    state = in_flight.pop(future)
+                    optimizer.observe(state, future.result())
+                    ready.append(state)
+        return {query.name: results[query.name] for query in self.queries}
+
+
+# ---------------------------------------------------------------------- wrappers
 def run_technique(
     technique: str,
     workload: Workload,
@@ -63,50 +287,22 @@ def run_technique(
     schema_model: SchemaModel | None = None,
     bayes_config: BayesQOConfig | None = None,
     seed: int = 0,
+    max_workers: int = 1,
 ) -> dict[str, OptimizationResult]:
-    """Run one technique on a list of queries and return per-query traces."""
-    if technique not in TECHNIQUES:
-        raise OptimizationError(f"unknown technique {technique!r}; pick one of {TECHNIQUES}")
-    database = workload.database
-    if technique == "bao":
-        optimizer = BaoOptimizer(database)
-        return {
-            query.name: optimizer.optimize(query, time_budget=budget.time_budget).result
-            for query in queries
-        }
-    if technique == "random":
-        random_search = RandomSearch(database, seed=seed)
-        return {
-            query.name: random_search.optimize(
-                query, max_executions=budget.max_executions, time_budget=budget.time_budget
-            )
-            for query in queries
-        }
-    if technique == "balsa":
-        balsa = BalsaOptimizer(database, BalsaConfig(seed=seed))
-        return {
-            query.name: balsa.optimize(
-                query, max_executions=budget.max_executions, time_budget=budget.time_budget
-            )
-            for query in queries
-        }
-    if technique == "limeqo":
-        limeqo = LimeQOOptimizer(database)
-        return limeqo.optimize_workload(
-            queries, max_executions=budget.max_executions * len(queries),
-            time_budget=budget.time_budget,
-        )
-    # BayesQO.
-    if schema_model is None:
-        schema_model = prepare_schema_model(workload)
-    config = bayes_config or BayesQOConfig(seed=seed)
-    optimizer = BayesQO(database, schema_model, config=config)
-    return {
-        query.name: optimizer.optimize(
-            query, max_executions=budget.max_executions, time_budget=budget.time_budget
-        )
-        for query in queries
-    }
+    """Run one technique on a list of queries and return per-query traces.
+
+    Thin wrapper over :class:`WorkloadSession` kept for existing call sites.
+    """
+    session = WorkloadSession(
+        workload,
+        queries=queries,
+        budget=budget,
+        schema_model=schema_model,
+        bayes_config=bayes_config,
+        seed=seed,
+        max_workers=max_workers,
+    )
+    return session.run(technique)
 
 
 def run_comparison(
@@ -117,25 +313,25 @@ def run_comparison(
     schema_model: SchemaModel | None = None,
     bayes_config: BayesQOConfig | None = None,
     seed: int = 0,
+    max_workers: int = 1,
 ) -> ComparisonRun:
-    """Run the Figure 3 style comparison: every technique, same queries, same budget."""
+    """Run the Figure 3 style comparison: every technique, same queries, same budget.
+
+    Bao (the improvement baseline) is executed once through the session and
+    reused when ``"bao"`` is also in ``techniques``.
+    """
+    session = WorkloadSession(
+        workload,
+        queries=queries,
+        budget=budget,
+        schema_model=schema_model,
+        bayes_config=bayes_config,
+        seed=seed,
+        max_workers=max_workers,
+    )
     run = ComparisonRun(workload_name=workload.name)
-    bao = BaoOptimizer(workload.database)
-    for query in queries:
-        outcome = bao.optimize(query)
-        run.bao_latencies[query.name] = outcome.best_latency
-        default_execution = workload.database.execute(query, timeout=600.0)
-        run.default_latencies[query.name] = default_execution.latency
-    if "bayesqo" in techniques and schema_model is None:
-        schema_model = prepare_schema_model(workload)
+    run.bao_latencies = session.bao_latencies()
+    run.default_latencies = session.default_latencies()
     for technique in techniques:
-        run.results[technique] = run_technique(
-            technique,
-            workload,
-            queries,
-            budget,
-            schema_model=schema_model,
-            bayes_config=bayes_config,
-            seed=seed,
-        )
+        run.results[technique] = session.run(technique)
     return run
