@@ -1,0 +1,263 @@
+"""Execution-backend benchmark: inline vs thread vs process-pool wall-clock.
+
+PR 2's thread-pool scheduler only overlaps *waiting* — CPU-bound simulated
+executions serialize on the GIL.  This bench measures the execution-service
+subsystem on exactly that regime: the workload's database is wrapped so every
+``execute`` also burns a fixed slice of pure-Python CPU (holding the GIL),
+modelling a deployment where plan execution is local compute rather than a
+DBMS round-trip.
+
+Three runs of the ``random`` technique with the same seed and budget:
+
+* **inline** — sequential on the scheduler thread (the baseline),
+* **thread** — the PR 2 interleaved mode; expected ~1x here, because the GIL
+  serializes the burn no matter how many threads wait on it,
+* **process** — ``ProcessPoolBackend`` workers, each holding a warm database
+  replica; the burn runs GIL-free in parallel.
+
+The bench asserts the per-query traces are *identical* across all three runs
+(the stable sha256 seeding at work — no ``PYTHONHASHSEED`` pinning), and
+requires the process pool to be at least ``REQUIRED_SPEEDUP`` faster than
+inline.  The speedup gate needs real parallel hardware: on a single-CPU
+machine (CI containers pinned to one core) it is recorded as skipped —
+physics, not a regression.
+
+Run:  PYTHONPATH=src python benchmarks/bench_exec_backends.py [--smoke] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.protocol import BudgetSpec
+from repro.db.catalog import Column, ForeignKey, Schema, Table
+from repro.db.datagen import ColumnSpec, DataGenerator, TableSpec
+from repro.db.engine import Database
+from repro.db.query import FilterPredicate, JoinPredicate, Query, TableRef
+from repro.harness import WorkloadSession
+from repro.workloads.base import Workload
+
+NUM_QUERIES = 6
+EXECUTIONS_PER_QUERY = 10
+SMOKE_EXECUTIONS = 6
+MAX_WORKERS = 4
+REQUIRED_SPEEDUP = 2.0
+#: Pure-Python iterations burned per plan execution (~10-20 ms of GIL-held
+#: CPU), dwarfing both the simulated executor's own cost and the process
+#: pool's per-task marshalling + startup overhead.
+BURN_ITERATIONS = 500_000
+SMOKE_BURN_ITERATIONS = 300_000
+
+
+def effective_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class CpuBoundDatabase:
+    """Database wrapper that burns GIL-held CPU per execution.
+
+    The burn is a fixed, deterministic amount of pure-Python work, so every
+    scheduling mode pays an identical per-execution cost and wall-clock
+    differences come purely from parallelism.  The wrapper is picklable
+    (inner database + burn count), so process-pool workers replicate it.
+    """
+
+    def __init__(self, inner: Database, burn_iterations: int = BURN_ITERATIONS) -> None:
+        self._inner = inner
+        self._burn_iterations = burn_iterations
+
+    def execute(self, query, plan=None, timeout=None):
+        result = self._inner.execute(query, plan, timeout=timeout)
+        total = 0
+        for i in range(self._burn_iterations):
+            total += i * i
+        return result
+
+    def plan(self, query, *args, **kwargs):
+        return self._inner.plan(query, *args, **kwargs)
+
+    def warmup(self, queries):
+        self._inner.warmup(queries)
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._inner, name)
+
+
+def build_bench_workload(burn_iterations: int) -> Workload:
+    """A small star-schema workload whose executions are CPU-bound."""
+    tables = [
+        Table("orders", [Column("id"), Column("customer_id"), Column("product_id"),
+                         Column("quantity"), Column("order_date", "date")]),
+        Table("customer", [Column("id"), Column("region"), Column("segment")]),
+        Table("product", [Column("id"), Column("category"), Column("price")]),
+        Table("shipment", [Column("id"), Column("order_id"), Column("carrier"),
+                           Column("ship_date", "date")]),
+    ]
+    foreign_keys = [
+        ForeignKey("orders", "customer_id", "customer", "id"),
+        ForeignKey("orders", "product_id", "product", "id"),
+        ForeignKey("shipment", "order_id", "orders", "id"),
+    ]
+    schema = Schema("bench_exec", tables, foreign_keys)
+    schema.index_all_join_keys()
+    specs = {
+        "orders": TableSpec(4000, {
+            "quantity": ColumnSpec("categorical", cardinality=20, skew=1.2),
+            "order_date": ColumnSpec("date", date_min=0, date_max=1000),
+        }, fk_skew=1.3),
+        "customer": TableSpec(500, {
+            "region": ColumnSpec("categorical", cardinality=8, skew=1.0),
+            "segment": ColumnSpec("categorical", cardinality=4, skew=0.8),
+        }),
+        "product": TableSpec(400, {
+            "category": ColumnSpec("categorical", cardinality=10, skew=1.1),
+            "price": ColumnSpec("categorical", cardinality=50, skew=1.3),
+        }),
+        "shipment": TableSpec(4500, {
+            "carrier": ColumnSpec("categorical", cardinality=5, skew=1.0),
+            "ship_date": ColumnSpec("date", date_min=0, date_max=1000),
+        }, fk_skew=1.4),
+    }
+    database = Database(schema, DataGenerator(schema, specs, seed=11).generate(),
+                        noise_sigma=0.1, seed=11)
+    queries = []
+    for i in range(NUM_QUERIES):
+        if i % 2 == 0:
+            queries.append(Query(
+                name=f"bench_q{i}",
+                table_refs=[TableRef("orders#1", "orders"), TableRef("customer#1", "customer"),
+                            TableRef("product#1", "product"), TableRef("shipment#1", "shipment")],
+                join_predicates=[
+                    JoinPredicate("orders#1", "customer_id", "customer#1", "id"),
+                    JoinPredicate("orders#1", "product_id", "product#1", "id"),
+                    JoinPredicate("shipment#1", "order_id", "orders#1", "id"),
+                ],
+                filters=[FilterPredicate("customer#1", "region", "=", i % 8),
+                         FilterPredicate("shipment#1", "ship_date", ">=", 100 * i)],
+                template="bench_T1",
+            ))
+        else:
+            queries.append(Query(
+                name=f"bench_q{i}",
+                table_refs=[TableRef("orders#1", "orders"), TableRef("customer#1", "customer"),
+                            TableRef("product#1", "product")],
+                join_predicates=[
+                    JoinPredicate("orders#1", "customer_id", "customer#1", "id"),
+                    JoinPredicate("orders#1", "product_id", "product#1", "id"),
+                ],
+                filters=[FilterPredicate("product#1", "category", "=", i % 10)],
+                template="bench_T2",
+            ))
+    return Workload(
+        name="bench_exec",
+        database=CpuBoundDatabase(database, burn_iterations),
+        queries=queries,
+        max_aliases=1,
+        description="CPU-bound execution-backend bench workload",
+    )
+
+
+def timed_run(workload: Workload, budget: BudgetSpec, seed: int, **session_kwargs):
+    with WorkloadSession(workload, budget=budget, seed=seed, **session_kwargs) as session:
+        start = time.perf_counter()
+        results = session.run("random")
+        return time.perf_counter() - start, results
+
+
+def run_benchmark(executions: int, workers: int, burn_iterations: int, seed: int = 0) -> dict:
+    workload = build_bench_workload(burn_iterations)
+    budget = BudgetSpec(max_executions=executions)
+
+    inline_s, inline = timed_run(workload, budget, seed)
+    thread_s, threaded = timed_run(
+        workload, budget, seed, backend="thread", max_workers=workers, interleave=True
+    )
+    process_s, pooled = timed_run(
+        workload, budget, seed, backend="process", max_workers=workers, interleave=True
+    )
+
+    def equivalent(other):
+        return all(
+            inline[name].trace_signature() == other[name].trace_signature() for name in inline
+        )
+
+    cpus = effective_cpus()
+    return {
+        "technique": "random",
+        "num_queries": NUM_QUERIES,
+        "executions_per_query": executions,
+        "total_executions": sum(result.num_executions for result in inline.values()),
+        "max_workers": workers,
+        "burn_iterations": burn_iterations,
+        "effective_cpus": cpus,
+        "backends": {
+            "inline_s": inline_s,
+            "thread_s": thread_s,
+            "process_s": process_s,
+        },
+        "thread_speedup": inline_s / thread_s,
+        "process_speedup": inline_s / process_s,
+        "traces_equivalent": equivalent(threaded) and equivalent(pooled),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "speedup_gate_enforced": cpus >= 2,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="smaller budget (CI smoke mode)")
+    parser.add_argument("--json", metavar="PATH", help="write the result breakdown to PATH")
+    parser.add_argument("--workers", type=int, default=MAX_WORKERS, help="worker pool size")
+    args = parser.parse_args(argv)
+
+    executions = SMOKE_EXECUTIONS if args.smoke else EXECUTIONS_PER_QUERY
+    burn = SMOKE_BURN_ITERATIONS if args.smoke else BURN_ITERATIONS
+    report = run_benchmark(executions, args.workers, burn)
+    print(
+        f"execution backends @ {report['num_queries']} queries x "
+        f"{report['executions_per_query']} executions ({report['max_workers']} workers, "
+        f"{report['effective_cpus']} cpus)"
+    )
+    print(f"  inline   {report['backends']['inline_s'] * 1e3:8.1f} ms")
+    print(f"  thread   {report['backends']['thread_s'] * 1e3:8.1f} ms  "
+          f"({report['thread_speedup']:.2f}x — GIL-bound, expected ~1x)")
+    print(f"  process  {report['backends']['process_s'] * 1e3:8.1f} ms  "
+          f"({report['process_speedup']:.2f}x)")
+    print(f"  traces equivalent: {report['traces_equivalent']}")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"  wrote {args.json}")
+
+    failures = []
+    if not report["traces_equivalent"]:
+        failures.append("backend traces diverge from the inline schedule")
+    if report["speedup_gate_enforced"]:
+        if report["process_speedup"] < REQUIRED_SPEEDUP:
+            failures.append(
+                f"process-pool speedup {report['process_speedup']:.2f}x below the "
+                f"required {REQUIRED_SPEEDUP}x"
+            )
+    else:
+        print(
+            f"  NOTE: speedup gate skipped — {report['effective_cpus']} effective CPU(s); "
+            "parallel speedup needs >= 2"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,26 +7,35 @@ improvements over the best Bao hint-set plan plus the improvement CDF.
 The loop owner is a :class:`repro.harness.WorkloadSession`: it resolves each
 technique from the registry, drives it through the ask/tell protocol
 (``start``/``suggest``/``observe``/``finish``), shares one schema model and
-budget, and computes the Bao baseline exactly once.  With ``max_workers > 1``
-the session interleaves the per-query optimizers, overlapping plan executions
-on a thread pool without changing any technique's plan sequence — techniques
-whose registry entry is marked ``order_sensitive`` (Balsa shares its RNG and
-value network across queries) are automatically kept sequential so their
-results stay deterministic too.
+budget, and computes the Bao baseline exactly once.  Plan executions are
+routed through a pluggable execution backend (:mod:`repro.exec`): inline on
+the scheduler thread, a thread pool that overlaps DBMS waiting, or a process
+pool whose workers hold warm database replicas (scales CPU-bound simulated
+executions past the GIL).  A scheduling policy decides which query gets each
+free execution slot — ``round_robin``, or ``budget_aware`` to spend remaining
+budget where BayesQO's surrogate predicts the largest improvement.  Every
+backend/policy pair produces identical per-query traces; techniques whose
+registry entry is marked ``order_sensitive`` (Balsa shares its RNG and value
+network across queries) are automatically kept sequential so their results
+stay deterministic too.
 
 Calling ``optimizer.optimize(...)`` directly still works but is deprecated:
 it spins up a private single-query loop that cannot share budgets, schema
-models or the execution pool.  Prefer a session (or the thin
+models or the execution backend.  Prefer a session (or the thin
 ``run_technique``/``run_comparison`` wrappers).
 
 Run with::
 
-    python examples/compare_techniques.py
+    python examples/compare_techniques.py [--backend inline|thread|process]
+                                          [--policy round_robin|budget_aware]
+                                          [--workers N]
 """
 
 from __future__ import annotations
 
-from repro.core import BayesQOConfig, VAETrainingConfig
+import argparse
+
+from repro.core import BayesQOConfig, ExecutionServiceConfig, VAETrainingConfig
 from repro.harness import (
     BudgetSpec,
     WorkloadSession,
@@ -43,22 +52,42 @@ TECHNIQUES = ("bayesqo", "random", "balsa")
 
 
 def main() -> None:
-    workload = build_job_workload(scale=0.15, seed=0, num_queries=20)
-    queries = workload.queries[:NUM_QUERIES]
-    print(f"Comparing techniques on {len(queries)} {workload.name} queries "
-          f"({EXECUTIONS} plan executions each)...")
+    parser = argparse.ArgumentParser(description="Figure 3 style technique comparison")
+    parser.add_argument("--backend", default="thread",
+                        choices=["inline", "thread", "process"],
+                        help="execution backend for plan executions")
+    parser.add_argument("--policy", default="round_robin",
+                        choices=["round_robin", "budget_aware"],
+                        help="cross-query scheduling policy")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="concurrent plan executions")
+    args = parser.parse_args()
 
-    session = WorkloadSession(
+    workload = build_job_workload(scale=0.15, seed=0, num_queries=20)
+    # Comparing techniques on a query no plan can finish is meaningless:
+    # demo on queries whose default plan completes within the timeout.
+    queries = workload.healthy_queries(limit=NUM_QUERIES)
+    if not queries:
+        raise SystemExit(
+            "every generated query is pathological at this scale/seed; try another seed"
+        )
+    print(f"Comparing techniques on {len(queries)} {workload.name} queries "
+          f"({EXECUTIONS} plan executions each, backend={args.backend}, "
+          f"policy={args.policy}, workers={args.workers})...")
+
+    with WorkloadSession(
         workload,
         queries=queries,
         budget=BudgetSpec(max_executions=EXECUTIONS),
         bayes_config=BayesQOConfig(max_executions=EXECUTIONS, seed=0),
         vae_config=VAETrainingConfig(training_steps=1500, corpus_queries=120),
         seed=0,
-        max_workers=4,  # interleave per-query optimizers over a thread pool
-    )
-    bao_latencies = session.bao_latencies()
-    results = {technique: session.run(technique) for technique in TECHNIQUES}
+        exec_config=ExecutionServiceConfig(
+            backend=args.backend, max_workers=args.workers, policy=args.policy
+        ),
+    ) as session:
+        bao_latencies = session.bao_latencies()
+        results = {technique: session.run(technique) for technique in TECHNIQUES}
 
     rows = []
     for query in queries:

@@ -20,7 +20,13 @@ def main() -> None:
     # 1. Build a workload: a populated database plus a set of benchmark queries.
     workload = build_job_workload(scale=0.15, seed=0, num_queries=20)
     database = workload.database
-    query = workload.queries[0]
+    healthy = workload.healthy_queries(limit=1)
+    if not healthy:
+        raise SystemExit(
+            "every generated query is pathological at this scale/seed "
+            "(default plans exceed the simulated timeout); try another seed"
+        )
+    query = healthy[0]
     print(f"Optimizing query {query.name} joining {query.num_tables} tables:")
     print(f"  {query.sql()[:160]}...")
 

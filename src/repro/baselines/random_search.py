@@ -31,6 +31,7 @@ from repro.core.result import OptimizationResult
 from repro.db.engine import Database
 from repro.db.query import Query
 from repro.plans.sampling import random_join_tree
+from repro.utils.seeding import stable_digest
 
 #: Cap on consecutive duplicate draws in one ``suggest`` call; hitting it means
 #: the plan space is (effectively) drained and the optimizer reports ``None``.
@@ -66,7 +67,7 @@ class RandomSearch:
             query=query,
             result=OptimizationResult(query_name=query.name, technique="Random"),
             budget=budget or BudgetSpec(max_executions=100),
-            rng=np.random.default_rng((self.seed, abs(hash(query.name)) % (2**31))),
+            rng=np.random.default_rng((self.seed, stable_digest(query.name, bits=31))),
             initial_timeout=initial_timeout,
         )
 

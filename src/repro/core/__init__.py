@@ -1,7 +1,7 @@
 """BayesQO core: the optimizer protocol, registry, configuration, timeouts and cache."""
 
 from repro.core.cache import CachedPlan, OnlinePlanner, PlanCache, amortized_benefit
-from repro.core.config import BayesQOConfig, VAETrainingConfig
+from repro.core.config import BayesQOConfig, ExecutionServiceConfig, VAETrainingConfig
 from repro.core.initialization import (
     bao_initialization,
     build_initial_plans,
@@ -56,6 +56,7 @@ __all__ = [
     "BudgetSpec",
     "CachedPlan",
     "ExecutionOutcome",
+    "ExecutionServiceConfig",
     "MultiplierTimeout",
     "NoTimeout",
     "OnlinePlanner",

@@ -11,6 +11,10 @@ from repro.exceptions import OptimizationError
 TIMEOUT_STRATEGIES = ("uncertainty", "none", "percentile", "best_seen", "multiplier")
 #: Supported initialization strategies (Section 4.4).
 INITIALIZATION_STRATEGIES = ("bao", "default", "random", "llm", "provided")
+#: Execution backends resolvable by name (see :mod:`repro.exec`).
+EXECUTION_BACKENDS = ("inline", "thread", "process")
+#: Cross-query scheduling policies resolvable by name (see :mod:`repro.exec`).
+SCHEDULING_POLICIES = ("round_robin", "budget_aware")
 
 
 @dataclass
@@ -82,6 +86,56 @@ class BayesQOConfig:
             raise OptimizationError("timeout_percentile must be in [0, 100]")
         if self.timeout_max_multiplier < 1.0:
             raise OptimizationError("timeout_max_multiplier must be at least 1")
+
+
+@dataclass
+class ExecutionServiceConfig:
+    """How a :class:`~repro.harness.runner.WorkloadSession` executes plans.
+
+    Selects one of the :mod:`repro.exec` backends and a cross-query
+    scheduling policy.  The defaults reproduce the pre-subsystem behaviour
+    exactly: inline execution on the scheduler thread, queries visited
+    round-robin.
+    """
+
+    #: ``"inline"`` (scheduler thread), ``"thread"`` (overlap DBMS waiting),
+    #: or ``"process"`` (worker processes with warm database replicas, for
+    #: CPU-bound executions).
+    backend: str = "inline"
+    #: Concurrent plan executions per backend instance.
+    max_workers: int = 1
+    #: ``"round_robin"`` or ``"budget_aware"`` (spend remaining budget on the
+    #: queries whose surrogate predicts the largest expected improvement).
+    policy: str = "round_robin"
+    #: Independent backend instances; ``> 1`` fans executions out over a
+    #: :class:`~repro.exec.MultiBackendRouter` with health/occupancy tracking.
+    replicas: int = 1
+    #: Infrastructure failures tolerated per replica before the router stops
+    #: routing to it.
+    max_failures: int = 3
+    #: Multiprocessing start method for the process backend (``None`` prefers
+    #: ``fork`` where available — worker replicas inherit the database without
+    #: a per-worker pickle round-trip).
+    start_method: str | None = None
+    #: Whether process workers pre-plan every query at startup so the replica
+    #: is warm before the first real execution.
+    warmup: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXECUTION_BACKENDS:
+            raise OptimizationError(
+                f"unknown execution backend {self.backend!r}; pick one of {EXECUTION_BACKENDS}"
+            )
+        if self.policy not in SCHEDULING_POLICIES:
+            raise OptimizationError(
+                f"unknown scheduling policy {self.policy!r}; pick one of {SCHEDULING_POLICIES}"
+            )
+        if self.max_workers < 1:
+            raise OptimizationError("max_workers must be at least 1")
+        if self.replicas < 1:
+            raise OptimizationError("replicas must be at least 1")
+        if self.max_failures < 1:
+            raise OptimizationError("max_failures must be at least 1")
 
 
 @dataclass

@@ -68,6 +68,18 @@ class BudgetSpec:
             return True
         return False
 
+    def remaining_executions(self, progress) -> float:
+        """Executions left for ``progress`` (``inf`` when the axis is unbounded)."""
+        if self.max_executions is None:
+            return float("inf")
+        return max(0.0, float(self.max_executions - progress.num_executions))
+
+    def remaining_time(self, progress) -> float:
+        """Time budget left for ``progress`` (``inf`` when the axis is unbounded)."""
+        if self.time_budget is None:
+            return float("inf")
+        return max(0.0, float(self.time_budget - progress.total_cost))
+
     def scaled(self, factor: int) -> "BudgetSpec":
         """The workload-level pool: both axes multiplied by ``factor`` queries."""
         return BudgetSpec(

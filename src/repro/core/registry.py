@@ -12,7 +12,12 @@ registers itself with :func:`register_technique`, declaring its capabilities:
   bounded, so only the time axis of the budget applies (Bao's 49 hint sets),
 * ``order_sensitive`` — the technique shares mutable state (RNG, model)
   across per-query states (Balsa), so the harness must schedule its queries
-  sequentially to keep results deterministic.
+  sequentially to keep results deterministic,
+* ``predicts_improvement`` — the technique can score a per-query state's
+  expected headroom from its surrogate posterior (exposes
+  ``predicted_improvement(state)``; BayesQO); the budget-aware scheduling
+  policy (:class:`repro.exec.BudgetAwarePriority`) uses the score to decide
+  which query to spend the next plan execution on.
 
 Factories receive a :class:`TechniqueContext` — everything a technique might
 need to construct itself — and return a protocol-conformant optimizer.
@@ -53,6 +58,7 @@ class TechniqueSpec:
     needs_schema_model: bool = False
     ignores_execution_cap: bool = False
     order_sensitive: bool = False
+    predicts_improvement: bool = False
     description: str = ""
 
 
@@ -90,6 +96,7 @@ def register_technique(
     needs_schema_model: bool = False,
     ignores_execution_cap: bool = False,
     order_sensitive: bool = False,
+    predicts_improvement: bool = False,
     description: str = "",
 ) -> Callable[[Callable[[TechniqueContext], object]], Callable[[TechniqueContext], object]]:
     """Decorator registering ``factory`` as the builder for technique ``name``."""
@@ -104,6 +111,7 @@ def register_technique(
             needs_schema_model=needs_schema_model,
             ignores_execution_cap=ignores_execution_cap,
             order_sensitive=order_sensitive,
+            predicts_improvement=predicts_improvement,
             description=description,
         )
         return factory

@@ -24,6 +24,7 @@ import numpy as np
 from repro.db.catalog import Schema, Table
 from repro.db.relation import Relation
 from repro.exceptions import CatalogError
+from repro.utils.seeding import stable_digest
 
 
 @dataclass
@@ -132,7 +133,7 @@ class DataGenerator:
 
     def _generate_table(self, table: Table, relations: dict[str, Relation]) -> Relation:
         spec = self.specs[table.name]
-        rng = np.random.default_rng((self.seed, hash(table.name) & 0xFFFF))
+        rng = np.random.default_rng((self.seed, stable_digest(table.name, bits=16)))
         num_rows = spec.num_rows
         columns: dict[str, np.ndarray] = {}
         # Primary key: dense 0..n-1.

@@ -97,6 +97,50 @@ class Database:
         """Latency of the default-optimizer plan."""
         return self.execute(query).latency
 
+    # ------------------------------------------------------------------ serialization
+    def __getstate__(self) -> dict:
+        """Pickle only the constructor inputs.
+
+        Statistics, the planner and the executor are all deterministic
+        functions of (schema, relations, cost params, noise, seed); rebuilding
+        them on unpickle keeps the payload small and guarantees a worker
+        process reconstructs exactly the replica ``__init__`` would have built.
+        This is what lets a :class:`~repro.exec.ProcessPoolBackend` ship one
+        database to each worker and hold it warm across plan executions.
+        """
+        return {
+            "schema": self.schema,
+            "relations": self.relations,
+            "cost_params": self.cost_params,
+            "noise_sigma": self.executor.noise_sigma,
+            "seed": self.executor.seed,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["schema"],
+            state["relations"],
+            state["cost_params"],
+            noise_sigma=state["noise_sigma"],
+            seed=state["seed"],
+        )
+
+    def warmup(self, queries: list[Query]) -> None:
+        """Plan each query once so a freshly built replica is ready to serve.
+
+        Planning runs the cardinality estimator and join-order search end to
+        end, touching the statistics and relation pages a replica needs hot;
+        process-pool workers call this once at startup so the first real plan
+        execution pays no cold-start penalty.  Queries whose planning fails
+        are skipped — the error will surface (with context) when the query is
+        actually executed.
+        """
+        for query in queries:
+            try:
+                self.plan(query)
+            except Exception:  # noqa: BLE001 - warmup is best-effort by design
+                continue
+
     # ------------------------------------------------------------------ snapshots / drift
     def snapshot(self) -> "Database":
         """A read snapshot sharing the same immutable relations.

@@ -28,6 +28,7 @@ from repro.db.query import Query
 from repro.db.relation import Relation
 from repro.exceptions import ExecutionError
 from repro.plans.jointree import JoinTree
+from repro.utils.seeding import stable_digest
 
 #: Hard cap on the number of rows the executor will materialize for a single
 #: intermediate result.  Plans that exceed it without a timeout are treated as
@@ -334,7 +335,7 @@ class Executor:
     def _apply_noise(self, plan: JoinTree, latency: float) -> float:
         if self.noise_sigma <= 0.0:
             return latency
-        digest = abs(hash((self.seed, plan.canonical()))) % (2**32)
+        digest = stable_digest(self.seed, plan.canonical(), bits=32)
         rng = np.random.default_rng(digest)
         return float(latency * math.exp(rng.normal(0.0, self.noise_sigma)))
 

@@ -1,0 +1,129 @@
+"""The execution service: pluggable backends + cross-query scheduling policies.
+
+The paper's offline tuner is throughput-bound on plan *executions*: every
+technique's budget is time spent executing proposed plans, so how fast and
+how concurrently those executions run determines wall-clock end to end.  This
+subsystem separates **where executions run** from **which query runs next**,
+behind two small contracts the :class:`~repro.harness.runner.WorkloadSession`
+scheduler drives:
+
+**Backends** (:class:`ExecutionBackend`) — turn an :class:`ExecutionRequest`
+(query + plan + timeout) into a future :class:`ExecutionOutcome`:
+
+* :class:`InlineBackend` — on the scheduler thread; sequential runs are
+  bit-for-bit the pre-subsystem behaviour.
+* :class:`ThreadPoolBackend` — a thread pool; overlaps *waiting* (DBMS
+  round-trips), the PR 2 interleaved mode.
+* :class:`ProcessPoolBackend` — worker processes, each holding a warm
+  :class:`~repro.db.engine.Database` replica; scales *CPU-bound* simulated
+  executions past the GIL.  Determinism rests on the sha256-based stable
+  seeding of every latency/RNG digest (:mod:`repro.utils.seeding`).
+* :class:`MultiBackendRouter` — fans executions over several independent
+  backends with per-member occupancy and health tracking; infrastructure
+  failures are retried on the surviving members.
+
+**Policies** (:class:`SchedulingPolicy`) — pick which ready query state gets
+the next free slot:
+
+* :class:`RoundRobin` — FIFO; reproduces the PR 2 schedule exactly.
+* :class:`BudgetAwarePriority` — spends remaining budget on the queries whose
+  surrogate posterior predicts the largest expected improvement (techniques
+  advertising ``predicts_improvement`` in the registry), falling back to
+  worst-incumbent-first for model-free techniques.
+
+Policies reorder work *across* queries only; each query's own plan sequence
+is unchanged, so final traces are identical under every backend/policy pair —
+verified by the determinism tests (``tests/test_exec.py``) and the
+``benchmarks/bench_exec_backends.py`` gate.
+
+Configuration: either hand a ``WorkloadSession`` backend/policy instances, or
+describe them with :class:`~repro.core.config.ExecutionServiceConfig` —
+``backend`` ("inline" / "thread" / "process"), ``max_workers``, ``policy``
+("round_robin" / "budget_aware"), ``replicas`` (> 1 puts a router in front),
+``start_method`` and ``warmup`` — and let :func:`make_backend` /
+:func:`make_policy` build them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import ExecutionServiceConfig
+from repro.core.protocol import ExecutionOutcome
+from repro.db.query import Query
+from repro.exceptions import OptimizationError
+from repro.exec.backend import (
+    ExecutionBackend,
+    ExecutionRequest,
+    InlineBackend,
+    ThreadPoolBackend,
+    perform_request,
+)
+from repro.exec.policy import BudgetAwarePriority, RoundRobin, SchedulingPolicy
+from repro.exec.process_pool import ProcessPoolBackend
+from repro.exec.router import BackendStatus, BackendUnavailableError, MultiBackendRouter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.engine import Database
+
+__all__ = [
+    "BackendStatus",
+    "BackendUnavailableError",
+    "BudgetAwarePriority",
+    "ExecutionBackend",
+    "ExecutionOutcome",
+    "ExecutionRequest",
+    "ExecutionServiceConfig",
+    "InlineBackend",
+    "MultiBackendRouter",
+    "ProcessPoolBackend",
+    "RoundRobin",
+    "SchedulingPolicy",
+    "ThreadPoolBackend",
+    "make_backend",
+    "make_policy",
+    "perform_request",
+]
+
+
+def make_backend(
+    config: ExecutionServiceConfig,
+    database: "Database",
+    queries: "list[Query] | None" = None,
+) -> ExecutionBackend:
+    """Build the backend an :class:`ExecutionServiceConfig` describes.
+
+    With ``replicas > 1`` every replica is an independent backend instance
+    (process backends get their own worker pools) behind one
+    :class:`MultiBackendRouter`.
+    """
+
+    def one_backend() -> ExecutionBackend:
+        if config.backend == "inline":
+            return InlineBackend(database)
+        if config.backend == "thread":
+            return ThreadPoolBackend(database, max_workers=config.max_workers)
+        if config.backend == "process":
+            return ProcessPoolBackend(
+                database,
+                max_workers=config.max_workers,
+                queries=queries,
+                start_method=config.start_method,
+                warmup=config.warmup,
+            )
+        raise OptimizationError(f"unknown execution backend {config.backend!r}")
+
+    if config.replicas == 1:
+        return one_backend()
+    return MultiBackendRouter(
+        [one_backend() for _ in range(config.replicas)], max_failures=config.max_failures
+    )
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Build the scheduling policy ``name`` refers to."""
+    if name == "round_robin":
+        return RoundRobin()
+    if name == "budget_aware":
+        return BudgetAwarePriority()
+    raise OptimizationError(f"unknown scheduling policy {name!r}")

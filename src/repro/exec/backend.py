@@ -1,0 +1,143 @@
+"""The execution-backend contract plus the in-process implementations.
+
+A backend turns an :class:`ExecutionRequest` (query + plan + timeout) into a
+:class:`~concurrent.futures.Future` resolving to an
+:class:`~repro.core.protocol.ExecutionOutcome`.  The scheduler
+(:class:`~repro.harness.runner.WorkloadSession`) neither knows nor cares
+where the execution happens — on the scheduler thread
+(:class:`InlineBackend`), on a thread pool that overlaps DBMS waiting
+(:class:`ThreadPoolBackend`), in worker processes holding warm database
+replicas (:class:`~repro.exec.process_pool.ProcessPoolBackend`), or fanned
+out over several independent backends
+(:class:`~repro.exec.router.MultiBackendRouter`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.protocol import ExecutionOutcome
+from repro.db.query import Query
+from repro.exceptions import OptimizationError
+from repro.plans.jointree import JoinTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.engine import Database
+
+
+@dataclass(frozen=True)
+class ExecutionRequest:
+    """One plan execution the scheduler wants performed.
+
+    The request is the unit that crosses the backend boundary, so everything
+    in it must stay picklable: :class:`~repro.db.query.Query` and
+    :class:`~repro.plans.jointree.JoinTree` are plain data, and the outcome
+    travels back as the equally plain
+    :class:`~repro.core.protocol.ExecutionOutcome`.  Technique-private
+    proposal metadata (latent vectors etc.) deliberately does **not** ride
+    along — it stays parked in the optimizer state on the scheduler side.
+    """
+
+    query: Query
+    plan: JoinTree
+    timeout: float | None = None
+
+
+def perform_request(database: "Database", request: ExecutionRequest) -> ExecutionOutcome:
+    """Execute one request against ``database`` and shape the outcome."""
+    execution = database.execute(request.query, request.plan, timeout=request.timeout)
+    return ExecutionOutcome.from_execution(execution, request.timeout)
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Where plan executions physically run."""
+
+    name: str
+
+    def capacity(self) -> int:
+        """How many executions the backend can usefully hold in flight."""
+
+    def submit(self, request: ExecutionRequest) -> "Future[ExecutionOutcome]":
+        """Schedule one execution; the future resolves to its outcome."""
+
+    def healthy(self) -> bool:
+        """Whether the backend can currently accept work."""
+
+    def close(self) -> None:
+        """Release pools/processes.  Idempotent."""
+
+
+class InlineBackend:
+    """Execute on the caller's thread — the pre-subsystem behaviour.
+
+    ``submit`` runs the plan synchronously and returns an already-resolved
+    future, so a sequential scheduler drains queries bit-for-bit identically
+    to the old private loops: same ``database.execute`` calls, same thread,
+    same order.
+    """
+
+    name = "inline"
+
+    def __init__(self, database: "Database") -> None:
+        self.database = database
+
+    def capacity(self) -> int:
+        return 1
+
+    def submit(self, request: ExecutionRequest) -> "Future[ExecutionOutcome]":
+        future: Future[ExecutionOutcome] = Future()
+        try:
+            future.set_result(perform_request(self.database, request))
+        except BaseException as exc:  # noqa: BLE001 - delivered via the future
+            future.set_exception(exc)
+        return future
+
+    def healthy(self) -> bool:
+        return True
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadPoolBackend:
+    """Execute on a thread pool — overlaps *waiting* (DBMS round-trips).
+
+    Threads share the GIL, so this backend only helps when executions block
+    (network round-trips to a real DBMS); for CPU-bound simulated executions
+    use the process backend.  The pool is created lazily on first submit and
+    is safe to close and never use.
+    """
+
+    name = "thread"
+
+    def __init__(self, database: "Database", max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise OptimizationError("max_workers must be at least 1")
+        self.database = database
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    def capacity(self) -> int:
+        return self._max_workers
+
+    def submit(self, request: ExecutionRequest) -> "Future[ExecutionOutcome]":
+        if self._closed:
+            raise OptimizationError("backend is closed")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers, thread_name_prefix="repro-exec"
+            )
+        return self._pool.submit(perform_request, self.database, request)
+
+    def healthy(self) -> bool:
+        return not self._closed
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None

@@ -1,0 +1,130 @@
+"""Cross-query scheduling policies: which query gets the next execution slot.
+
+The scheduler keeps a ready list of per-query optimizer states and, whenever
+an execution slot frees up, asks its :class:`SchedulingPolicy` which state to
+step next.  Policies reorder *across* queries only — each state still
+alternates suggest/observe with at most one plan in flight — so for
+techniques with per-query RNG state the per-query plan sequence (and hence
+the final trace) is identical under every policy.  What changes is anytime
+behaviour: which queries converge first, and where a shared wall-clock
+deadline lands.
+
+:class:`RoundRobin` reproduces the PR 2 scheduler exactly.
+:class:`BudgetAwarePriority` implements the paper's "spend budget where it
+helps most" framing: states are scored by the technique's surrogate-posterior
+expected-improvement proxy (``predicted_improvement(state)``, advertised via
+the registry's ``predicts_improvement`` capability flag) and the highest
+scorer — weighted by its remaining budget fraction — runs next.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.core.protocol import OptimizerState
+from repro.exceptions import OptimizationError
+
+
+@runtime_checkable
+class SchedulingPolicy(Protocol):
+    """Chooses which ready state receives the next free execution slot."""
+
+    name: str
+
+    def select(self, ready: Sequence[OptimizerState], optimizer: object | None = None) -> int:
+        """Index into ``ready`` of the state to step next.
+
+        ``optimizer`` is the technique instance when its registry entry
+        advertises ``predicts_improvement``, else ``None``.
+        """
+
+    def reset(self) -> None:
+        """Drop any per-run memory.  The scheduler calls this at run start,
+        so one policy instance can serve many technique runs."""
+
+
+class RoundRobin:
+    """FIFO over the ready list — the PR 2 scheduler's order, bit for bit."""
+
+    name = "round_robin"
+
+    def select(self, ready: Sequence[OptimizerState], optimizer: object | None = None) -> int:
+        if not ready:
+            raise OptimizationError("no ready states to select from")
+        return 0
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "RoundRobin()"
+
+
+class BudgetAwarePriority:
+    """Spend remaining budget on the queries with the most predicted headroom.
+
+    Score per state = ``predicted_improvement(state)`` (the technique's
+    surrogate-posterior expected-improvement proxy; ``inf`` while a state is
+    still initializing) scaled by the fraction of the state's execution
+    budget still unspent.  When the technique offers no predictor the policy
+    falls back to the best latency observed so far — queries that are still
+    slow (or have no successful plan at all) get priority, which is the
+    model-free reading of "spend budget where the most time is left on the
+    table".  FIFO order breaks ties, so with uninformative scores the policy
+    degrades to round-robin.
+    """
+
+    name = "budget_aware"
+
+    def __init__(self) -> None:
+        #: id(state) -> (num_executions at scoring time, score).  A state's
+        #: score only changes when it absorbs an observation, so re-scoring
+        #: the whole ready list on every slot claim would redo O(n^2) GP
+        #: posterior work for states that did not run.  The cache keeps the
+        #: schedule identical while scoring each (state, observation count)
+        #: pair once.  ``reset()`` clears it between runs — ids of freed
+        #: states get reused, and a stale entry must not leak across runs.
+        self._scores: dict[int, tuple[int, float]] = {}
+
+    def reset(self) -> None:
+        self._scores.clear()
+
+    def select(self, ready: Sequence[OptimizerState], optimizer: object | None = None) -> int:
+        if not ready:
+            raise OptimizationError("no ready states to select from")
+        best_index, best_score = 0, float("-inf")
+        for index, state in enumerate(ready):
+            score = self._cached_score(state, optimizer)
+            if score > best_score:
+                best_index, best_score = index, score
+        return best_index
+
+    def _cached_score(self, state: OptimizerState, optimizer: object | None) -> float:
+        version = state.result.num_executions
+        cached = self._scores.get(id(state))
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        score = self._score(state, optimizer)
+        self._scores[id(state)] = (version, score)
+        return score
+
+    def _score(self, state: OptimizerState, optimizer: object | None) -> float:
+        predictor = getattr(optimizer, "predicted_improvement", None)
+        if predictor is not None:
+            headroom = float(predictor(state))
+        else:
+            try:
+                headroom = float(state.result.best_latency)
+            except OptimizationError:
+                # No successful plan yet: nothing is known, explore first.
+                return float("inf")
+        if headroom == float("inf"):
+            return headroom
+        total = state.budget.max_executions
+        if total:
+            remaining = state.budget.remaining_executions(state.result)
+            headroom *= remaining / total
+        return headroom
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BudgetAwarePriority()"

@@ -1,0 +1,144 @@
+"""Plan execution in worker processes holding warm database replicas.
+
+Thread pools only overlap *waiting*; CPU-bound simulated executions serialize
+on the GIL.  :class:`ProcessPoolBackend` sidesteps the GIL entirely: each
+worker process receives one pickled :class:`~repro.db.engine.Database`
+replica at startup (rebuilt through ``Database.__setstate__`` — statistics,
+planner and executor freshly constructed), optionally pre-plans every known
+query (warmup), and then serves plan executions for the life of the pool.
+Per task only the small ``(query name | query, plan, timeout)`` payload
+crosses the process boundary, and the result travels back as a plain
+:class:`~repro.core.protocol.ExecutionOutcome`.
+
+Determinism: the executor's latency noise and every per-query RNG are seeded
+through :func:`repro.utils.seeding.stable_digest`, so a worker process
+observes exactly the latencies the parent would have — process-pool traces
+are bit-for-bit identical to sequential ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.core.protocol import ExecutionOutcome
+from repro.db.query import Query
+from repro.exceptions import OptimizationError
+from repro.exec.backend import ExecutionRequest, perform_request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.engine import Database
+
+#: Per-process replica state, populated once by :func:`_init_worker`.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(database: "Database", queries: tuple[Query, ...], warmup: bool) -> None:
+    """Build this worker's warm replica (runs once per worker process)."""
+    _WORKER_STATE["database"] = database
+    _WORKER_STATE["queries"] = {query.name: query for query in queries}
+    if warmup and hasattr(database, "warmup"):
+        database.warmup(list(queries))
+
+
+def _execute_in_worker(
+    query_or_name: "Query | str", plan, timeout: float | None
+) -> ExecutionOutcome:
+    """Execute one plan against this worker's replica."""
+    database = _WORKER_STATE["database"]
+    if isinstance(query_or_name, str):
+        query = _WORKER_STATE["queries"][query_or_name]
+    else:
+        query = query_or_name
+    return perform_request(database, ExecutionRequest(query=query, plan=plan, timeout=timeout))
+
+
+def _pick_context(start_method: str | None) -> multiprocessing.context.BaseContext:
+    """Prefer ``fork`` (workers inherit the database without pickling it per
+    worker); fall back to the platform default elsewhere."""
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else methods[0]
+    return multiprocessing.get_context(start_method)
+
+
+class ProcessPoolBackend:
+    """Dispatch plan executions to worker processes with warm replicas.
+
+    Parameters
+    ----------
+    database:
+        The database the workers replicate.  Must be picklable (anything
+        duck-typing ``execute`` works; :class:`~repro.db.engine.Database`
+        ships only its constructor inputs and rebuilds the rest).
+    max_workers:
+        Worker process count (defaults to the CPU count).
+    queries:
+        Queries to register with every worker.  Registered queries are sent
+        by *name* per task (and pre-planned during warmup); unregistered
+        queries are pickled whole with each request.
+    start_method:
+        Multiprocessing start method; ``None`` prefers ``fork``.
+    warmup:
+        Pre-plan every registered query in each worker at startup.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        database: "Database",
+        max_workers: int | None = None,
+        queries: list[Query] | None = None,
+        start_method: str | None = None,
+        warmup: bool = True,
+    ) -> None:
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        if workers < 1:
+            raise OptimizationError("max_workers must be at least 1")
+        self.database = database
+        self._max_workers = workers
+        self._queries = tuple(queries or ())
+        self._registered = {query.name for query in self._queries}
+        self._start_method = start_method
+        self._warmup = warmup
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    def capacity(self) -> int:
+        return self._max_workers
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise OptimizationError("backend is closed")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                mp_context=_pick_context(self._start_method),
+                initializer=_init_worker,
+                initargs=(self.database, self._queries, self._warmup),
+            )
+        return self._pool
+
+    def submit(self, request: ExecutionRequest) -> "Future[ExecutionOutcome]":
+        payload: Query | str = (
+            request.query.name if request.query.name in self._registered else request.query
+        )
+        return self._ensure_pool().submit(
+            _execute_in_worker, payload, request.plan, request.timeout
+        )
+
+    def healthy(self) -> bool:
+        if self._closed:
+            return False
+        # A pool that hasn't been started yet is healthy by definition; a
+        # broken pool (worker died mid-task) is permanently unusable.
+        return self._pool is None or getattr(self._pool, "_broken", False) is False
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None

@@ -1,0 +1,204 @@
+"""Fan plan executions out over several independent backends.
+
+:class:`MultiBackendRouter` models the deployment where a workload's plan
+executions are spread over several database replicas (multiple standbys, a
+fleet of simulation workers, …).  Per member it tracks **occupancy** (requests
+in flight, maintained via future callbacks) and **health** (accumulated
+infrastructure failures); submissions go to the least-loaded healthy member,
+and a request whose member breaks mid-flight (e.g. a worker process dies, the
+pool raises :class:`~concurrent.futures.BrokenExecutor`) is transparently
+retried on the remaining healthy members.  Genuine execution errors — the
+plan itself failing — are *not* retried: they propagate to the scheduler,
+which reports them with the owning query's name.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import BrokenExecutor, Future, InvalidStateError
+from dataclasses import dataclass
+
+from repro.core.protocol import ExecutionOutcome
+from repro.exceptions import OptimizationError
+from repro.exec.backend import ExecutionBackend, ExecutionRequest
+
+
+class BackendUnavailableError(OptimizationError):
+    """No healthy backend is left to run a request on."""
+
+
+@dataclass
+class BackendStatus:
+    """Point-in-time view of one routed backend (for reporting/tests)."""
+
+    name: str
+    capacity: int
+    occupancy: int
+    submitted: int
+    completed: int
+    failures: int
+    healthy: bool
+
+
+class _Member:
+    """Router-side bookkeeping for one backend."""
+
+    def __init__(self, backend: ExecutionBackend, index: int) -> None:
+        self.backend = backend
+        self.name = f"{getattr(backend, 'name', 'backend')}[{index}]"
+        self.occupancy = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failures = 0
+        self.marked_unhealthy = False
+
+    def healthy(self) -> bool:
+        return not self.marked_unhealthy and self.backend.healthy()
+
+    def load(self) -> float:
+        return self.occupancy / max(1, self.backend.capacity())
+
+
+class MultiBackendRouter:
+    """Route requests across independent backends by occupancy and health."""
+
+    name = "router"
+
+    def __init__(self, backends: list[ExecutionBackend], max_failures: int = 3) -> None:
+        if not backends:
+            raise OptimizationError("router needs at least one backend")
+        if max_failures < 1:
+            raise OptimizationError("max_failures must be at least 1")
+        self._members = [_Member(backend, index) for index, backend in enumerate(backends)]
+        self._max_failures = max_failures
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ backend protocol
+    def capacity(self) -> int:
+        with self._lock:
+            return sum(
+                member.backend.capacity() for member in self._members if member.healthy()
+            )
+
+    def healthy(self) -> bool:
+        with self._lock:
+            return any(member.healthy() for member in self._members)
+
+    def submit(self, request: ExecutionRequest) -> "Future[ExecutionOutcome]":
+        outer: Future[ExecutionOutcome] = Future()
+        self._dispatch(request, outer, tried=frozenset())
+        return outer
+
+    def close(self) -> None:
+        for member in self._members:
+            member.backend.close()
+
+    # ------------------------------------------------------------------ introspection
+    def statuses(self) -> list[BackendStatus]:
+        with self._lock:
+            return [
+                BackendStatus(
+                    name=member.name,
+                    capacity=member.backend.capacity(),
+                    occupancy=member.occupancy,
+                    submitted=member.submitted,
+                    completed=member.completed,
+                    failures=member.failures,
+                    healthy=member.healthy(),
+                )
+                for member in self._members
+            ]
+
+    # ------------------------------------------------------------------ routing
+    def _choose(self, tried: frozenset) -> "_Member | None":
+        candidates = [
+            member
+            for member in self._members
+            if member.healthy() and member.name not in tried
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda member: (member.load(), member.name))
+
+    def _dispatch(self, request: ExecutionRequest, outer: Future, tried: frozenset) -> None:
+        with self._lock:
+            member = self._choose(tried)
+            if member is not None:
+                member.occupancy += 1
+                member.submitted += 1
+        if member is None:
+            outer.set_exception(
+                BackendUnavailableError(
+                    f"no healthy execution backend left for query {request.query.name!r} "
+                    f"(tried {sorted(tried) or 'none'})"
+                )
+            )
+            return
+        try:
+            inner = member.backend.submit(request)
+        except Exception as exc:  # noqa: BLE001 - delivered via the outer future
+            if isinstance(exc, BrokenExecutor):
+                self._record_failure(member)
+                self._dispatch(request, outer, tried | {member.name})
+            else:
+                self._release(member)
+                self._resolve(outer, exc=exc)
+            return
+        inner.add_done_callback(
+            lambda future: self._on_done(future, member, request, outer, tried)
+        )
+
+    def _on_done(
+        self,
+        inner: Future,
+        member: _Member,
+        request: ExecutionRequest,
+        outer: Future,
+        tried: frozenset,
+    ) -> None:
+        exc = inner.exception()
+        if exc is None:
+            with self._lock:
+                member.occupancy -= 1
+                member.completed += 1
+            self._resolve(outer, result=inner.result())
+            return
+        if isinstance(exc, BrokenExecutor):
+            # Infrastructure death, not a property of the plan: the member is
+            # charged a failure (retired at max_failures) and the request is
+            # retried elsewhere.
+            self._record_failure(member)
+            self._dispatch(request, outer, tried | {member.name})
+        else:
+            # A genuine execution error says nothing about the member's
+            # health — the plan itself failed.  Propagate without retrying
+            # and without denting the member's failure budget.
+            self._release(member)
+            self._resolve(outer, exc=exc)
+
+    @staticmethod
+    def _resolve(outer: Future, result=None, exc=None) -> None:
+        """Complete the outer future, tolerating a scheduler-side cancel.
+
+        The scheduler cancels outstanding outer futures when it aborts a run;
+        an in-flight inner future may still complete afterwards, and its
+        callback must not die on the already-cancelled outer future.
+        """
+        try:
+            if exc is not None:
+                outer.set_exception(exc)
+            else:
+                outer.set_result(result)
+        except InvalidStateError:
+            pass
+
+    def _release(self, member: _Member) -> None:
+        with self._lock:
+            member.occupancy -= 1
+
+    def _record_failure(self, member: _Member) -> None:
+        with self._lock:
+            member.occupancy -= 1
+            member.failures += 1
+            if member.failures >= self._max_failures:
+                member.marked_unhealthy = True

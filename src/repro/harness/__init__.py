@@ -2,9 +2,11 @@
 
 The loop owner is :class:`~repro.harness.runner.WorkloadSession`, which drives
 every registered ask/tell technique over a workload under one shared
-:class:`~repro.core.protocol.BudgetSpec` — sequentially or interleaved across
-a thread pool.  ``run_technique``/``run_comparison`` are thin wrappers kept
-for existing call sites.
+:class:`~repro.core.protocol.BudgetSpec` — sequentially, or interleaved with
+plan executions routed through any :mod:`repro.exec` backend (thread pool,
+process pool with warm database replicas, multi-backend router) under a
+cross-query scheduling policy.  ``run_technique``/``run_comparison`` are thin
+wrappers kept for existing call sites.
 """
 
 from repro.harness.metrics import (
@@ -25,10 +27,12 @@ from repro.harness.runner import (
     run_comparison,
     run_technique,
 )
+from repro.core.config import ExecutionServiceConfig
 from repro.core.protocol import BudgetSpec, ExecutionOutcome, PlanProposal
 
 __all__ = [
     "BudgetSpec",
+    "ExecutionServiceConfig",
     "ComparisonRun",
     "ExecutionOutcome",
     "PlanProposal",

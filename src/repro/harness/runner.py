@@ -11,12 +11,18 @@ registry (:mod:`repro.core.registry`); the session
 * charges workload-level techniques (LimeQO) against the identical pool
   ``budget.scaled(len(queries))`` so every technique pays the same,
 * trains the per-schema :class:`SchemaModel` once and shares it,
+* routes every plan execution through one **execution backend**
+  (:mod:`repro.exec`): inline on the scheduler thread, a thread pool that
+  overlaps DBMS waiting, worker processes holding warm database replicas for
+  CPU-bound executions, or a router fanning out over several backends,
 * schedules the per-query steppers either **sequentially** (one query drained
   at a time — bit-for-bit the behaviour of the old private loops) or
-  **interleaved**, round-robining suggest/observe on the scheduler thread
-  while plan executions run concurrently on a thread pool.  Each state has at
-  most one outstanding proposal, so techniques with per-query RNG state
-  (BayesQO, Random) produce identical traces in both modes,
+  **interleaved**, stepping suggest/observe on the scheduler thread while the
+  backend holds up to ``capacity`` plan executions in flight, with a
+  :class:`~repro.exec.SchedulingPolicy` picking which ready query runs next.
+  Each state has at most one outstanding proposal, so techniques with
+  per-query RNG state (BayesQO, Random) produce identical traces under every
+  backend/policy pair,
 * memoizes per-technique results, so a comparison that needs Bao both as the
   improvement baseline and as a contender executes it once.
 
@@ -27,25 +33,32 @@ executing proposed plans against the database.
 ``run_technique`` and ``run_comparison`` remain as thin wrappers over a
 session.  Calling ``optimizer.optimize(...)`` directly still works but is
 deprecated: it spins up a throwaway single-query loop and cannot share
-budgets, schema models or the thread pool.
+budgets, schema models or the execution backend.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+import dataclasses
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass, field
 
 # Importing the technique modules registers them with the registry.
 from repro.baselines import balsa, bao, limeqo, random_search  # noqa: F401
 from repro.core import optimizer as _bayesqo_module  # noqa: F401
-from repro.core.config import BayesQOConfig, VAETrainingConfig
+from repro.core.config import BayesQOConfig, ExecutionServiceConfig, VAETrainingConfig
 from repro.core.optimizer import SchemaModel, train_schema_model
 from repro.core.protocol import BudgetSpec, ExecutionOutcome, PlanProposal, drive_query
-from repro.core.registry import TechniqueContext, get_technique, technique_names
+from repro.core.registry import TechniqueContext, TechniqueSpec, get_technique, technique_names
 from repro.core.result import OptimizationResult
 from repro.db.query import Query
 from repro.exceptions import OptimizationError
+from repro.exec import (
+    ExecutionBackend,
+    ExecutionRequest,
+    SchedulingPolicy,
+    make_backend,
+    make_policy,
+)
 from repro.workloads.base import Workload
 
 #: Deprecated alias: the registered technique names at import time.  Prefer
@@ -99,12 +112,27 @@ class WorkloadSession:
         Configuration forwarded to BayesQO / the lazy schema-model training.
     seed:
         Base seed forwarded to every technique factory.
+    backend:
+        Where plan executions run: an :class:`~repro.exec.ExecutionBackend`
+        instance, a backend name (``"inline"``, ``"thread"``, ``"process"``),
+        or ``None`` to derive one from ``exec_config``/``max_workers``.
+    policy:
+        Which ready query gets the next free execution slot: a
+        :class:`~repro.exec.SchedulingPolicy` instance, a policy name
+        (``"round_robin"``, ``"budget_aware"``), or ``None`` for round-robin.
+    exec_config:
+        Declarative backend/policy selection
+        (:class:`~repro.core.config.ExecutionServiceConfig`); explicit
+        ``backend``/``policy`` arguments take precedence over it.
     max_workers:
-        Size of the plan-execution thread pool.  With ``max_workers > 1``
-        per-query techniques are interleaved: many queries in flight at once,
-        each with at most one outstanding plan execution.
+        Concurrent plan executions.  With no explicit backend,
+        ``max_workers > 1`` selects the thread backend (the PR 2 behaviour);
+        ``max_workers == 1`` selects inline execution.
     interleave:
-        Force interleaving on/off; defaults to ``max_workers > 1``.
+        Force interleaving on/off; defaults to backend capacity > 1.
+
+    Sessions own their backend's pools: call :meth:`close` (or use the
+    session as a context manager) when done with non-inline backends.
     """
 
     def __init__(
@@ -117,6 +145,9 @@ class WorkloadSession:
         bayes_config: BayesQOConfig | None = None,
         vae_config: VAETrainingConfig | None = None,
         seed: int = 0,
+        backend: "ExecutionBackend | str | None" = None,
+        policy: "SchedulingPolicy | str | None" = None,
+        exec_config: ExecutionServiceConfig | None = None,
         max_workers: int = 1,
         interleave: bool | None = None,
     ) -> None:
@@ -130,9 +161,59 @@ class WorkloadSession:
         self.vae_config = vae_config
         self.seed = seed
         self.max_workers = max_workers
-        self.interleave = interleave if interleave is not None else max_workers > 1
+        self.exec_config = exec_config
+        self._backend = self._resolve_backend(backend)
+        self.policy = self._resolve_policy(policy)
+        if interleave is not None:
+            self.interleave = interleave
+        else:
+            self.interleave = self._backend.capacity() > 1
         self._schema_model = schema_model
         self._results: dict[str, dict[str, OptimizationResult]] = {}
+
+    # ------------------------------------------------------------------ execution service
+    def _resolve_backend(self, backend) -> ExecutionBackend:
+        if backend is not None and not isinstance(backend, str):
+            return backend
+        config = self.exec_config
+        if isinstance(backend, str):
+            if config is None:
+                config = ExecutionServiceConfig(backend=backend, max_workers=self.max_workers)
+            else:
+                # The explicit backend name wins; every other exec_config knob
+                # (workers, replicas, start method, warmup) still applies.
+                config = dataclasses.replace(config, backend=backend)
+        elif config is None:
+            # Legacy selection: max_workers alone decides, exactly as PR 2 did.
+            config = ExecutionServiceConfig(
+                backend="inline" if self.max_workers == 1 else "thread",
+                max_workers=self.max_workers,
+            )
+        return make_backend(config, self.database, self.queries)
+
+    def _resolve_policy(self, policy) -> SchedulingPolicy:
+        if policy is not None and not isinstance(policy, str):
+            return policy
+        if isinstance(policy, str):
+            return make_policy(policy)
+        if self.exec_config is not None:
+            return make_policy(self.exec_config.policy)
+        return make_policy("round_robin")
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend this session submits plan executions to."""
+        return self._backend
+
+    def close(self) -> None:
+        """Shut down the backend's pools/processes.  Idempotent."""
+        self._backend.close()
+
+    def __enter__(self) -> "WorkloadSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ shared artifacts
     def ensure_schema_model(self) -> SchemaModel:
@@ -167,7 +248,7 @@ class WorkloadSession:
         budget = self.budget.without_execution_cap() if spec.ignores_execution_cap else self.budget
         interleave = (
             self.interleave
-            and self.max_workers > 1
+            and self._backend.capacity() > 1
             and len(self.queries) > 1
             # Order-sensitive techniques share mutable state across queries
             # (Balsa's RNG and value network); interleaving them would make
@@ -177,7 +258,7 @@ class WorkloadSession:
         if spec.workload_level:
             results = self._run_workload_level(optimizer, budget)
         elif interleave:
-            results = self._run_interleaved(optimizer, budget)
+            results = self._run_interleaved(optimizer, budget, spec)
         else:
             results = self._run_sequential(optimizer, budget)
         self._results[technique] = results
@@ -216,10 +297,28 @@ class WorkloadSession:
         }
 
     # ------------------------------------------------------------------ execution
-    def _execute(self, proposal: PlanProposal, query: Query) -> ExecutionOutcome:
+    def _request(self, proposal: PlanProposal, query: Query) -> ExecutionRequest:
         target = proposal.query if proposal.query is not None else query
-        execution = self.database.execute(target, proposal.plan, timeout=proposal.timeout)
-        return ExecutionOutcome.from_execution(execution, proposal.timeout)
+        return ExecutionRequest(query=target, plan=proposal.plan, timeout=proposal.timeout)
+
+    def _execute(self, proposal: PlanProposal, query: Query) -> ExecutionOutcome:
+        """Execute one proposal through the backend, waiting for its outcome."""
+        return self._backend.submit(self._request(proposal, query)).result()
+
+    @staticmethod
+    def _outcome_of(future: "Future[ExecutionOutcome]", query_name: str) -> ExecutionOutcome:
+        """Unwrap a backend future, attributing any failure to its query.
+
+        A bare ``future.result()`` traceback names a pool internals frame,
+        not the work item; wrapping here is what lets a 50-query interleaved
+        run say *which* query's plan execution died.
+        """
+        try:
+            return future.result()
+        except Exception as exc:
+            raise OptimizationError(
+                f"plan execution failed for query {query_name!r}: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------ schedulers
     def _run_sequential(self, optimizer, budget: BudgetSpec) -> dict[str, OptimizationResult]:
@@ -245,36 +344,45 @@ class WorkloadSession:
             optimizer.observe(state, self._execute(proposal, proposal.query))
         return optimizer.finish_workload(state)
 
-    def _run_interleaved(self, optimizer, budget: BudgetSpec) -> dict[str, OptimizationResult]:
-        """Round-robin all per-query states; execute plans on a thread pool.
+    def _run_interleaved(
+        self, optimizer, budget: BudgetSpec, spec: TechniqueSpec
+    ) -> dict[str, OptimizationResult]:
+        """Step all per-query states; the backend holds executions in flight.
 
         ``suggest``/``observe`` always run on this (scheduler) thread, so
-        technique internals need no locking; only ``database.execute`` — pure
-        over immutable relations — runs concurrently.  Each state has at most
-        one plan in flight, so per-query optimization remains sequential and
-        techniques with per-query RNGs reproduce their sequential traces
-        exactly.
+        technique internals need no locking; only plan execution — pure over
+        immutable relations — runs concurrently, wherever the backend puts
+        it.  Each state has at most one plan in flight, so per-query
+        optimization remains sequential and techniques with per-query RNGs
+        reproduce their sequential traces exactly; the policy only decides
+        which ready query claims a free slot.
         """
         results: dict[str, OptimizationResult] = {}
-        ready = deque(optimizer.start(query, budget=budget) for query in self.queries)
-        in_flight: dict = {}
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+        self.policy.reset()
+        ready = [optimizer.start(query, budget=budget) for query in self.queries]
+        scored = optimizer if spec.predicts_improvement else None
+        in_flight: dict[Future, object] = {}
+        capacity = max(1, self._backend.capacity())
+        try:
             while ready or in_flight:
-                while ready and len(in_flight) < self.max_workers:
-                    state = ready.popleft()
+                while ready and len(in_flight) < capacity:
+                    state = ready.pop(self.policy.select(ready, scored))
                     proposal = optimizer.suggest(state) if state.budget_left() else None
                     if proposal is None:
                         results[state.query.name] = optimizer.finish(state)
                         continue
-                    future = pool.submit(self._execute, proposal, state.query)
+                    future = self._backend.submit(self._request(proposal, state.query))
                     in_flight[future] = state
                 if not in_flight:
                     continue
                 done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
                 for future in done:
                     state = in_flight.pop(future)
-                    optimizer.observe(state, future.result())
+                    optimizer.observe(state, self._outcome_of(future, state.query.name))
                     ready.append(state)
+        finally:
+            for future in in_flight:
+                future.cancel()
         return {query.name: results[query.name] for query in self.queries}
 
 
@@ -288,12 +396,13 @@ def run_technique(
     bayes_config: BayesQOConfig | None = None,
     seed: int = 0,
     max_workers: int = 1,
+    exec_config: ExecutionServiceConfig | None = None,
 ) -> dict[str, OptimizationResult]:
     """Run one technique on a list of queries and return per-query traces.
 
     Thin wrapper over :class:`WorkloadSession` kept for existing call sites.
     """
-    session = WorkloadSession(
+    with WorkloadSession(
         workload,
         queries=queries,
         budget=budget,
@@ -301,8 +410,9 @@ def run_technique(
         bayes_config=bayes_config,
         seed=seed,
         max_workers=max_workers,
-    )
-    return session.run(technique)
+        exec_config=exec_config,
+    ) as session:
+        return session.run(technique)
 
 
 def run_comparison(
@@ -314,13 +424,14 @@ def run_comparison(
     bayes_config: BayesQOConfig | None = None,
     seed: int = 0,
     max_workers: int = 1,
+    exec_config: ExecutionServiceConfig | None = None,
 ) -> ComparisonRun:
     """Run the Figure 3 style comparison: every technique, same queries, same budget.
 
     Bao (the improvement baseline) is executed once through the session and
     reused when ``"bao"`` is also in ``techniques``.
     """
-    session = WorkloadSession(
+    with WorkloadSession(
         workload,
         queries=queries,
         budget=budget,
@@ -328,10 +439,11 @@ def run_comparison(
         bayes_config=bayes_config,
         seed=seed,
         max_workers=max_workers,
-    )
-    run = ComparisonRun(workload_name=workload.name)
-    run.bao_latencies = session.bao_latencies()
-    run.default_latencies = session.default_latencies()
-    for technique in techniques:
-        run.results[technique] = session.run(technique)
-    return run
+        exec_config=exec_config,
+    ) as session:
+        run = ComparisonRun(workload_name=workload.name)
+        run.bao_latencies = session.bao_latencies()
+        run.default_latencies = session.default_latencies()
+        for technique in techniques:
+            run.results[technique] = session.run(technique)
+        return run

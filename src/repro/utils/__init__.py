@@ -1,0 +1,5 @@
+"""Small shared utilities (stable seeding, …) with no repro-internal deps."""
+
+from repro.utils.seeding import stable_digest
+
+__all__ = ["stable_digest"]

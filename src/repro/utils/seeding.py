@@ -1,0 +1,29 @@
+"""Process-stable seed derivation.
+
+Python's built-in ``hash()`` is salted per process (PEP 456), so any RNG
+seeded from ``hash(some_string)`` reproduces only when ``PYTHONHASHSEED`` is
+pinned — and never matches across the worker processes of a process-pool
+execution backend.  Every seed in this repository that is derived from a
+string therefore goes through :func:`stable_digest`, a sha256-based digest
+that is identical in every process, on every platform, on every run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["stable_digest"]
+
+
+def stable_digest(*parts: object, bits: int = 32) -> int:
+    """A process-stable non-negative integer digest of ``parts``.
+
+    Parts are rendered with ``repr`` and joined with an unambiguous
+    separator, so ``stable_digest("ab", "c") != stable_digest("a", "bc")``.
+    The result lies in ``[0, 2**bits)``.
+    """
+    if not 1 <= bits <= 256:
+        raise ValueError("bits must be in [1, 256]")
+    payload = "\x1f".join(repr(part) for part in parts).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest, "big") % (1 << bits)

@@ -71,6 +71,8 @@ class TestRegistry:
         assert get_technique("bayesqo").needs_schema_model
         assert get_technique("bao").ignores_execution_cap
         assert get_technique("balsa").order_sensitive
+        assert get_technique("bayesqo").predicts_improvement
+        assert not get_technique("random").predicts_improvement
         assert not get_technique("random").workload_level
 
 
@@ -262,6 +264,38 @@ class TestWorkloadSession:
         result = optimizer.optimize(query, initial_plans=seeds, max_executions=5)
         assert result.trace[0].source == "seed:custom"
         assert result.trace[0].timeout == 600.0
+
+    def test_interleaved_worker_error_names_query(self, tiny_workload):
+        # Regression: a failing plan execution inside the interleaved
+        # scheduler used to surface as a bare future traceback from pool
+        # internals; it must name the query whose execution died.
+        class ExplodingDatabase:
+            def __init__(self, inner, poison):
+                self._inner = inner
+                self._poison = poison
+
+            def execute(self, query, plan=None, timeout=None):
+                if query.name == self._poison:
+                    raise RuntimeError("simulated backend crash")
+                return self._inner.execute(query, plan, timeout=timeout)
+
+            def __getattr__(self, name):
+                if name.startswith("_"):
+                    raise AttributeError(name)
+                return getattr(self._inner, name)
+
+        poison = tiny_workload.queries[0].name
+        workload = type(tiny_workload)(
+            name=tiny_workload.name,
+            database=ExplodingDatabase(tiny_workload.database, poison),
+            queries=tiny_workload.queries,
+            max_aliases=tiny_workload.max_aliases,
+        )
+        with WorkloadSession(
+            workload, budget=BudgetSpec(max_executions=4), max_workers=3, interleave=True
+        ) as session:
+            with pytest.raises(OptimizationError, match=poison):
+                session.run("random")
 
     def test_legacy_optimize_matches_session(self, tiny_workload, tiny_schema_model):
         from repro.baselines import RandomSearch
