@@ -2,7 +2,10 @@
 
 Builds the scaled-down IMDB-analogue database, trains the per-schema plan VAE,
 runs BayesQO on a single JOB-like query and compares the result against the
-default optimizer plan and the best Bao hint-set plan.
+default optimizer plan and the best Bao hint-set plan — then runs the same
+single query again with the batched ask (q=4 plans in flight on a process
+pool), the configuration that saturates parallel hardware even with only one
+query to optimize.
 
 Run with::
 
@@ -12,7 +15,9 @@ Run with::
 from __future__ import annotations
 
 from repro.baselines import BaoOptimizer
-from repro.core import BayesQO, BayesQOConfig, PlanCache, VAETrainingConfig
+from repro.core import BayesQOConfig, ExecutionServiceConfig, PlanCache, VAETrainingConfig
+from repro.core.protocol import BudgetSpec, drive_state
+from repro.harness import WorkloadSession
 from repro.workloads import build_job_workload
 
 
@@ -30,19 +35,26 @@ def main() -> None:
     print(f"Optimizing query {query.name} joining {query.num_tables} tables:")
     print(f"  {query.sql()[:160]}...")
 
-    # 2. Baselines: the default optimizer plan and the best of the 49 Bao hint sets.
+    # 2. Baselines: the default optimizer plan and the best of the 49 Bao hint
+    #    sets, driven through the ask/tell protocol.
     default_latency = database.execute(query, timeout=600.0).latency
-    bao = BaoOptimizer(database).optimize(query)
+    bao_optimizer = BaoOptimizer(database)
+    bao_state = bao_optimizer.start(query)
+    drive_state(bao_optimizer, database, bao_state)
+    bao = bao_optimizer.outcome(bao_state)
     print(f"\nDefault optimizer plan latency : {default_latency:.4f} s")
     print(f"Best Bao hint-set plan latency : {bao.best_latency:.4f} s ({bao.best_hint_set})")
 
-    # 3. BayesQO: train the per-schema VAE once, then optimize the query offline.
-    optimizer = BayesQO.for_workload(
+    # 3. BayesQO through a WorkloadSession: the session trains the per-schema
+    #    VAE once (shared by every run below) and owns the optimization loop.
+    session = WorkloadSession(
         workload,
-        config=BayesQOConfig(max_executions=60, seed=0),
+        queries=[query],
+        budget=BudgetSpec(max_executions=60),
+        bayes_config=BayesQOConfig(max_executions=60, seed=0),
         vae_config=VAETrainingConfig(training_steps=1500, corpus_queries=120),
     )
-    result = optimizer.optimize(query)
+    result = session.run("bayesqo")[query.name]
     print(f"\nBayesQO best plan latency      : {result.best_latency:.4f} s")
     print(f"  improvement over Bao         : {result.improvement_over(bao.best_latency):.1f}%")
     print(f"  improvement over default     : {result.improvement_over(default_latency):.1f}%")
@@ -50,7 +62,25 @@ def main() -> None:
     print(f"  optimization budget consumed : {result.total_cost:.1f} simulated seconds")
     print(f"  best plan                    : {result.best_plan.canonical()}")
 
-    # 4. Cache the plan for the online component.
+    # 4. The batched ask: the same single query with q=4 plans in flight on a
+    #    process pool.  One query cannot keep 4 workers busy at q=1; with
+    #    batch_size=4 the BO engine proposes 4 jointly informative candidates
+    #    per acquisition round and the pool executes them concurrently.
+    with WorkloadSession(
+        workload,
+        queries=[query],
+        budget=BudgetSpec(max_executions=60),
+        schema_model=session.ensure_schema_model(),  # reuse the trained VAE
+        bayes_config=BayesQOConfig(max_executions=60, seed=0),
+        exec_config=ExecutionServiceConfig(
+            backend="process", max_workers=4, batch_size=4
+        ),
+    ) as batched_session:
+        batched = batched_session.run("bayesqo")[query.name]
+    print(f"\nBayesQO (q=4, process pool)    : {batched.best_latency:.4f} s "
+          f"({batched.num_executions} executions)")
+
+    # 5. Cache the plan for the online component.
     cache = PlanCache()
     cache.store(query, result)
     print(f"\nPlan cached for signature {query.signature()[:2]}... "

@@ -23,6 +23,7 @@ Its training set is seeded with the Bao hint-set plans, as in the paper.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -207,7 +208,7 @@ class BalsaOptimizer:
         return None
 
     def observe(self, state: BalsaState, outcome: ExecutionOutcome) -> None:
-        record = state.record_pending(outcome)
+        _, record = state.resolve(outcome)
         label = record.latency if not record.censored else (record.timeout or record.latency)
         state.executed[record.plan.canonical()] = label
         state.features.append(self.featurizer.featurize(state.query, record.plan))
@@ -234,6 +235,12 @@ class BalsaOptimizer:
             Compatibility shim over the ask/tell protocol; prefer driving the
             optimizer through a WorkloadSession.
         """
+        warnings.warn(
+            "BalsaOptimizer.optimize() is deprecated; drive the optimizer through a "
+            "WorkloadSession (or repro.core.protocol.drive_query)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         state = self.start(
             query, budget=BudgetSpec(max_executions=max_executions, time_budget=time_budget)
         )

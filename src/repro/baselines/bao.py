@@ -14,6 +14,7 @@ count); the registry records this as ``ignores_execution_cap``.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.protocol import (
@@ -114,8 +115,7 @@ class BaoOptimizer:
         return None
 
     def observe(self, state: BaoState, outcome: ExecutionOutcome) -> None:
-        proposal = state.pending
-        record = state.record_pending(outcome)
+        proposal, record = state.resolve(outcome)
         if not record.censored and (
             state.best_latency is None or record.latency < state.best_latency
         ):
@@ -152,6 +152,12 @@ class BaoOptimizer:
             Compatibility shim over the ask/tell protocol; prefer driving the
             optimizer through a WorkloadSession.
         """
+        warnings.warn(
+            "BaoOptimizer.optimize() is deprecated; drive the optimizer through a "
+            "WorkloadSession (or repro.core.protocol.drive_query)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         state = self.start(query, budget=BudgetSpec(max_executions=None, time_budget=time_budget))
         drive_state(self, self.database, state)
         return self.outcome(state)
@@ -159,7 +165,10 @@ class BaoOptimizer:
 
 def bao_best_latency(database: Database, query: Query) -> float:
     """Convenience: the latency of the best Bao hint-set plan."""
-    return BaoOptimizer(database).optimize(query).best_latency
+    optimizer = BaoOptimizer(database)
+    state = optimizer.start(query)
+    drive_state(optimizer, database, state)
+    return optimizer.outcome(state).best_latency
 
 
 @register_technique(

@@ -21,6 +21,7 @@ private ``max_executions * len(queries)`` arithmetic.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -174,8 +175,7 @@ class LimeQOOptimizer:
         return self._propose_cell(state, int(query_index), int(hint_index))
 
     def observe(self, state: LimeQOWorkloadState, outcome: ExecutionOutcome) -> None:
-        proposal = state.pending
-        record = state.record_pending(outcome)
+        proposal, record = state.resolve(outcome)
         query_index, hint_index = proposal.metadata["cell"]
         label = record.latency if not record.censored else (record.timeout or record.latency)
         state.matrix.observed[query_index, hint_index] = True
@@ -206,6 +206,12 @@ class LimeQOOptimizer:
             per-query budget as every other technique via
             ``BudgetSpec.scaled(len(queries))``.
         """
+        warnings.warn(
+            "LimeQOOptimizer.optimize_workload() is deprecated; drive the optimizer "
+            "through a WorkloadSession (or repro.core.protocol.drive_workload)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         state = self.start_workload(
             queries, budget=BudgetSpec(max_executions=max_executions, time_budget=time_budget)
         )

@@ -10,11 +10,15 @@ Implemented as an ask/tell optimizer: the first proposal is the default plan,
 every later ``suggest`` draws a novel random join tree, and ``observe`` only
 tightens the incumbent timeout.  The per-query RNG is derived from
 ``(seed, query name)``, so interleaving queries cannot change any query's plan
-sequence.
+sequence.  Random also implements the batched ask (``suggest_batch``): random
+draws are trivially jointly informative, so up to q novel plans ride in
+flight at once, each executed under the incumbent timeout known at issue
+time.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -71,31 +75,74 @@ class RandomSearch:
             initial_timeout=initial_timeout,
         )
 
-    def suggest(self, state: RandomSearchState) -> PlanProposal | None:
-        """The default plan first, then novel random join trees."""
-        state.require_idle()
-        if not state.started:
-            state.started = True
-            plan = self.database.plan(state.query)
-            state.seen.add(plan.canonical())
-            return state.park(
-                PlanProposal(
-                    plan=plan, timeout=state.initial_timeout, source="default", query=state.query
-                )
+    def _default_proposal(self, state: RandomSearchState) -> PlanProposal:
+        """Enqueue the first proposal: the default optimizer plan.
+
+        Shared by the single and batched ask so the bootstrap (dedup entry,
+        initial timeout) cannot drift between them.
+        """
+        state.started = True
+        plan = self.database.plan(state.query)
+        state.seen.add(plan.canonical())
+        return state.enqueue(
+            PlanProposal(
+                plan=plan, timeout=state.initial_timeout, source="default", query=state.query
             )
+        )
+
+    def _novel_plan(self, state: RandomSearchState):
+        """Draw a not-yet-proposed random join tree, or ``None`` when the
+        (effective) plan space is drained."""
         for _ in range(_MAX_SAMPLE_ATTEMPTS):
             plan = random_join_tree(state.query, state.rng)
             key = plan.canonical()
             if key in state.seen:
                 continue
             state.seen.add(key)
-            return state.park(
-                PlanProposal(plan=plan, timeout=state.best, source="random", query=state.query)
-            )
+            return plan
         return None
 
+    def suggest(self, state: RandomSearchState) -> PlanProposal | None:
+        """The default plan first, then novel random join trees."""
+        state.require_idle()
+        if not state.started:
+            return self._default_proposal(state)
+        plan = self._novel_plan(state)
+        if plan is None:
+            return None
+        return state.enqueue(
+            PlanProposal(plan=plan, timeout=state.best, source="random", query=state.query)
+        )
+
+    def suggest_batch(self, state: RandomSearchState, q: int) -> list[PlanProposal]:
+        """Up to ``q`` novel plans in flight at once (``q <= 1`` = :meth:`suggest`).
+
+        Batched proposals run under the incumbent timeout known at issue
+        time (falling back to the initial timeout before the default plan's
+        outcome has landed) — the timeout is one observation staler than in
+        strictly sequential mode, which is the sample-efficiency price of
+        keeping the pipeline full.
+        """
+        if q <= 1 and state.outstanding_count == 0:
+            proposal = self.suggest(state)
+            return [] if proposal is None else [proposal]
+        proposals: list[PlanProposal] = []
+        if not state.started:
+            proposals.append(self._default_proposal(state))
+        timeout = state.best if state.best is not None else state.initial_timeout
+        while len(proposals) < q:
+            plan = self._novel_plan(state)
+            if plan is None:
+                break
+            proposals.append(
+                state.enqueue(
+                    PlanProposal(plan=plan, timeout=timeout, source="random", query=state.query)
+                )
+            )
+        return proposals
+
     def observe(self, state: RandomSearchState, outcome: ExecutionOutcome) -> None:
-        record = state.record_pending(outcome)
+        _, record = state.resolve(outcome)
         if record.source == "default":
             state.best = record.latency if not record.censored else state.initial_timeout
         elif not record.censored and (state.best is None or record.latency < state.best):
@@ -118,6 +165,12 @@ class RandomSearch:
             Compatibility shim over the ask/tell protocol; prefer driving the
             optimizer through a WorkloadSession.
         """
+        warnings.warn(
+            "RandomSearch.optimize() is deprecated; drive the optimizer through a "
+            "WorkloadSession (or repro.core.protocol.drive_query)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         state = self.start(
             query,
             budget=BudgetSpec(max_executions=max_executions, time_budget=time_budget),
@@ -129,6 +182,7 @@ class RandomSearch:
 
 @register_technique(
     "random",
+    supports_batch=True,
     description="Random: uniform cross-join-free plan sampling with best-seen timeouts",
 )
 def _build_random(context: TechniqueContext) -> RandomSearch:

@@ -31,7 +31,17 @@ condition on hypothetical censored observations in closed form against the
 cached factorization, sharing one rank-1 extension across all probed levels.
 """
 
-from repro.bo.acquisition import expected_improvement, lower_confidence_bound, thompson_sample
+from repro.bo.acquisition import (
+    Acquisition,
+    BatchAcquisition,
+    BatchThompsonSampling,
+    FantasizedThompson,
+    expected_improvement,
+    lower_confidence_bound,
+    thompson_sample,
+)
+from repro.bo.candidates import CandidateGenerator, GlobalCandidates, TrustRegionCandidates
+from repro.bo.surrogate import BatchFantasizeSurrogate, IncrementalSurrogate, Surrogate
 from repro.bo.censored import (
     Observation,
     censored_elbo_terms,
@@ -46,16 +56,26 @@ from repro.bo.svgp import CensoredSVGP, SVGPConfig
 from repro.bo.turbo import TrustRegion, global_candidates
 
 __all__ = [
+    "Acquisition",
+    "BatchAcquisition",
+    "BatchFantasizeSurrogate",
+    "BatchThompsonSampling",
     "BOEngine",
     "BOEngineConfig",
+    "CandidateGenerator",
     "CensoredGP",
     "CensoredSVGP",
     "ExactGP",
+    "FantasizedThompson",
+    "GlobalCandidates",
+    "IncrementalSurrogate",
     "Matern52Kernel",
     "Observation",
     "RBFKernel",
     "SVGPConfig",
+    "Surrogate",
     "TrustRegion",
+    "TrustRegionCandidates",
     "censored_elbo_terms",
     "expected_improvement",
     "expected_log_survival",

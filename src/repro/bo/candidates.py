@@ -1,0 +1,64 @@
+"""Candidate generation: the middle layer of the composable BO stack.
+
+Given the current incumbent (or lack of one), a candidate generator produces
+the pool of normalized points the acquisition layer scores.  Two strategies
+mirror the paper's setup: TuRBO-style trust-region perturbation around the
+incumbent, and uniform global sampling (the "no trust region" ablation, also
+the fallback while every observation is censored).
+
+Keeping generation behind its own protocol lets the engine swap strategies
+per call — the trust region is only usable once an uncensored incumbent
+exists — without the acquisition layer knowing which produced the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.bo.turbo import TrustRegion, global_candidates
+
+
+@runtime_checkable
+class CandidateGenerator(Protocol):
+    """Produces the normalized candidate pool for one acquisition round."""
+
+    def generate(
+        self, count: int, rng: np.random.Generator, center: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``count`` points in the unit cube; ``center`` is the normalized
+        incumbent when one exists (generators may ignore it)."""
+
+
+@dataclass
+class GlobalCandidates:
+    """Uniform sampling over the whole normalized cube."""
+
+    dim: int
+
+    def generate(
+        self, count: int, rng: np.random.Generator, center: np.ndarray | None = None
+    ) -> np.ndarray:
+        return global_candidates(self.dim, count, rng)
+
+
+@dataclass
+class TrustRegionCandidates:
+    """TuRBO perturbation inside the (shared, stateful) trust region.
+
+    The :class:`~repro.bo.turbo.TrustRegion` instance is owned by the engine
+    — its success/failure state machine is driven by ``add_observation`` —
+    and this generator only *reads* it.  Falls back to global sampling when
+    no incumbent center is available (everything censored so far).
+    """
+
+    region: TrustRegion
+
+    def generate(
+        self, count: int, rng: np.random.Generator, center: np.ndarray | None = None
+    ) -> np.ndarray:
+        if center is None:
+            return global_candidates(self.region.dim, count, rng)
+        return self.region.candidates(center, count, rng)

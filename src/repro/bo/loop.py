@@ -1,4 +1,4 @@
-"""The latent-space BO engine: surrogate + trust region + acquisition.
+"""The latent-space BO engine: composed surrogate + candidates + acquisition.
 
 ``BOEngine`` is the reusable optimization core that BayesQO drives.  It is
 deliberately agnostic of query plans: it minimizes a scalar objective over a
@@ -6,6 +6,19 @@ box-bounded continuous domain, supports right-censored observations, and
 exposes the fantasized-conditioning hook the uncertainty-based timeout rule
 needs.  BayesQO maps plans to latent vectors and latencies to (log) objective
 values before handing them to this engine.
+
+The engine is an explicit composition of three layers, each behind its own
+contract:
+
+* **surrogate** (:mod:`repro.bo.surrogate`) — the probabilistic model;
+  ``censored_gp`` or ``svgp``, probed for incremental-update and
+  batched-fantasize capabilities by protocol ``isinstance`` checks,
+* **candidate generation** (:mod:`repro.bo.candidates`) — trust-region
+  perturbation around the incumbent or uniform global sampling,
+* **acquisition** (:mod:`repro.bo.acquisition`) — Thompson sampling for
+  single proposals; :meth:`BOEngine.suggest_batch` picks ``q`` jointly
+  informative candidates via fantasized constant-liar conditioning (or q
+  independent posterior draws), never q argmins of the same posterior mean.
 """
 
 from __future__ import annotations
@@ -14,14 +27,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bo.acquisition import thompson_sample
+from repro.bo.acquisition import (
+    BatchAcquisition,
+    BatchThompsonSampling,
+    FantasizedThompson,
+)
+from repro.bo.candidates import CandidateGenerator, GlobalCandidates, TrustRegionCandidates
 from repro.bo.gp import CensoredGP
+from repro.bo.surrogate import BatchFantasizeSurrogate, IncrementalSurrogate, Surrogate
 from repro.bo.svgp import CensoredSVGP, SVGPConfig
-from repro.bo.turbo import TrustRegion, global_candidates
+from repro.bo.turbo import TrustRegion
 from repro.exceptions import OptimizationError
 
 #: Names of the supported surrogate models.
 SURROGATES = ("svgp", "censored_gp")
+#: Batched-acquisition strategies for ``suggest_batch``.
+BATCH_STRATEGIES = ("fantasize", "thompson")
 
 
 @dataclass
@@ -36,6 +57,10 @@ class BOEngineConfig:
     #: observations are pushed into the warm surrogate with O(n^2) incremental
     #: updates; ``refit_every=1`` disables the warm path entirely.
     refit_every: int = 5
+    #: How ``suggest_batch`` spreads q concurrent picks: ``"fantasize"``
+    #: (constant-liar conditioning through the surrogate's rank-1 fantasize
+    #: path) or ``"thompson"`` (q independent posterior sample paths).
+    batch_strategy: str = "fantasize"
     svgp: SVGPConfig | None = None
 
     def __post_init__(self) -> None:
@@ -43,6 +68,15 @@ class BOEngineConfig:
             raise OptimizationError(f"unknown surrogate {self.surrogate!r}; pick one of {SURROGATES}")
         if self.refit_every < 1:
             raise OptimizationError("refit_every must be at least 1")
+        if self.batch_strategy not in BATCH_STRATEGIES:
+            raise OptimizationError(
+                f"unknown batch strategy {self.batch_strategy!r}; pick one of {BATCH_STRATEGIES}"
+            )
+        if self.svgp is not None and self.surrogate != "svgp":
+            raise OptimizationError(
+                f"svgp sub-config given but surrogate is {self.surrogate!r}; "
+                'it only applies to surrogate="svgp"'
+            )
 
 
 class BOEngine:
@@ -63,6 +97,15 @@ class BOEngine:
         self.rng = np.random.default_rng(seed)
         self.dim = len(self.lower)
         self.trust_region = TrustRegion(dim=self.dim)
+        # The composed layers: generators read engine state (trust region),
+        # the acquisition strategy is stateless.
+        self._local_candidates: CandidateGenerator = TrustRegionCandidates(self.trust_region)
+        self._global_candidates: CandidateGenerator = GlobalCandidates(self.dim)
+        self._acquisition: BatchAcquisition = (
+            FantasizedThompson(num_samples=self.config.thompson_samples)
+            if self.config.batch_strategy == "fantasize"
+            else BatchThompsonSampling(num_samples=self.config.thompson_samples)
+        )
         self._x: list[np.ndarray] = []
         self._y: list[float] = []
         self._censored: list[bool] = []
@@ -126,7 +169,7 @@ class BOEngine:
         return best_x
 
     # ------------------------------------------------------------------ surrogate
-    def _build_surrogate(self):
+    def _build_surrogate(self) -> Surrogate:
         if self.config.surrogate == "svgp":
             return CensoredSVGP(config=self.config.svgp or SVGPConfig())
         return CensoredGP()
@@ -150,7 +193,7 @@ class BOEngine:
             not force
             and pending > 0
             and self._surrogate is not None
-            and hasattr(self._surrogate, "add_observation")
+            and isinstance(self._surrogate, IncrementalSurrogate)
             and self._observations_since_refit + pending < self.config.refit_every
         )
         if incremental:
@@ -186,8 +229,14 @@ class BOEngine:
 
     @property
     def supports_batched_fantasize(self) -> bool:
-        """Whether the active surrogate can fantasize many censor levels at once."""
-        return hasattr(self.surrogate, "fantasize_batch")
+        """Whether the (configured) surrogate fantasizes many levels at once.
+
+        Capability is a property of the surrogate *type*, so an unfitted
+        engine answers without forcing a fit (probing an empty engine must
+        not raise — e.g. protocol ``isinstance`` checks).
+        """
+        surrogate = self._surrogate if self._surrogate is not None else self._build_surrogate()
+        return isinstance(surrogate, BatchFantasizeSurrogate)
 
     def fantasize_censored_batch(
         self, x: np.ndarray, censor_levels: np.ndarray
@@ -204,22 +253,38 @@ class BOEngine:
         return means[:, 0], stds[:, 0]
 
     # ------------------------------------------------------------------ acquisition
+    def _candidate_pool(self) -> np.ndarray:
+        """One acquisition round's candidate pool from the generation layer."""
+        center = self.best_point()
+        normalized = self._normalize(center)[0] if center is not None else None
+        # With everything censored so far there is no incumbent to perturb
+        # around; the trust-region generator falls back to global sampling.
+        generator = (
+            self._local_candidates if self.config.use_trust_region else self._global_candidates
+        )
+        return generator.generate(self.config.num_candidates, self.rng, center=normalized)
+
     def suggest(self) -> np.ndarray:
         """Propose the next raw-space point to evaluate."""
+        return self.suggest_batch(1)[0]
+
+    def suggest_batch(self, q: int) -> list[np.ndarray]:
+        """Propose up to ``q`` jointly informative raw-space points.
+
+        ``q = 1`` is bit-for-bit the classic single suggest: same candidate
+        pool, same Thompson draw, same RNG stream.  Larger ``q`` hands the
+        pool to the batch acquisition strategy, which spreads the picks
+        (fantasized constant-liar conditioning or independent posterior
+        draws) instead of returning q duplicates of the posterior argmin.
+        """
+        if q < 1:
+            raise OptimizationError("batch size q must be at least 1")
         if self.num_observations == 0:
-            return self._denormalize(self.rng.random((1, self.dim)))[0]
+            return [self._denormalize(self.rng.random((1, self.dim)))[0] for _ in range(q)]
         self.fit()
-        center = self.best_point()
-        if center is None:
-            # Everything censored so far: fall back to global exploration.
-            candidates = global_candidates(self.dim, self.config.num_candidates, self.rng)
-        elif self.config.use_trust_region:
-            candidates = self.trust_region.candidates(
-                self._normalize(center)[0], self.config.num_candidates, self.rng
-            )
+        candidates = self._candidate_pool()
+        if q == 1:
+            indices = [self._acquisition.select(self.surrogate, candidates, self.rng)]
         else:
-            candidates = global_candidates(self.dim, self.config.num_candidates, self.rng)
-        index = thompson_sample(
-            self.surrogate, candidates, self.rng, num_samples=self.config.thompson_samples
-        )
-        return self._denormalize(candidates[index])[0]
+            indices = self._acquisition.select_batch(self.surrogate, candidates, self.rng, q)
+        return [self._denormalize(candidates[index])[0] for index in indices]

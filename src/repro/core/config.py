@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bo.loop import SURROGATES
+from repro.bo.loop import BATCH_STRATEGIES, SURROGATES
 from repro.exceptions import OptimizationError
 
 #: Supported timeout strategies (Figure 5a's ablation arms).
@@ -40,6 +40,10 @@ class BayesQOConfig:
     #: Full hyper-parameter refit cadence of the surrogate; between refits new
     #: observations are absorbed with O(n^2) warm updates (1 = always refit).
     refit_every: int = 5
+    #: How ``suggest_batch`` spreads q concurrent picks: ``"fantasize"``
+    #: (constant-liar conditioning) or ``"thompson"`` (independent draws).
+    #: Only consulted when the harness asks for more than one plan in flight.
+    batch_strategy: str = "fantasize"
 
     # Timeouts -----------------------------------------------------------------
     timeout_strategy: str = "uncertainty"
@@ -72,6 +76,10 @@ class BayesQOConfig:
             raise OptimizationError("refit_every must be at least 1")
         if self.surrogate not in SURROGATES:
             raise OptimizationError(f"unknown surrogate {self.surrogate!r}")
+        if self.batch_strategy not in BATCH_STRATEGIES:
+            raise OptimizationError(
+                f"unknown batch strategy {self.batch_strategy!r}; pick one of {BATCH_STRATEGIES}"
+            )
         if self.timeout_strategy not in TIMEOUT_STRATEGIES:
             raise OptimizationError(
                 f"unknown timeout strategy {self.timeout_strategy!r}; pick one of {TIMEOUT_STRATEGIES}"
@@ -107,6 +115,13 @@ class ExecutionServiceConfig:
     #: ``"round_robin"`` or ``"budget_aware"`` (spend remaining budget on the
     #: queries whose surrogate predicts the largest expected improvement).
     policy: str = "round_robin"
+    #: Proposals held in flight *per query* (the batched-ask q knob).  With
+    #: ``q > 1`` techniques advertising ``supports_batch`` in the registry
+    #: keep up to q plans executing concurrently for one query — what lets a
+    #: single-query workload saturate a process pool; other techniques fall
+    #: back to q=1 transparently.  ``1`` reproduces single-proposal behaviour
+    #: bit-for-bit.
+    batch_size: int = 1
     #: Independent backend instances; ``> 1`` fans executions out over a
     #: :class:`~repro.exec.MultiBackendRouter` with health/occupancy tracking.
     replicas: int = 1
@@ -132,6 +147,8 @@ class ExecutionServiceConfig:
             )
         if self.max_workers < 1:
             raise OptimizationError("max_workers must be at least 1")
+        if self.batch_size < 1:
+            raise OptimizationError("batch_size must be at least 1")
         if self.replicas < 1:
             raise OptimizationError("replicas must be at least 1")
         if self.max_failures < 1:

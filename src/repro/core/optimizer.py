@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -217,6 +218,7 @@ class BayesQO:
                 num_candidates=config.num_candidates,
                 thompson_samples=config.thompson_samples,
                 refit_every=config.refit_every,
+                batch_strategy=config.batch_strategy,
             ),
             seed=config.seed,
         )
@@ -250,28 +252,78 @@ class BayesQO:
             iteration_cap=budget.max_executions * 5,
         )
 
+    def _next_init_proposal(self, state: BayesQOState) -> PlanProposal:
+        """Build and enqueue the next initialization-phase proposal.
+
+        Shared by the single and batched ask so the init timeout rule (600s
+        before the first uncensored latency, ``init_best *
+        timeout_max_multiplier`` after) cannot drift between them.
+        """
+        plan, source = state.init_queue.popleft()
+        timeout = (
+            600.0
+            if state.init_best is None
+            else state.init_best * self.config.timeout_max_multiplier
+        )
+        # The phase marker (not the caller-chosen source label) is what
+        # observe() keys on: initial_plans may carry any source string.
+        return state.enqueue(
+            PlanProposal(
+                plan=plan, timeout=timeout, source=source, query=state.query,
+                metadata={"phase": "init"},
+            )
+        )
+
+    def _consider_candidate(
+        self, state: BayesQOState, candidate: np.ndarray, plan: JoinTree, in_flight: set
+    ) -> PlanProposal | None:
+        """One BO-loop step for a decoded candidate: replay, skip, or enqueue.
+
+        Duplicates of *executed* plans reuse the cached observation without
+        spending budget.  The replay must not touch the trust region — it is
+        not a fresh success or failure, and counting it as one would
+        spuriously shrink (or grow) the region; censored replays obey the
+        same learn_from_timeouts gate as fresh executions.  Plans already
+        *in flight* (batched ask) are skipped outright: there is nothing to
+        learn until their outcome lands.  Novel plans get a policy-chosen
+        timeout and are enqueued.  Shared by the single and batched ask.
+        """
+        state.iterations += 1
+        self.overhead.iterations += 1
+        engine, query = state.engine, state.query
+        key = plan.canonical()
+        if key in state.executed:
+            latency, censored, _ = state.executed[key]
+            if not censored or self.config.learn_from_timeouts:
+                self._observe(
+                    engine, query, plan, latency, censored, None, x=candidate,
+                    update_trust_region=False,
+                )
+            return None
+        if key in in_flight:
+            return None
+        best_latency = self._best_latency(state.result)
+        start = time.perf_counter()
+        timeout = state.policy.select(engine, candidate, best_latency, state.observed_latencies)
+        self.overhead.calculate_timeout += time.perf_counter() - start
+        in_flight.add(key)
+        return state.enqueue(
+            PlanProposal(
+                plan=plan,
+                timeout=timeout,
+                source="bo",
+                query=query,
+                metadata={"latent": candidate},
+            )
+        )
+
     def suggest(self, state: BayesQOState) -> PlanProposal | None:
         """Propose the next plan: initialization plans first, then BO candidates."""
         state.require_idle()
         if state.init_queue:
-            plan, source = state.init_queue.popleft()
-            timeout = (
-                600.0
-                if state.init_best is None
-                else state.init_best * self.config.timeout_max_multiplier
-            )
-            # The phase marker (not the caller-chosen source label) is what
-            # observe() keys on: initial_plans may carry any source string.
-            return state.park(
-                PlanProposal(
-                    plan=plan, timeout=timeout, source=source, query=state.query,
-                    metadata={"phase": "init"},
-                )
-            )
+            return self._next_init_proposal(state)
         engine, query = state.engine, state.query
         while state.iterations < state.iteration_cap:
-            state.iterations += 1
-            self.overhead.iterations += 1
             start = time.perf_counter()
             engine.fit()
             self.overhead.surrogate_update += time.perf_counter() - start
@@ -284,40 +336,71 @@ class BayesQO:
             plan = self.schema_model.latent_space.decode_vector(candidate, query)
             self.overhead.vae_sampling += time.perf_counter() - start
 
-            key = plan.canonical()
-            if key in state.executed:
-                # Duplicate plan: reuse the cached observation without spending
-                # budget.  The replay must not touch the trust region — it is
-                # not a fresh success or failure, and counting it as one would
-                # spuriously shrink (or grow) the region.  Censored replays
-                # obey the same learn_from_timeouts gate as fresh executions.
-                latency, censored, _ = state.executed[key]
-                if not censored or self.config.learn_from_timeouts:
-                    self._observe(
-                        engine, query, plan, latency, censored, None, x=candidate,
-                        update_trust_region=False,
-                    )
-                continue
-
-            best_latency = self._best_latency(state.result)
-            start = time.perf_counter()
-            timeout = state.policy.select(engine, candidate, best_latency, state.observed_latencies)
-            self.overhead.calculate_timeout += time.perf_counter() - start
-            return state.park(
-                PlanProposal(
-                    plan=plan,
-                    timeout=timeout,
-                    source="bo",
-                    query=query,
-                    metadata={"latent": candidate},
-                )
-            )
+            proposal = self._consider_candidate(state, candidate, plan, set())
+            if proposal is not None:
+                return proposal
         return None
 
+    def suggest_batch(self, state: BayesQOState, q: int) -> list[PlanProposal]:
+        """Propose up to ``q`` plans to hold in flight for this query.
+
+        The batched ask: initialization plans are issued first (a batch never
+        mixes phases, so the engine only speaks once every init plan is at
+        least in flight); afterwards the engine picks ``q`` jointly
+        informative latent candidates in one acquisition round
+        (:meth:`BOEngine.suggest_batch`) and the VAE decodes them in a single
+        vectorized pass.  Plans already executed are replayed from the cache
+        exactly as in :meth:`suggest`; plans already *in flight* are skipped
+        without burning budget.  ``q <= 1`` on an idle state delegates to
+        :meth:`suggest`, so single-proposal traces stay bit-for-bit
+        identical; a top-up ask (proposals already outstanding) always takes
+        the batch path, which does not require idleness.
+        """
+        if q <= 1 and state.outstanding_count == 0:
+            proposal = self.suggest(state)
+            return [] if proposal is None else [proposal]
+        proposals: list[PlanProposal] = []
+        if state.init_queue:
+            while state.init_queue and len(proposals) < q:
+                proposals.append(self._next_init_proposal(state))
+            return proposals
+        engine, query = state.engine, state.query
+        in_flight = {proposal.plan.canonical() for proposal in state.outstanding.values()}
+        while len(proposals) < q and state.iterations < state.iteration_cap:
+            # A top-up ask may arrive before any init outcome was observed;
+            # the engine proposes random latent points until it has data, and
+            # fitting an empty surrogate would raise.
+            if engine.num_observations:
+                start = time.perf_counter()
+                engine.fit()
+                self.overhead.surrogate_update += time.perf_counter() - start
+
+            start = time.perf_counter()
+            candidates = engine.suggest_batch(q - len(proposals))
+            self.overhead.generate_candidates += time.perf_counter() - start
+
+            start = time.perf_counter()
+            plans = self.schema_model.latent_space.decode_vectors(
+                np.asarray(candidates), query
+            )
+            self.overhead.vae_sampling += time.perf_counter() - start
+
+            for candidate, plan in zip(candidates, plans):
+                if len(proposals) >= q or state.iterations >= state.iteration_cap:
+                    break
+                proposal = self._consider_candidate(state, candidate, plan, in_flight)
+                if proposal is not None:
+                    proposals.append(proposal)
+        return proposals
+
     def observe(self, state: BayesQOState, outcome: ExecutionOutcome) -> None:
-        """Record the pending proposal's outcome and update the surrogate."""
-        proposal = state.pending
-        record = state.record_pending(outcome)
+        """Record a pending proposal's outcome and update the surrogate.
+
+        Resolution is by ``outcome.proposal_id`` (out-of-order safe for
+        batched callers); an outcome without an id answers the sole
+        outstanding proposal.
+        """
+        proposal, record = state.resolve(outcome)
         state.executed[record.plan.canonical()] = (
             record.latency, record.censored, record.timeout,
         )
@@ -395,6 +478,12 @@ class BayesQO:
             :class:`~repro.harness.runner.WorkloadSession`, which owns the
             loop and can interleave many queries under one budget.
         """
+        warnings.warn(
+            "BayesQO.optimize() is deprecated; drive the optimizer through a "
+            "WorkloadSession (or repro.core.protocol.drive_query)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         # start() resolves unset axes against the configuration's own budget.
         budget = BudgetSpec(max_executions=max_executions, time_budget=time_budget)
         return drive_query(self, self.database, query, budget, initial_plans=initial_plans)
@@ -430,6 +519,7 @@ class BayesQO:
     "bayesqo",
     needs_schema_model=True,
     predicts_improvement=True,
+    supports_batch=True,
     description="BayesQO: latent-space BO with censored observations (the paper's system)",
 )
 def _build_bayesqo(context: TechniqueContext) -> BayesQO:

@@ -9,7 +9,7 @@ implements the same four-phase protocol:
 2. ``suggest(state)`` proposes the next plan to execute (a
    :class:`PlanProposal`, with its per-plan timeout already chosen), or
    ``None`` when the technique has nothing left to try,
-3. ``observe(state, outcome)`` feeds the :class:`ExecutionOutcome` of the
+3. ``observe(state, outcome)`` feeds the :class:`ExecutionOutcome` of a
    pending proposal back into the technique's model,
 4. ``finish(state)`` returns the completed
    :class:`~repro.core.result.OptimizationResult` trace.
@@ -18,6 +18,19 @@ The caller — usually :class:`repro.harness.runner.WorkloadSession` — execute
 plans against the database and enforces the :class:`BudgetSpec`.  Inverting the
 loops this way is what lets the harness interleave many per-query optimizers
 under one shared budget and run their plan executions concurrently.
+
+Batched proposals
+-----------------
+
+Techniques that can keep several plans in flight for *one* query implement
+the :class:`BatchOptimizer` extension: ``suggest_batch(state, q)`` returns up
+to ``q`` proposals, each carrying a unique ``proposal_id``, and ``observe``
+resolves them individually and **out of order** (the outcome names the
+proposal it answers via ``ExecutionOutcome.proposal_id``; an outcome without
+an id resolves the sole outstanding proposal, which is the q=1 case).  The
+registry advertises the capability with its ``supports_batch`` flag; callers
+fall back to plain ``suggest`` — exactly one proposal outstanding at a time —
+for everything else, so ``q=1`` behaviour is bit-for-bit what it always was.
 
 Workload-level techniques (LimeQO decides *which query* to spend budget on
 next) implement the :class:`WorkloadOptimizer` variant: ``start_workload``
@@ -31,6 +44,7 @@ deprecation shims over them.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
@@ -101,7 +115,9 @@ class PlanProposal:
     for per-query optimizers, but meaningful for workload-level techniques
     that pick which query to spend budget on.  ``metadata`` carries
     technique-private context (e.g. the latent vector a plan was decoded
-    from) back to ``observe``.
+    from) back to ``observe``.  ``proposal_id`` is assigned when the proposal
+    is parked in its state (unique per state), and is what lets batched
+    callers resolve outcomes out of order.
     """
 
     plan: JoinTree
@@ -109,75 +125,142 @@ class PlanProposal:
     source: str = "bo"
     query: Query | None = None
     metadata: dict = field(default_factory=dict)
+    proposal_id: int | None = None
 
 
 @dataclass(frozen=True)
 class ExecutionOutcome:
-    """What happened when the harness executed a proposal's plan."""
+    """What happened when the harness executed a proposal's plan.
+
+    ``proposal_id`` names the proposal this outcome answers; ``None`` (the
+    q=1 default) resolves the sole outstanding proposal of the state.
+    """
 
     latency: float
     timed_out: bool = False
     timeout: float | None = None
+    proposal_id: int | None = None
 
     @classmethod
     def from_execution(
-        cls, execution: "ExecutionResult", timeout: float | None = None
+        cls,
+        execution: "ExecutionResult",
+        timeout: float | None = None,
+        proposal_id: int | None = None,
     ) -> "ExecutionOutcome":
         return cls(
             latency=execution.latency,
             timed_out=execution.timed_out,
             timeout=timeout if timeout is not None else execution.timeout,
+            proposal_id=proposal_id,
         )
 
 
 # ---------------------------------------------------------------------- state
-class _PendingProposal:
-    """The one-outstanding-proposal invariant shared by both state shapes.
+class _ProposalLedger:
+    """Multi-proposal bookkeeping shared by both state shapes.
 
-    At most one proposal is outstanding per state: ``suggest`` parks it in
-    ``pending`` and ``observe`` consumes it, which is the invariant that makes
-    interleaving states across a thread pool safe.  Subclasses provide
+    ``suggest``/``suggest_batch`` park proposals in ``outstanding`` (a dict
+    keyed by per-state proposal id) and ``observe`` consumes them — by id, in
+    any order, or implicitly when exactly one is outstanding.  Single-proposal
+    techniques keep the historical invariant through :meth:`park`, which
+    refuses to issue while anything is outstanding; the :attr:`pending`
+    property preserves the old one-slot view for them.  Subclasses provide
     ``_describe()`` (for error messages), ``_validate_proposal`` and
     ``_result_for`` (which trace the outcome lands in).
     """
 
-    pending: PlanProposal | None
+    outstanding: dict[int, PlanProposal]
+    proposal_counter: int
+
+    @property
+    def pending(self) -> PlanProposal | None:
+        """The sole outstanding proposal (the single-proposal view).
+
+        ``None`` when nothing is outstanding; raises when several proposals
+        are in flight — batched callers must resolve by ``proposal_id``.
+        """
+        if not self.outstanding:
+            return None
+        if len(self.outstanding) > 1:
+            raise OptimizationError(
+                f"{self._describe()} has {len(self.outstanding)} proposals outstanding; "
+                "resolve them by proposal_id"
+            )
+        return next(iter(self.outstanding.values()))
+
+    @property
+    def outstanding_count(self) -> int:
+        return len(self.outstanding)
 
     def require_idle(self) -> None:
-        """Reject a ``suggest`` while a proposal is outstanding.
+        """Reject a single-proposal ``suggest`` while a proposal is outstanding.
 
         Called at the *top* of every ``suggest`` implementation, before any
         state mutation, so a protocol violation leaves the state untouched
         (no hint skipped, no RNG draw burned) and the pending proposal can
         still be observed.
         """
-        if self.pending is not None:
+        if self.outstanding:
             raise OptimizationError(
                 f"{self._describe()} already has a pending proposal; "
                 "observe() its outcome before suggesting again"
             )
 
     def park(self, proposal: PlanProposal) -> PlanProposal:
-        """Record ``proposal`` as the outstanding one and return it."""
+        """Record ``proposal`` as the *sole* outstanding one and return it."""
         self.require_idle()
+        return self.enqueue(proposal)
+
+    def enqueue(self, proposal: PlanProposal) -> PlanProposal:
+        """Record one more outstanding proposal (the batched parking path).
+
+        Assigns the proposal its per-state id and returns the stored (id-
+        stamped) proposal — callers must hand *that* object to the executor
+        so the outcome can name it.
+        """
         self._validate_proposal(proposal)
-        self.pending = proposal
+        proposal = dataclasses.replace(proposal, proposal_id=self.proposal_counter)
+        self.proposal_counter += 1
+        self.outstanding[proposal.proposal_id] = proposal
         return proposal
 
-    def record_pending(self, outcome: ExecutionOutcome) -> TraceRecord:
-        """Consume the pending proposal, appending its outcome to the trace."""
-        proposal = self.take_pending()
-        return self._result_for(proposal).record(
+    def resolve(self, outcome: ExecutionOutcome) -> tuple[PlanProposal, TraceRecord]:
+        """Consume the proposal ``outcome`` answers, appending it to the trace.
+
+        Resolution is by ``outcome.proposal_id`` when set; otherwise the sole
+        outstanding proposal is taken (the q=1 path).  Returns the consumed
+        proposal together with the trace record, so ``observe``
+        implementations can read technique-private metadata.
+        """
+        proposal = self.take_pending(outcome.proposal_id)
+        record = self._result_for(proposal).record(
             proposal.plan, outcome.latency, outcome.timed_out, proposal.timeout, proposal.source
         )
+        return proposal, record
 
-    def take_pending(self) -> PlanProposal:
-        if self.pending is None:
+    def record_pending(self, outcome: ExecutionOutcome) -> TraceRecord:
+        """Consume a pending proposal, appending its outcome to the trace."""
+        return self.resolve(outcome)[1]
+
+    def take_pending(self, proposal_id: int | None = None) -> PlanProposal:
+        if not self.outstanding:
             raise OptimizationError(
                 f"no pending proposal for {self._describe()}; call suggest() first"
             )
-        proposal, self.pending = self.pending, None
-        return proposal
+        if proposal_id is None:
+            if len(self.outstanding) > 1:
+                raise OptimizationError(
+                    f"{self._describe()} has {len(self.outstanding)} proposals outstanding; "
+                    "the outcome must name its proposal_id"
+                )
+            proposal_id = next(iter(self.outstanding))
+        try:
+            return self.outstanding.pop(proposal_id)
+        except KeyError:
+            raise OptimizationError(
+                f"no outstanding proposal {proposal_id!r} for {self._describe()}"
+            ) from None
 
     def _validate_proposal(self, proposal: PlanProposal) -> None:
         pass
@@ -189,8 +272,12 @@ class _PendingProposal:
         raise NotImplementedError
 
 
+#: Backwards-compatible alias (the PR 2 name for the bookkeeping mixin).
+_PendingProposal = _ProposalLedger
+
+
 @dataclass
-class OptimizerState(_PendingProposal):
+class OptimizerState(_ProposalLedger):
     """Resumable per-query optimizer state.
 
     Techniques subclass this with their private fields (surrogate engines,
@@ -200,13 +287,19 @@ class OptimizerState(_PendingProposal):
     query: Query
     result: OptimizationResult
     budget: BudgetSpec = field(default_factory=BudgetSpec)
-    pending: PlanProposal | None = None
+    outstanding: dict = field(default_factory=dict)
+    proposal_counter: int = 0
     #: Set when the optimizer has nothing left to suggest (hint space drained,
     #: iteration cap reached) independent of the budget.
     exhausted: bool = False
 
+    @property
+    def progress(self):
+        """What the budget is charged against (``num_executions``/``total_cost``)."""
+        return self.result
+
     def budget_left(self) -> bool:
-        return not self.exhausted and not self.budget.exhausted(self.result)
+        return not self.exhausted and not self.budget.exhausted(self.progress)
 
     def _result_for(self, proposal: PlanProposal) -> OptimizationResult:
         return self.result
@@ -216,7 +309,7 @@ class OptimizerState(_PendingProposal):
 
 
 @dataclass
-class WorkloadOptimizerState(_PendingProposal):
+class WorkloadOptimizerState(_ProposalLedger):
     """Resumable state of a workload-level optimizer (e.g. LimeQO).
 
     One state spans every query; the budget is the workload-level pool
@@ -226,7 +319,8 @@ class WorkloadOptimizerState(_PendingProposal):
     queries: list[Query]
     results: dict[str, OptimizationResult]
     budget: BudgetSpec = field(default_factory=lambda: BudgetSpec(max_executions=None))
-    pending: PlanProposal | None = None
+    outstanding: dict = field(default_factory=dict)
+    proposal_counter: int = 0
     exhausted: bool = False
 
     @property
@@ -237,8 +331,13 @@ class WorkloadOptimizerState(_PendingProposal):
     def total_cost(self) -> float:
         return sum(result.total_cost for result in self.results.values())
 
+    @property
+    def progress(self):
+        """The budget is charged against the whole-workload totals."""
+        return self
+
     def budget_left(self) -> bool:
-        return not self.exhausted and not self.budget.exhausted(self)
+        return not self.exhausted and not self.budget.exhausted(self.progress)
 
     def _validate_proposal(self, proposal: PlanProposal) -> None:
         if proposal.query is None:
@@ -262,15 +361,31 @@ class Optimizer(Protocol):
     def suggest(self, state: OptimizerState) -> PlanProposal | None:
         """Propose the next plan, or ``None`` when nothing is left to try.
 
-        The proposal is parked in ``state.pending`` (via ``state.park``); the
-        matching ``observe`` call consumes it.
+        The proposal is parked in the state's ledger (via ``state.park``);
+        the matching ``observe`` call consumes it.
         """
 
     def observe(self, state: OptimizerState, outcome: ExecutionOutcome) -> None:
-        """Feed the pending proposal's execution outcome back to the model."""
+        """Feed a pending proposal's execution outcome back to the model."""
 
     def finish(self, state: OptimizerState) -> OptimizationResult:
         """Close the state and return its trace."""
+
+
+@runtime_checkable
+class BatchOptimizer(Optimizer, Protocol):
+    """An optimizer that can keep several proposals in flight per state.
+
+    Advertised through the registry's ``supports_batch`` flag; callers that
+    find the flag unset (or ``q == 1``) use plain :meth:`Optimizer.suggest`,
+    which keeps q=1 behaviour bit-for-bit identical to the single-proposal
+    protocol.
+    """
+
+    def suggest_batch(self, state: OptimizerState, q: int) -> list[PlanProposal]:
+        """Propose up to ``q`` *additional* plans, each with a unique
+        ``proposal_id``.  An empty list means nothing is left to try (the
+        batched analogue of ``suggest`` returning ``None``)."""
 
 
 @runtime_checkable
@@ -291,20 +406,90 @@ class WorkloadOptimizer(Protocol):
 
 
 # -------------------------------------------------------------------- drivers
-def drive_state(optimizer, database: "Database", state) -> None:
+def issue_allowance(state, q: int) -> int:
+    """How many more proposals ``state`` may put in flight right now.
+
+    Batched issue is gated so the execution-count budget can never be
+    overshot: budget is charged per *completed* outcome, so a state with
+    ``k`` proposals already outstanding may only issue up to
+    ``remaining_executions - k`` more (and never more than ``q`` total in
+    flight).  With ``q=1`` this reduces to the historical
+    ``1 if state.budget_left() else 0``.  Works for both per-query and
+    workload-level states (each charges a different ``progress`` object).
+
+    The *time* axis cannot be pre-charged — execution durations are unknown
+    at issue time — so a time-budgeted run may complete up to ``q - 1``
+    in-flight executions past the deadline, exactly as any parallel executor
+    overshoots a wall-clock cutoff.  Comparisons that must be overshoot-free
+    across techniques should budget on the execution-count axis.
+    """
+    if not state.budget_left():
+        return 0
+    in_flight = state.outstanding_count
+    slots = q - in_flight
+    remaining = state.budget.remaining_executions(state.progress) - in_flight
+    return max(0, int(min(slots, remaining)))
+
+
+def suggest_proposals(optimizer, state, count: int) -> list[PlanProposal]:
+    """Ask ``optimizer`` for up to ``count`` proposals for ``state``.
+
+    Uses ``suggest_batch`` when the optimizer implements it and more than one
+    proposal is wanted; otherwise the plain single-proposal ``suggest`` (the
+    bit-for-bit q=1 path).
+    """
+    if count <= 0:
+        return []
+    # Topping up a partially filled batch (proposals already outstanding)
+    # must also go through suggest_batch: plain suggest requires an idle
+    # state, which is exactly the invariant batching relaxes.
+    if hasattr(optimizer, "suggest_batch") and (count > 1 or state.outstanding_count > 0):
+        return list(optimizer.suggest_batch(state, count))
+    proposal = optimizer.suggest(state)
+    return [] if proposal is None else [proposal]
+
+
+def drive_state(optimizer, database: "Database", state, q: int = 1) -> None:
     """Run one state's suggest/execute/observe loop until its budget is spent.
 
     The reference single-threaded loop owner; works for both per-query and
     workload-level states (proposals name their query in the latter case).
+    With ``q > 1`` (and an optimizer implementing ``suggest_batch``) up to
+    ``q`` proposals are issued per round and their outcomes observed in
+    submission order — the reference semantics the concurrent scheduler in
+    :mod:`repro.harness.runner` must agree with.
     """
-    while state.budget_left():
-        proposal = optimizer.suggest(state)
-        if proposal is None:
-            state.exhausted = True
+    if q < 1:
+        raise OptimizationError("q must be at least 1")
+    if q == 1:
+        while state.budget_left():
+            proposal = optimizer.suggest(state)
+            if proposal is None:
+                state.exhausted = True
+                break
+            query = proposal.query if proposal.query is not None else state.query
+            execution = database.execute(query, proposal.plan, timeout=proposal.timeout)
+            optimizer.observe(
+                state, ExecutionOutcome.from_execution(execution, proposal.timeout)
+            )
+        return
+    # Proposals drain synchronously here, so the ledger is empty at every
+    # loop top and the allowance is simply min(q, remaining budget).
+    while True:
+        proposals = suggest_proposals(optimizer, state, issue_allowance(state, q))
+        if not proposals:
+            if state.budget_left():
+                state.exhausted = True
             break
-        query = proposal.query if proposal.query is not None else state.query
-        execution = database.execute(query, proposal.plan, timeout=proposal.timeout)
-        optimizer.observe(state, ExecutionOutcome.from_execution(execution, proposal.timeout))
+        for proposal in proposals:
+            query = proposal.query if proposal.query is not None else state.query
+            execution = database.execute(query, proposal.plan, timeout=proposal.timeout)
+            optimizer.observe(
+                state,
+                ExecutionOutcome.from_execution(
+                    execution, proposal.timeout, proposal_id=proposal.proposal_id
+                ),
+            )
 
 
 def drive_query(

@@ -17,7 +17,12 @@ registers itself with :func:`register_technique`, declaring its capabilities:
   expected headroom from its surrogate posterior (exposes
   ``predicted_improvement(state)``; BayesQO); the budget-aware scheduling
   policy (:class:`repro.exec.BudgetAwarePriority`) uses the score to decide
-  which query to spend the next plan execution on.
+  which query to spend the next plan execution on,
+* ``supports_batch`` — the technique implements the
+  :class:`~repro.core.protocol.BatchOptimizer` extension
+  (``suggest_batch(state, q)``) and can keep several proposals in flight per
+  query (BayesQO, Random); the harness falls back to ``q = 1`` transparently
+  for techniques without the flag.
 
 Factories receive a :class:`TechniqueContext` — everything a technique might
 need to construct itself — and return a protocol-conformant optimizer.
@@ -59,6 +64,7 @@ class TechniqueSpec:
     ignores_execution_cap: bool = False
     order_sensitive: bool = False
     predicts_improvement: bool = False
+    supports_batch: bool = False
     description: str = ""
 
 
@@ -97,6 +103,7 @@ def register_technique(
     ignores_execution_cap: bool = False,
     order_sensitive: bool = False,
     predicts_improvement: bool = False,
+    supports_batch: bool = False,
     description: str = "",
 ) -> Callable[[Callable[[TechniqueContext], object]], Callable[[TechniqueContext], object]]:
     """Decorator registering ``factory`` as the builder for technique ``name``."""
@@ -112,6 +119,7 @@ def register_technique(
             ignores_execution_cap=ignores_execution_cap,
             order_sensitive=order_sensitive,
             predicts_improvement=predicts_improvement,
+            supports_batch=supports_batch,
             description=description,
         )
         return factory

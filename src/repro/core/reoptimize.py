@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.core.initialization import InitialPlan, bao_initialization
 from repro.core.optimizer import BayesQO
+from repro.core.protocol import BudgetSpec, drive_query
 from repro.core.result import OptimizationResult
 from repro.db.query import Query
 from repro.plans.jointree import JoinTree
@@ -48,8 +49,12 @@ def reoptimize(
     if include_bao:
         initial.extend(bao_initialization(optimizer.database, query))
     initial.append((past_plan, "init:past_plan"))
-    result = optimizer.optimize(
-        query, initial_plans=initial, max_executions=max_executions, time_budget=time_budget
+    result = drive_query(
+        optimizer,
+        optimizer.database,
+        query,
+        BudgetSpec(max_executions=max_executions, time_budget=time_budget),
+        initial_plans=initial,
     )
     past_execution = optimizer.database.execute(query, past_plan, timeout=600.0)
     improved = result.best_latency < past_execution.latency

@@ -7,6 +7,13 @@ censored at ``tau``", the incumbent is still confidently better than the
 candidate (``y* <= mu'(tau) - kappa * sigma'(tau)``).  The fixed-percentile,
 best-seen and constant-multiplier policies from prior work are provided as
 ablation arms (Figure 5a), together with a no-timeout policy.
+
+The uncertainty rule's only model dependency is the small
+:class:`SupportsFantasize` protocol — "condition on a hypothetical censoring
+and report the posterior" — not the concrete BO engine.  Any surrogate
+wrapper satisfying it (a fake in tests, a different engine, a remote model)
+plugs straight into the policy, and this module imports nothing from
+:mod:`repro.bo`.
 """
 
 from __future__ import annotations
@@ -14,15 +21,54 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.bo.loop import BOEngine
 from repro.exceptions import OptimizationError
 
 #: Cap on the batched uncertainty-timeout grid: resolution saturates at 1024
 #: intervals (<0.3% of the log-tau range) however large ``bisection_steps`` is.
 _MAX_GRID_INTERVALS = 1024
+
+
+@runtime_checkable
+class SupportsFantasize(Protocol):
+    """What the uncertainty-based timeout rule needs from a model.
+
+    Structurally satisfied by :class:`~repro.bo.loop.BOEngine` (over any
+    surrogate) and easy to fake in tests.  Models whose
+    ``supports_batched_fantasize`` is true additionally satisfy
+    :class:`SupportsBatchedFantasize`; everything else falls back to the
+    sequential bisection path.
+    """
+
+    @property
+    def num_observations(self) -> int:
+        """How many observations back the posterior."""
+        ...
+
+    @property
+    def supports_batched_fantasize(self) -> bool:
+        """Whether :class:`SupportsBatchedFantasize` is also satisfied."""
+        ...
+
+    def fantasize_censored(self, x: np.ndarray, censor_level: float) -> tuple[float, float]:
+        """Posterior (mean, std) at ``x`` after pretending it was censored
+        at ``censor_level``."""
+        ...
+
+
+@runtime_checkable
+class SupportsBatchedFantasize(SupportsFantasize, Protocol):
+    """A model that can probe every censoring level in one conditioning."""
+
+    def fantasize_censored_batch(
+        self, x: np.ndarray, censor_levels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior (means, stds) at ``x`` for every hypothetical censoring
+        level, sharing one rank-1 extension."""
+        ...
 
 
 def _interpolated_percentile(sorted_values: list[float], percentile: float) -> float:
@@ -39,11 +85,11 @@ def _interpolated_percentile(sorted_values: list[float], percentile: float) -> f
 
 
 class TimeoutPolicy:
-    """Interface: map (engine state, candidate point) to a timeout in seconds."""
+    """Interface: map (model state, candidate point) to a timeout in seconds."""
 
     def select(
         self,
-        engine: BOEngine | None,
+        engine: SupportsFantasize | None,
         candidate: np.ndarray | None,
         best_latency: float | None,
         observed_latencies: list[float],
@@ -148,7 +194,8 @@ class UncertaintyTimeout(TimeoutPolicy):
         return self._select_sequential(engine, candidate, low, high, best_log)
 
     def _select_sequential(
-        self, engine: BOEngine, candidate: np.ndarray, low: float, high: float, best_log: float
+        self, engine: SupportsFantasize, candidate: np.ndarray, low: float, high: float,
+        best_log: float,
     ) -> float:
         """Bisection fallback for surrogates without a batched fantasize path."""
         if not self._confident(engine, candidate, high, best_log):
@@ -164,7 +211,8 @@ class UncertaintyTimeout(TimeoutPolicy):
         return math.exp(high)
 
     def _select_batched(
-        self, engine: BOEngine, candidate: np.ndarray, low: float, high: float, best_log: float
+        self, engine: SupportsFantasize, candidate: np.ndarray, low: float, high: float,
+        best_log: float,
     ) -> float:
         """Evaluate every bisection level in one vectorized fantasize call.
 
@@ -182,7 +230,9 @@ class UncertaintyTimeout(TimeoutPolicy):
             return math.exp(high)
         return math.exp(float(levels[int(np.argmax(confident))]))
 
-    def _confident(self, engine: BOEngine, candidate: np.ndarray, log_tau: float, best_log: float) -> bool:
+    def _confident(
+        self, engine: SupportsFantasize, candidate: np.ndarray, log_tau: float, best_log: float
+    ) -> bool:
         mean, std = engine.fantasize_censored(candidate, log_tau)
         return best_log <= mean - self.kappa * std
 

@@ -43,12 +43,18 @@ class ExecutionRequest:
     query: Query
     plan: JoinTree
     timeout: float | None = None
+    #: Names the proposal this execution answers (the batched-ask protocol);
+    #: stamped into the returned outcome so the scheduler can resolve
+    #: proposals out of completion order.  ``None`` for q=1 callers.
+    proposal_id: int | None = None
 
 
 def perform_request(database: "Database", request: ExecutionRequest) -> ExecutionOutcome:
     """Execute one request against ``database`` and shape the outcome."""
     execution = database.execute(request.query, request.plan, timeout=request.timeout)
-    return ExecutionOutcome.from_execution(execution, request.timeout)
+    return ExecutionOutcome.from_execution(
+        execution, request.timeout, proposal_id=request.proposal_id
+    )
 
 
 @runtime_checkable

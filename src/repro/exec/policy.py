@@ -2,12 +2,14 @@
 
 The scheduler keeps a ready list of per-query optimizer states and, whenever
 an execution slot frees up, asks its :class:`SchedulingPolicy` which state to
-step next.  Policies reorder *across* queries only — each state still
-alternates suggest/observe with at most one plan in flight — so for
-techniques with per-query RNG state the per-query plan sequence (and hence
-the final trace) is identical under every policy.  What changes is anytime
-behaviour: which queries converge first, and where a shared wall-clock
-deadline lands.
+step next.  Policies reorder *across* queries only — at the default batch
+size (q=1) each state still alternates suggest/observe with at most one plan
+in flight — so for techniques with per-query RNG state the per-query plan
+sequence (and hence the final trace) is identical under every policy.  What
+changes is anytime behaviour: which queries converge first, and where a
+shared wall-clock deadline lands.  With the batched ask (``batch_size > 1``)
+a selected state may put several proposals in flight before yielding the
+slot; the policy still only decides *which* state claims free capacity next.
 
 :class:`RoundRobin` reproduces the PR 2 scheduler exactly.
 :class:`BudgetAwarePriority` implements the paper's "spend budget where it

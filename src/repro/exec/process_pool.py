@@ -44,7 +44,7 @@ def _init_worker(database: "Database", queries: tuple[Query, ...], warmup: bool)
 
 
 def _execute_in_worker(
-    query_or_name: "Query | str", plan, timeout: float | None
+    query_or_name: "Query | str", plan, timeout: float | None, proposal_id: int | None = None
 ) -> ExecutionOutcome:
     """Execute one plan against this worker's replica."""
     database = _WORKER_STATE["database"]
@@ -52,7 +52,10 @@ def _execute_in_worker(
         query = _WORKER_STATE["queries"][query_or_name]
     else:
         query = query_or_name
-    return perform_request(database, ExecutionRequest(query=query, plan=plan, timeout=timeout))
+    return perform_request(
+        database,
+        ExecutionRequest(query=query, plan=plan, timeout=timeout, proposal_id=proposal_id),
+    )
 
 
 def _pick_context(start_method: str | None) -> multiprocessing.context.BaseContext:
@@ -127,7 +130,7 @@ class ProcessPoolBackend:
             request.query.name if request.query.name in self._registered else request.query
         )
         return self._ensure_pool().submit(
-            _execute_in_worker, payload, request.plan, request.timeout
+            _execute_in_worker, payload, request.plan, request.timeout, request.proposal_id
         )
 
     def healthy(self) -> bool:

@@ -47,7 +47,14 @@ from repro.baselines import balsa, bao, limeqo, random_search  # noqa: F401
 from repro.core import optimizer as _bayesqo_module  # noqa: F401
 from repro.core.config import BayesQOConfig, ExecutionServiceConfig, VAETrainingConfig
 from repro.core.optimizer import SchemaModel, train_schema_model
-from repro.core.protocol import BudgetSpec, ExecutionOutcome, PlanProposal, drive_query
+from repro.core.protocol import (
+    BudgetSpec,
+    ExecutionOutcome,
+    PlanProposal,
+    drive_query,
+    issue_allowance,
+    suggest_proposals,
+)
 from repro.core.registry import TechniqueContext, TechniqueSpec, get_technique, technique_names
 from repro.core.result import OptimizationResult
 from repro.db.query import Query
@@ -128,6 +135,12 @@ class WorkloadSession:
         Concurrent plan executions.  With no explicit backend,
         ``max_workers > 1`` selects the thread backend (the PR 2 behaviour);
         ``max_workers == 1`` selects inline execution.
+    batch_size:
+        Proposals held in flight *per query* (the batched-ask q knob).
+        Techniques advertising ``supports_batch`` in the registry keep up to
+        q plans executing concurrently for one query — what lets a
+        single-query workload saturate a process pool; others fall back to
+        q=1 transparently.  Defaults to ``exec_config.batch_size`` (1).
     interleave:
         Force interleaving on/off; defaults to backend capacity > 1.
 
@@ -149,10 +162,15 @@ class WorkloadSession:
         policy: "SchedulingPolicy | str | None" = None,
         exec_config: ExecutionServiceConfig | None = None,
         max_workers: int = 1,
+        batch_size: int | None = None,
         interleave: bool | None = None,
     ) -> None:
         if max_workers < 1:
             raise OptimizationError("max_workers must be at least 1")
+        if batch_size is None:
+            batch_size = exec_config.batch_size if exec_config is not None else 1
+        if batch_size < 1:
+            raise OptimizationError("batch_size must be at least 1")
         self.workload = workload
         self.database = workload.database
         self.queries = list(queries) if queries is not None else list(workload.queries)
@@ -161,6 +179,7 @@ class WorkloadSession:
         self.vae_config = vae_config
         self.seed = seed
         self.max_workers = max_workers
+        self.batch_size = batch_size
         self.exec_config = exec_config
         self._backend = self._resolve_backend(backend)
         self.policy = self._resolve_policy(policy)
@@ -246,10 +265,16 @@ class WorkloadSession:
         # Techniques with a naturally bounded search space (Bao's 49 hint
         # sets) are charged on the time axis only.
         budget = self.budget.without_execution_cap() if spec.ignores_execution_cap else self.budget
+        # The per-query in-flight cap: only techniques advertising the
+        # batched ask get q > 1; everyone else falls back to one proposal
+        # outstanding per state, transparently.
+        q = self.batch_size if spec.supports_batch else 1
         interleave = (
             self.interleave
             and self._backend.capacity() > 1
-            and len(self.queries) > 1
+            # A single-query workload still benefits from interleaving when
+            # the technique can keep q > 1 of its own plans in flight.
+            and (len(self.queries) > 1 or q > 1)
             # Order-sensitive techniques share mutable state across queries
             # (Balsa's RNG and value network); interleaving them would make
             # results depend on thread-completion timing.
@@ -258,7 +283,7 @@ class WorkloadSession:
         if spec.workload_level:
             results = self._run_workload_level(optimizer, budget)
         elif interleave:
-            results = self._run_interleaved(optimizer, budget, spec)
+            results = self._run_interleaved(optimizer, budget, spec, q)
         else:
             results = self._run_sequential(optimizer, budget)
         self._results[technique] = results
@@ -299,7 +324,12 @@ class WorkloadSession:
     # ------------------------------------------------------------------ execution
     def _request(self, proposal: PlanProposal, query: Query) -> ExecutionRequest:
         target = proposal.query if proposal.query is not None else query
-        return ExecutionRequest(query=target, plan=proposal.plan, timeout=proposal.timeout)
+        return ExecutionRequest(
+            query=target,
+            plan=proposal.plan,
+            timeout=proposal.timeout,
+            proposal_id=proposal.proposal_id,
+        )
 
     def _execute(self, proposal: PlanProposal, query: Query) -> ExecutionOutcome:
         """Execute one proposal through the backend, waiting for its outcome."""
@@ -345,17 +375,23 @@ class WorkloadSession:
         return optimizer.finish_workload(state)
 
     def _run_interleaved(
-        self, optimizer, budget: BudgetSpec, spec: TechniqueSpec
+        self, optimizer, budget: BudgetSpec, spec: TechniqueSpec, q: int = 1
     ) -> dict[str, OptimizationResult]:
         """Step all per-query states; the backend holds executions in flight.
 
         ``suggest``/``observe`` always run on this (scheduler) thread, so
         technique internals need no locking; only plan execution — pure over
         immutable relations — runs concurrently, wherever the backend puts
-        it.  Each state has at most one plan in flight, so per-query
-        optimization remains sequential and techniques with per-query RNGs
-        reproduce their sequential traces exactly; the policy only decides
-        which ready query claims a free slot.
+        it.  At the default ``q = 1`` each state has at most one plan in
+        flight, so per-query optimization remains sequential and techniques
+        with per-query RNGs reproduce their sequential traces exactly; the
+        policy only decides which ready query claims a free slot.
+
+        With ``q > 1`` (techniques advertising ``supports_batch``) a selected
+        state issues up to q proposals via ``suggest_batch`` and their
+        outcomes resolve out of completion order by ``proposal_id``.  Budget
+        is charged per *completed* outcome; :func:`issue_allowance` caps the
+        in-flight count so the execution budget can never be overshot.
         """
         results: dict[str, OptimizationResult] = {}
         self.policy.reset()
@@ -367,19 +403,33 @@ class WorkloadSession:
             while ready or in_flight:
                 while ready and len(in_flight) < capacity:
                     state = ready.pop(self.policy.select(ready, scored))
-                    proposal = optimizer.suggest(state) if state.budget_left() else None
-                    if proposal is None:
-                        results[state.query.name] = optimizer.finish(state)
+                    want = min(issue_allowance(state, q), capacity - len(in_flight))
+                    proposals = suggest_proposals(optimizer, state, want)
+                    if not proposals:
+                        if want > 0:
+                            # Asked and got nothing: the technique is done
+                            # with this query regardless of budget.
+                            state.exhausted = True
+                        if state.outstanding_count == 0:
+                            results[state.query.name] = optimizer.finish(state)
+                        # else: parked — it re-enters the ready list when one
+                        # of its outstanding outcomes lands.
                         continue
-                    future = self._backend.submit(self._request(proposal, state.query))
-                    in_flight[future] = state
+                    for proposal in proposals:
+                        future = self._backend.submit(self._request(proposal, state.query))
+                        in_flight[future] = state
+                    if len(proposals) == want and issue_allowance(state, q) > 0:
+                        # The ask was capacity-capped, not technique-capped:
+                        # the state may claim further slots as they free up.
+                        ready.append(state)
                 if not in_flight:
                     continue
                 done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
                 for future in done:
                     state = in_flight.pop(future)
                     optimizer.observe(state, self._outcome_of(future, state.query.name))
-                    ready.append(state)
+                    if all(other is not state for other in ready):
+                        ready.append(state)
         finally:
             for future in in_flight:
                 future.cancel()

@@ -1,0 +1,441 @@
+"""Batched ask/tell suite: multi-proposal bookkeeping, q=1 equivalence,
+out-of-order resolution, the batch acquisition layer, and the
+SupportsFantasize decoupling of the timeout rule.
+
+The load-bearing guarantees:
+
+* ``q = 1`` through the batch-capable scheduler is bit-for-bit the
+  single-proposal protocol for *every* registered technique, and techniques
+  without ``supports_batch`` fall back to q=1 transparently at any requested
+  batch size,
+* outcomes resolve their proposals by ``proposal_id`` in any order,
+* budget is charged per completed outcome and is never overshot by
+  in-flight proposals,
+* the uncertainty timeout rule runs against any ``SupportsFantasize``
+  implementation — including fakes — with the batched and sequential
+  fantasize paths agreeing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import BalsaOptimizer, BaoOptimizer, LimeQOOptimizer, RandomSearch
+from repro.bo.loop import BOEngine, BOEngineConfig
+from repro.bo.svgp import SVGPConfig
+from repro.core import BayesQO, BayesQOConfig
+from repro.core.config import ExecutionServiceConfig
+from repro.core.protocol import (
+    BudgetSpec,
+    ExecutionOutcome,
+    drive_state,
+    issue_allowance,
+)
+from repro.core.registry import get_technique, technique_names
+from repro.core.timeout import (
+    SupportsBatchedFantasize,
+    SupportsFantasize,
+    UncertaintyTimeout,
+)
+from repro.exceptions import OptimizationError
+from repro.harness import WorkloadSession
+
+ALL_TECHNIQUES = technique_names()
+
+BAYES_CONFIG = BayesQOConfig(max_executions=6, num_candidates=32, seed=0)
+
+
+def signatures(results):
+    return {name: result.trace_signature() for name, result in results.items()}
+
+
+def make_session(workload, schema_model, **kwargs):
+    kwargs.setdefault("budget", BudgetSpec(max_executions=6))
+    kwargs.setdefault("bayes_config", BAYES_CONFIG)
+    return WorkloadSession(workload, schema_model=schema_model, **kwargs)
+
+
+# ------------------------------------------------------------- registry flags
+class TestBatchCapability:
+    def test_supports_batch_flags(self):
+        assert get_technique("bayesqo").supports_batch
+        assert get_technique("random").supports_batch
+        assert not get_technique("bao").supports_batch
+        assert not get_technique("balsa").supports_batch
+        assert not get_technique("limeqo").supports_batch
+
+    def test_batch_size_config_validated(self):
+        assert ExecutionServiceConfig(batch_size=4).batch_size == 4
+        with pytest.raises(OptimizationError):
+            ExecutionServiceConfig(batch_size=0)
+
+    def test_session_resolves_batch_size_from_exec_config(self, tiny_workload):
+        session = WorkloadSession(
+            tiny_workload, exec_config=ExecutionServiceConfig(batch_size=3)
+        )
+        assert session.batch_size == 3
+        with pytest.raises(OptimizationError):
+            WorkloadSession(tiny_workload, batch_size=0)
+
+
+# -------------------------------------------------------- q=1 trace identity
+@pytest.mark.parametrize("technique", ALL_TECHNIQUES)
+class TestQ1Equivalence:
+    def test_q1_batched_scheduler_matches_sequential(
+        self, technique, tiny_workload, tiny_schema_model
+    ):
+        sequential = make_session(tiny_workload, tiny_schema_model).run(technique)
+        with make_session(
+            tiny_workload, tiny_schema_model,
+            max_workers=3, batch_size=1, interleave=True,
+        ) as session:
+            batched = session.run(technique)
+        assert signatures(sequential) == signatures(batched)
+
+    def test_unsupported_techniques_fall_back_at_any_q(
+        self, technique, tiny_workload, tiny_schema_model
+    ):
+        # batch_size=4 must be transparent: supports_batch techniques keep
+        # q plans in flight (same plans, possibly reordered observations are
+        # not exercised here — the trace is still determined per query),
+        # everyone else silently runs at q=1.  For techniques *without* the
+        # flag the traces must be bit-for-bit sequential.
+        if get_technique(technique).supports_batch:
+            pytest.skip("fallback semantics only apply without supports_batch")
+        sequential = make_session(tiny_workload, tiny_schema_model).run(technique)
+        with make_session(
+            tiny_workload, tiny_schema_model,
+            max_workers=3, batch_size=4, interleave=True,
+        ) as session:
+            batched = session.run(technique)
+        assert signatures(sequential) == signatures(batched)
+
+
+class TestBatchedRuns:
+    @pytest.mark.parametrize("technique", ["random", "bayesqo"])
+    def test_batched_run_respects_budget_and_finds_plans(
+        self, technique, tiny_workload, tiny_schema_model
+    ):
+        budget = 6
+        with make_session(
+            tiny_workload, tiny_schema_model,
+            budget=BudgetSpec(max_executions=budget),
+            max_workers=3, batch_size=3, interleave=True,
+        ) as session:
+            results = session.run(technique)
+        assert set(results) == {query.name for query in tiny_workload.queries}
+        for result in results.values():
+            # Budget is charged per completed outcome and never overshot.
+            assert 1 <= result.num_executions <= budget
+            assert result.best_latency > 0
+
+    def test_single_query_workload_interleaves_at_q_above_one(
+        self, tiny_workload, tiny_schema_model
+    ):
+        single = type(tiny_workload)(
+            name=tiny_workload.name,
+            database=tiny_workload.database,
+            queries=tiny_workload.queries[:1],
+            max_aliases=tiny_workload.max_aliases,
+        )
+        name = single.queries[0].name
+        sequential = make_session(single, tiny_schema_model).run("random")
+        with make_session(
+            single, tiny_schema_model, max_workers=3, batch_size=3, interleave=True
+        ) as session:
+            batched = session.run("random")
+        # Same budget spent; the plan *set* may differ (timeouts are one
+        # observation staler in flight), but the run completes and is full.
+        assert batched[name].num_executions == sequential[name].num_executions
+
+    def test_drive_state_batched_reference_loop(self, tiny_workload):
+        optimizer = RandomSearch(tiny_workload.database, seed=1)
+        query = tiny_workload.queries[0]
+        state = optimizer.start(query, budget=BudgetSpec(max_executions=7))
+        drive_state(optimizer, tiny_workload.database, state, q=3)
+        assert state.result.num_executions == 7
+        assert state.outstanding_count == 0
+
+
+# ------------------------------------------------------ out-of-order observe
+class TestOutOfOrderResolution:
+    def _outcomes(self, database, query, proposals):
+        outcomes = {}
+        for proposal in proposals:
+            execution = database.execute(query, proposal.plan, timeout=proposal.timeout)
+            outcomes[proposal.proposal_id] = ExecutionOutcome.from_execution(
+                execution, proposal.timeout, proposal_id=proposal.proposal_id
+            )
+        return outcomes
+
+    def test_random_resolves_out_of_order(self, tiny_workload):
+        optimizer = RandomSearch(tiny_workload.database, seed=0)
+        query = tiny_workload.queries[0]
+        state = optimizer.start(query, budget=BudgetSpec(max_executions=6))
+        proposals = optimizer.suggest_batch(state, 3)
+        assert len(proposals) == 3
+        assert state.outstanding_count == 3
+        ids = [proposal.proposal_id for proposal in proposals]
+        assert len(set(ids)) == 3
+        outcomes = self._outcomes(tiny_workload.database, query, proposals)
+        # Resolve in reverse submission order.
+        for proposal_id in reversed(ids):
+            optimizer.observe(state, outcomes[proposal_id])
+        assert state.outstanding_count == 0
+        assert state.result.num_executions == 3
+        # The trace is observation-ordered: last-submitted lands first.
+        recorded = [record.plan.canonical() for record in state.result.trace]
+        submitted = [proposal.plan.canonical() for proposal in proposals]
+        assert recorded == list(reversed(submitted))
+
+    def test_bayesqo_resolves_out_of_order(self, tiny_workload, tiny_schema_model):
+        optimizer = BayesQO(tiny_workload.database, tiny_schema_model, config=BAYES_CONFIG)
+        query = tiny_workload.queries[0]
+        state = optimizer.start(query, budget=BudgetSpec(max_executions=8))
+        # Drain initialization plans in batches, resolving in reverse.
+        while state.init_queue or state.outstanding_count:
+            proposals = optimizer.suggest_batch(state, 2)
+            if not proposals:
+                break
+            outcomes = self._outcomes(tiny_workload.database, query, proposals)
+            for proposal in reversed(proposals):
+                optimizer.observe(state, outcomes[proposal.proposal_id])
+        assert state.outstanding_count == 0
+        assert state.result.num_executions >= 1
+        # The BO phase also issues batches with distinct in-flight plans.
+        proposals = optimizer.suggest_batch(state, 3)
+        keys = [proposal.plan.canonical() for proposal in proposals]
+        assert len(set(keys)) == len(keys)
+        outcomes = self._outcomes(tiny_workload.database, query, proposals)
+        for proposal in reversed(proposals):
+            optimizer.observe(state, outcomes[proposal.proposal_id])
+        assert state.outstanding_count == 0
+
+    def test_ledger_protocol_violations(self, tiny_workload):
+        optimizer = RandomSearch(tiny_workload.database, seed=0)
+        query = tiny_workload.queries[0]
+        state = optimizer.start(query, budget=BudgetSpec(max_executions=6))
+        proposals = optimizer.suggest_batch(state, 2)
+        # The one-slot ``pending`` view is ambiguous with several in flight…
+        with pytest.raises(OptimizationError, match="outstanding"):
+            _ = state.pending
+        # …an un-keyed outcome cannot pick between them…
+        with pytest.raises(OptimizationError, match="proposal_id"):
+            optimizer.observe(state, ExecutionOutcome(latency=1.0))
+        # …and an unknown id is rejected.
+        with pytest.raises(OptimizationError, match="no outstanding proposal"):
+            optimizer.observe(state, ExecutionOutcome(latency=1.0, proposal_id=999))
+        # Plain suggest still refuses while proposals are outstanding.
+        with pytest.raises(OptimizationError, match="pending"):
+            optimizer.suggest(state)
+        outcomes = {
+            proposal.proposal_id: ExecutionOutcome(
+                latency=1.0, proposal_id=proposal.proposal_id
+            )
+            for proposal in proposals
+        }
+        for outcome in outcomes.values():
+            optimizer.observe(state, outcome)
+        assert state.pending is None
+
+    def test_issue_allowance_works_on_workload_states(self, tiny_workload):
+        # Regression: the allowance must charge the same progress object the
+        # budget does — workload-level states have no ``result`` attribute.
+        optimizer = LimeQOOptimizer(tiny_workload.database)
+        state = optimizer.start_workload(
+            tiny_workload.queries, budget=BudgetSpec(max_executions=5)
+        )
+        assert issue_allowance(state, 3) == 3
+        drive_state(optimizer, tiny_workload.database, state, q=2)
+        total = sum(result.num_executions for result in state.results.values())
+        assert total == 5
+        assert state.outstanding_count == 0
+
+    def test_bayesqo_top_up_before_first_observation(self, tiny_workload, tiny_schema_model):
+        # Regression: a second batched ask before any outcome has been
+        # observed must not try to fit an empty surrogate.
+        optimizer = BayesQO(tiny_workload.database, tiny_schema_model, config=BAYES_CONFIG)
+        state = optimizer.start(tiny_workload.queries[0], budget=BudgetSpec(max_executions=30))
+        drained = []
+        while state.init_queue:
+            drained.extend(optimizer.suggest_batch(state, 4))
+        top_up = optimizer.suggest_batch(state, 2)  # BO phase, zero observations
+        assert state.outstanding_count == len(drained) + len(top_up)
+        for proposal in drained + top_up:
+            optimizer.observe(
+                state, ExecutionOutcome(latency=1.0, proposal_id=proposal.proposal_id)
+            )
+        assert state.outstanding_count == 0
+
+    def test_issue_allowance_never_overshoots(self, tiny_workload):
+        optimizer = RandomSearch(tiny_workload.database, seed=0)
+        query = tiny_workload.queries[0]
+        state = optimizer.start(query, budget=BudgetSpec(max_executions=4))
+        assert issue_allowance(state, 8) == 4  # capped by remaining budget
+        proposals = optimizer.suggest_batch(state, issue_allowance(state, 3))
+        assert len(proposals) == 3
+        assert issue_allowance(state, 3) == 0  # q slots full
+        assert issue_allowance(state, 8) == 1  # budget minus in-flight
+        for proposal in proposals:
+            optimizer.observe(
+                state, ExecutionOutcome(latency=1.0, proposal_id=proposal.proposal_id)
+            )
+        assert issue_allowance(state, 8) == 1  # one execution left
+        state.exhausted = True
+        assert issue_allowance(state, 8) == 0
+
+
+# ----------------------------------------------------- engine batch acquisition
+class TestEngineSuggestBatch:
+    def make_engine(self, num_points: int = 12, **config) -> BOEngine:
+        engine = BOEngine(np.zeros(2), np.ones(2), config=BOEngineConfig(**config), seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(num_points):
+            x = rng.random(2)
+            engine.add_observation(x, float((x**2).sum()))
+        engine.fit()
+        return engine
+
+    @pytest.mark.parametrize("strategy", ["fantasize", "thompson"])
+    def test_suggest_batch_returns_distinct_points(self, strategy):
+        engine = self.make_engine(batch_strategy=strategy, num_candidates=64)
+        batch = engine.suggest_batch(4)
+        assert len(batch) == 4
+        stacked = np.stack(batch)
+        assert len(np.unique(stacked, axis=0)) == 4
+
+    def test_suggest_batch_q1_matches_suggest_stream(self):
+        left = self.make_engine(num_candidates=64)
+        right = self.make_engine(num_candidates=64)
+        for _ in range(3):
+            np.testing.assert_array_equal(left.suggest(), right.suggest_batch(1)[0])
+
+    def test_suggest_batch_before_observations_is_random(self):
+        engine = BOEngine(np.zeros(3), np.ones(3), seed=1)
+        batch = engine.suggest_batch(3)
+        assert len(batch) == 3
+        assert all(point.shape == (3,) for point in batch)
+
+    def test_invalid_q_rejected(self):
+        engine = self.make_engine()
+        with pytest.raises(OptimizationError):
+            engine.suggest_batch(0)
+
+    def test_svgp_subconfig_requires_svgp_surrogate(self):
+        with pytest.raises(OptimizationError, match="svgp"):
+            BOEngineConfig(surrogate="censored_gp", svgp=SVGPConfig())
+        with pytest.raises(OptimizationError, match="svgp"):
+            BOEngineConfig(svgp=SVGPConfig())  # default surrogate is censored_gp
+        assert BOEngineConfig(surrogate="svgp", svgp=SVGPConfig()).svgp is not None
+
+    def test_unknown_batch_strategy_rejected(self):
+        with pytest.raises(OptimizationError):
+            BOEngineConfig(batch_strategy="greedy")
+        with pytest.raises(OptimizationError):
+            BayesQOConfig(batch_strategy="greedy")
+
+
+# -------------------------------------------------- SupportsFantasize fakes
+class FakeSequentialFantasize:
+    """Monotone fantasized LCB: confident once the level crosses a threshold."""
+
+    supports_batched_fantasize = False
+    num_observations = 10
+
+    def __init__(self, threshold: float = 0.6, std: float = 0.1) -> None:
+        self.threshold = threshold
+        self.std = std
+        self.calls = 0
+
+    def fantasize_censored(self, x, censor_level):
+        self.calls += 1
+        # mean - std == best_log exactly at ``threshold``.
+        return censor_level - self.threshold + self.std, self.std
+
+
+class FakeBatchedFantasize(FakeSequentialFantasize):
+    supports_batched_fantasize = True
+
+    def fantasize_censored_batch(self, x, censor_levels):
+        self.calls += 1
+        levels = np.asarray(censor_levels, dtype=np.float64)
+        return levels - self.threshold + self.std, np.full(len(levels), self.std)
+
+
+class TestSupportsFantasizeDecoupling:
+    def test_fakes_satisfy_the_protocol(self):
+        assert isinstance(FakeSequentialFantasize(), SupportsFantasize)
+        assert not isinstance(FakeSequentialFantasize(), SupportsBatchedFantasize)
+        assert isinstance(FakeBatchedFantasize(), SupportsBatchedFantasize)
+        assert isinstance(
+            BOEngine(np.zeros(2), np.ones(2), seed=0), SupportsFantasize
+        )
+
+    def test_timeout_module_is_decoupled_from_bo(self):
+        # The typed SupportsFantasize dependency replaced the BOEngine
+        # import: the timeout layer must not import anything from repro.bo.
+        import repro.core.timeout as timeout_module
+
+        with open(timeout_module.__file__) as handle:
+            assert "from repro.bo" not in handle.read()
+
+    def test_batched_and_sequential_fakes_agree(self):
+        policy = UncertaintyTimeout(kappa=1.0, max_multiplier=16.0, bisection_steps=10)
+        best_latency = 1.0
+        candidate = np.zeros(2)
+        threshold = 0.6
+        sequential = policy.select(
+            FakeSequentialFantasize(threshold), candidate, best_latency, [best_latency]
+        )
+        batched = policy.select(
+            FakeBatchedFantasize(threshold), candidate, best_latency, [best_latency]
+        )
+        resolution = math.log(16.0) / 2**policy.bisection_steps
+        # Both paths bracket the same analytic boundary exp(threshold).
+        assert abs(math.log(sequential) - threshold) <= 2 * resolution + 1e-9
+        assert abs(math.log(batched) - threshold) <= 2 * resolution + 1e-9
+        assert abs(math.log(batched) - math.log(sequential)) <= 2 * resolution + 1e-9
+
+    def test_batched_fake_uses_one_conditioning(self):
+        policy = UncertaintyTimeout(kappa=1.0, max_multiplier=16.0)
+        fake = FakeBatchedFantasize()
+        policy.select(fake, np.zeros(2), 1.0, [1.0])
+        assert fake.calls == 1
+        sequential = FakeSequentialFantasize()
+        policy.select(sequential, np.zeros(2), 1.0, [1.0])
+        assert sequential.calls == policy.bisection_steps + 1
+
+
+# ------------------------------------------------------------- deprecations
+class TestDeprecatedShims:
+    def test_random_optimize_warns(self, tiny_workload):
+        with pytest.warns(DeprecationWarning, match="RandomSearch.optimize"):
+            RandomSearch(tiny_workload.database, seed=0).optimize(
+                tiny_workload.queries[0], max_executions=1
+            )
+
+    def test_bao_optimize_warns(self, tiny_workload):
+        with pytest.warns(DeprecationWarning, match="BaoOptimizer.optimize"):
+            BaoOptimizer(tiny_workload.database).optimize(
+                tiny_workload.queries[0], time_budget=1e-9
+            )
+
+    def test_balsa_optimize_warns(self, tiny_workload):
+        with pytest.warns(DeprecationWarning, match="BalsaOptimizer.optimize"):
+            BalsaOptimizer(tiny_workload.database).optimize(
+                tiny_workload.queries[0], max_executions=1
+            )
+
+    def test_limeqo_optimize_workload_warns(self, tiny_workload):
+        with pytest.warns(DeprecationWarning, match="LimeQOOptimizer.optimize_workload"):
+            LimeQOOptimizer(tiny_workload.database).optimize_workload(
+                tiny_workload.queries[:1], max_executions=1
+            )
+
+    def test_bayesqo_optimize_warns(self, tiny_workload, tiny_schema_model):
+        optimizer = BayesQO(tiny_workload.database, tiny_schema_model, config=BAYES_CONFIG)
+        with pytest.warns(DeprecationWarning, match="BayesQO.optimize"):
+            optimizer.optimize(tiny_workload.queries[0], max_executions=1)
