@@ -64,13 +64,12 @@ def main() -> None:
     args = parser.parse_args()
 
     workload = build_job_workload(scale=0.15, seed=0, num_queries=20)
-    # Comparing techniques on a query no plan can finish is meaningless:
-    # demo on queries whose default plan completes within the timeout.
-    queries = workload.healthy_queries(limit=NUM_QUERIES)
-    if not queries:
-        raise SystemExit(
-            "every generated query is pathological at this scale/seed; try another seed"
-        )
+    # Fanout-capped data generation keeps most scaled-down queries executable,
+    # so the comparison just takes the first few — no probing.  A genuinely
+    # hard query (every plan censors within the budget) shows up honestly as
+    # a `nan` best latency against the Bao fallback baseline, like any query
+    # offline optimization fails to crack.
+    queries = workload.queries[:NUM_QUERIES]
     print(f"Comparing techniques on {len(queries)} {workload.name} queries "
           f"({EXECUTIONS} plan executions each, backend={args.backend}, "
           f"policy={args.policy}, workers={args.workers})...")

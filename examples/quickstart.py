@@ -23,15 +23,11 @@ from repro.workloads import build_job_workload
 
 def main() -> None:
     # 1. Build a workload: a populated database plus a set of benchmark queries.
+    #    The data generator caps foreign-key fanout, so scaled-down queries
+    #    stay executable — no need to probe for a usable query.
     workload = build_job_workload(scale=0.15, seed=0, num_queries=20)
     database = workload.database
-    healthy = workload.healthy_queries(limit=1)
-    if not healthy:
-        raise SystemExit(
-            "every generated query is pathological at this scale/seed "
-            "(default plans exceed the simulated timeout); try another seed"
-        )
-    query = healthy[0]
+    query = workload.queries[0]
     print(f"Optimizing query {query.name} joining {query.num_tables} tables:")
     print(f"  {query.sql()[:160]}...")
 

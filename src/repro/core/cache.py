@@ -5,6 +5,14 @@ the query.  At runtime (the "online" path of Figure 2), the cache is consulted
 first; a miss falls back to the default optimizer.  The online component also
 watches runtime statistics and flags queries for re-optimization when the
 cached plan regresses (e.g. because of data drift).
+
+This layer caches *which plan to run*; the execution-memoization layer
+(:mod:`repro.db.plan_cache`) caches *what running it costs*.  They compose:
+once the offline run has executed the winning plan, every online execution of
+a cached plan is an outcome-cache replay on the database side — the repeated
+execution the paper's amortization argument counts on is literally the fast
+path.  :meth:`OnlinePlanner.execution_cache_counters` surfaces that side of
+the split.
 """
 
 from __future__ import annotations
@@ -95,6 +103,18 @@ class OnlinePlanner:
             ):
                 self.needs_reoptimization.add(query.signature())
         return result
+
+    def execution_cache_counters(self) -> dict | None:
+        """Cumulative execution-memoization counters of the backing database.
+
+        ``None`` when the database runs without an execution cache.  With
+        one, repeated online executions of cached plans show up here as
+        outcome hits — the runtime half of the amortization story.
+        """
+        cache = getattr(self.database, "execution_cache", None)
+        if cache is None:
+            return None
+        return cache.counters.snapshot()
 
     def should_reoptimize(self, query: Query) -> bool:
         return query.signature() in self.needs_reoptimization

@@ -96,6 +96,17 @@ class BayesQOConfig:
             raise OptimizationError("timeout_max_multiplier must be at least 1")
 
 
+def validate_batch_size(batch_size: int | str) -> None:
+    """Shared validation of the q knob: a positive int or ``"auto"``."""
+    if isinstance(batch_size, str):
+        if batch_size != "auto":
+            raise OptimizationError(
+                f"batch_size must be a positive int or 'auto', got {batch_size!r}"
+            )
+    elif batch_size < 1:
+        raise OptimizationError("batch_size must be at least 1")
+
+
 @dataclass
 class ExecutionServiceConfig:
     """How a :class:`~repro.harness.runner.WorkloadSession` executes plans.
@@ -120,8 +131,25 @@ class ExecutionServiceConfig:
     #: keep up to q plans executing concurrently for one query — what lets a
     #: single-query workload saturate a process pool; other techniques fall
     #: back to q=1 transparently.  ``1`` reproduces single-proposal behaviour
-    #: bit-for-bit.
-    batch_size: int = 1
+    #: bit-for-bit.  ``"auto"`` hands the knob to a
+    #: :class:`~repro.harness.batching.BatchSizeController`, which widens q
+    #: toward the backend capacity while workers idle and narrows it when
+    #: per-observation improvement stalls (traces then depend on completion
+    #: timing, like any q > 1 run).
+    batch_size: int | str = 1
+    #: Execution memoization (see :mod:`repro.db.plan_cache`): replay
+    #: repeated ``(query, plan)`` executions and reuse join-subtree
+    #: intermediates across overlapping plans of the same query.  Results
+    #: are bit-for-bit identical either way; ``False`` only forgoes the
+    #: speedup.  ``None`` (the default) leaves the database's own
+    #: ``exec_cache`` configuration untouched — the database enables
+    #: caching by default; setting ``True``/``False`` here overrides it for
+    #: the session's database and, through pickling, for every process-pool
+    #: worker replica (each worker holds its own private cache).
+    plan_cache: bool | None = None
+    #: Byte budget for memoized subplan intermediates, per cache instance;
+    #: ``None`` keeps the database's configured budget.
+    plan_cache_bytes: int | None = None
     #: Independent backend instances; ``> 1`` fans executions out over a
     #: :class:`~repro.exec.MultiBackendRouter` with health/occupancy tracking.
     replicas: int = 1
@@ -147,8 +175,9 @@ class ExecutionServiceConfig:
             )
         if self.max_workers < 1:
             raise OptimizationError("max_workers must be at least 1")
-        if self.batch_size < 1:
-            raise OptimizationError("batch_size must be at least 1")
+        validate_batch_size(self.batch_size)
+        if self.plan_cache_bytes is not None and self.plan_cache_bytes < 0:
+            raise OptimizationError("plan_cache_bytes must be non-negative")
         if self.replicas < 1:
             raise OptimizationError("replicas must be at least 1")
         if self.max_failures < 1:

@@ -49,6 +49,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.core.result import OptimizationResult, TraceRecord
+from repro.db.plan_cache import CacheStats
 from repro.db.query import Query
 from repro.exceptions import OptimizationError
 from repro.plans.jointree import JoinTree
@@ -134,12 +135,18 @@ class ExecutionOutcome:
 
     ``proposal_id`` names the proposal this outcome answers; ``None`` (the
     q=1 default) resolves the sole outstanding proposal of the state.
+    ``cache`` carries the execution-memoization stats of the run that
+    produced this outcome (``None`` when caching is off or the executing
+    database predates the cache layer); it crosses process boundaries as a
+    plain frozen dataclass, which is how per-worker cache activity surfaces
+    to the scheduler.
     """
 
     latency: float
     timed_out: bool = False
     timeout: float | None = None
     proposal_id: int | None = None
+    cache: CacheStats | None = None
 
     @classmethod
     def from_execution(
@@ -153,6 +160,9 @@ class ExecutionOutcome:
             timed_out=execution.timed_out,
             timeout=timeout if timeout is not None else execution.timeout,
             proposal_id=proposal_id,
+            # getattr: duck-typed ExecutionResults (test fakes, wrappers) may
+            # predate the cache field.
+            cache=getattr(execution, "cache", None),
         )
 
 

@@ -4,13 +4,17 @@ from repro.db.catalog import Column, ForeignKey, Index, Schema, Table
 from repro.db.engine import Database, DatabaseInfo
 from repro.db.executor import ExecutionResult, Executor
 from repro.db.optimizer import PlanOptimizer
+from repro.db.plan_cache import CacheStats, ExecutionCache, ExecutionCacheConfig
 from repro.db.query import FilterPredicate, JoinPredicate, Query, TableRef
 from repro.db.relation import Relation
 
 __all__ = [
+    "CacheStats",
     "Column",
     "Database",
     "DatabaseInfo",
+    "ExecutionCache",
+    "ExecutionCacheConfig",
     "ExecutionResult",
     "Executor",
     "FilterPredicate",

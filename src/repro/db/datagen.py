@@ -13,6 +13,17 @@ scaled-down synthetic relations with the same two properties:
   as noisy functions of the row's foreign keys, so multi-predicate
   selectivities deviate strongly from the product of single-column
   selectivities.
+
+Foreign-key skew is *fanout-capped*: the hottest key's probability mass is
+clamped to ``fk_fanout_cap`` times the uniform share (water-filling the
+excess over the remaining keys).  Uncapped Zipf mass is scale-invariant — the
+top key always absorbs ~1/H(P, s) of all references — so at small scales a
+handful of keys fan out into intermediates that exceed the executor's
+simulated timeout for *every* plan, leaving offline optimization nothing to
+improve (the "JOB_1a at scale 0.15" pathology).  The cap bounds worst-case
+join fanout at C× the average while keeping an order of magnitude of skew,
+so default plans stay executable at small scales and bad join orders still
+blow past timeouts.
 """
 
 from __future__ import annotations
@@ -67,23 +78,77 @@ class TableSpec:
     column_specs: dict[str, ColumnSpec] = field(default_factory=dict)
     #: Zipf exponent used for every FK column of this table.
     fk_skew: float = 1.2
+    #: Per-table override of the generator-wide FK fanout cap (multiples of
+    #: the uniform share).  ``None`` uses the generator default.
+    fk_fanout_cap: float | None = None
 
 
-def zipf_choices(rng: np.random.Generator, population: int, size: int, skew: float) -> np.ndarray:
+#: Default cap on any single key's share of a table's FK references, as a
+#: multiple of the uniform share ``1 / population``.  16x keeps strong skew
+#: (the default optimizer still misestimates) while bounding worst-case join
+#: fanout so scaled-down workloads stay executable.
+DEFAULT_FK_FANOUT_CAP = 16.0
+
+
+def capped_zipf_weights(population: int, skew: float, fanout_cap: float) -> np.ndarray:
+    """Zipf weights with the top shares clamped to ``fanout_cap / population``.
+
+    The clamped excess is redistributed proportionally over the uncapped keys
+    (water-filling), iterating until no key exceeds the cap; the result is a
+    valid distribution whose hottest key receives at most ``fanout_cap`` times
+    the uniform share.
+    """
+    if population <= 0:
+        raise CatalogError("population must be positive")
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    cap = fanout_cap / population
+    if cap >= 1.0:
+        return weights
+    for _ in range(32):
+        over = weights > cap
+        if not over.any():
+            break
+        excess = float((weights[over] - cap).sum())
+        weights[over] = cap
+        under = ~over
+        under_total = float(weights[under].sum())
+        if under_total <= 0.0:
+            # Everything is at the cap: the capped distribution is uniform.
+            weights[:] = 1.0 / population
+            break
+        weights[under] += excess * weights[under] / under_total
+    return weights / weights.sum()
+
+
+def zipf_choices(
+    rng: np.random.Generator,
+    population: int,
+    size: int,
+    skew: float,
+    fanout_cap: float | None = None,
+) -> np.ndarray:
     """Sample ``size`` integers from ``[0, population)`` with Zipf-like skew.
 
     A ``skew`` of 0 gives the uniform distribution; larger values concentrate
     probability mass on small indices.  The indices are then shuffled through a
     fixed permutation so that "popular" ids are spread across the key space,
     matching real data where popularity is not correlated with key order.
+    ``fanout_cap`` clamps the hottest key's share to that multiple of the
+    uniform share (see :func:`capped_zipf_weights`); ``None`` leaves the raw
+    Zipf distribution untouched.
     """
     if population <= 0:
         raise CatalogError("population must be positive")
     if skew <= 0:
         return rng.integers(0, population, size=size)
-    ranks = np.arange(1, population + 1, dtype=np.float64)
-    weights = ranks ** (-skew)
-    weights /= weights.sum()
+    if fanout_cap is not None:
+        weights = capped_zipf_weights(population, skew, fanout_cap)
+    else:
+        ranks = np.arange(1, population + 1, dtype=np.float64)
+        weights = ranks ** (-skew)
+        weights /= weights.sum()
     draws = rng.choice(population, size=size, p=weights)
     permutation = np.random.default_rng(population).permutation(population)
     return permutation[draws]
@@ -92,10 +157,17 @@ def zipf_choices(rng: np.random.Generator, population: int, size: int, skew: flo
 class DataGenerator:
     """Populate a :class:`~repro.db.catalog.Schema` with synthetic rows."""
 
-    def __init__(self, schema: Schema, specs: dict[str, TableSpec], seed: int = 0) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        specs: dict[str, TableSpec],
+        seed: int = 0,
+        fk_fanout_cap: float | None = DEFAULT_FK_FANOUT_CAP,
+    ) -> None:
         self.schema = schema
         self.specs = specs
         self.seed = seed
+        self.fk_fanout_cap = fk_fanout_cap
         missing = [name for name in schema.table_names if name not in specs]
         if missing:
             raise CatalogError(f"missing TableSpec for tables: {missing}")
@@ -144,6 +216,7 @@ class DataGenerator:
             for fk in self.schema.foreign_keys
             if fk.table == table.name and fk.column != table.primary_key
         }
+        fanout_cap = spec.fk_fanout_cap if spec.fk_fanout_cap is not None else self.fk_fanout_cap
         for column_name, fk in fk_columns.items():
             ref_relation = relations.get(fk.ref_table)
             if ref_relation is None:
@@ -151,7 +224,7 @@ class DataGenerator:
             else:
                 population = max(ref_relation.num_rows, 1)
             columns[column_name] = zipf_choices(
-                rng, population, num_rows, spec.fk_skew
+                rng, population, num_rows, spec.fk_skew, fanout_cap=fanout_cap
             ).astype(np.int64)
         # Remaining attribute columns.
         for column in table.columns:

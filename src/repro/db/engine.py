@@ -19,6 +19,7 @@ from repro.db.catalog import Schema
 from repro.db.cost import CostParams, DEFAULT_COST_PARAMS
 from repro.db.executor import ExecutionResult, Executor
 from repro.db.optimizer import PlanOptimizer
+from repro.db.plan_cache import ExecutionCache, ExecutionCacheConfig
 from repro.db.query import Query
 from repro.db.relation import Relation
 from repro.db.statistics import TableStats, analyze_all
@@ -52,6 +53,12 @@ class Database:
         Log-normal execution latency noise (0 disables noise).
     seed:
         Seed for the latency noise.
+    exec_cache:
+        The execution-memoization layer (see :mod:`repro.db.plan_cache`):
+        ``True`` (the default) enables it with default limits, ``False``
+        disables it, or pass an :class:`ExecutionCacheConfig` for explicit
+        limits.  Caching never changes results — repeated and overlapping
+        plan executions just stop paying for work already done.
     """
 
     def __init__(
@@ -61,6 +68,7 @@ class Database:
         cost_params: CostParams = DEFAULT_COST_PARAMS,
         noise_sigma: float = 0.0,
         seed: int = 0,
+        exec_cache: ExecutionCacheConfig | bool = True,
     ) -> None:
         missing = [name for name in schema.table_names if name not in relations]
         if missing:
@@ -68,11 +76,70 @@ class Database:
         self.schema = schema
         self.relations = relations
         self.cost_params = cost_params
+        self.exec_cache_config = self._normalize_cache_config(exec_cache)
         self.stats: dict[str, TableStats] = analyze_all(relations)
         self.optimizer = PlanOptimizer(schema, self.stats, cost_params)
         self.executor = Executor(
-            schema, relations, cost_params, noise_sigma=noise_sigma, seed=seed
+            schema,
+            relations,
+            cost_params,
+            noise_sigma=noise_sigma,
+            seed=seed,
+            cache=self._build_cache(self.exec_cache_config),
         )
+
+    @staticmethod
+    def _normalize_cache_config(exec_cache: ExecutionCacheConfig | bool) -> ExecutionCacheConfig:
+        if exec_cache is True:
+            return ExecutionCacheConfig()
+        if exec_cache is False:
+            return ExecutionCacheConfig(enabled=False)
+        return exec_cache
+
+    @staticmethod
+    def _build_cache(config: ExecutionCacheConfig) -> ExecutionCache | None:
+        return ExecutionCache(config) if config.enabled else None
+
+    # ------------------------------------------------------------------ execution cache
+    @property
+    def execution_cache(self) -> ExecutionCache | None:
+        """The executor's memoization layer (``None`` when disabled)."""
+        return self.executor.cache
+
+    def with_execution_cache(self, config: ExecutionCacheConfig | bool) -> "Database":
+        """A snapshot of this database carrying ``config`` as its cache setup.
+
+        Shares the same immutable relations; returns ``self`` unchanged when
+        the normalized config already matches.  This is how
+        :class:`~repro.core.config.ExecutionServiceConfig` overrides are
+        applied without mutating the caller's database (see
+        :func:`repro.exec.apply_cache_overrides`).
+        """
+        config = self._normalize_cache_config(config)
+        if config == self.exec_cache_config:
+            return self
+        return Database(
+            self.schema,
+            self.relations,
+            self.cost_params,
+            noise_sigma=self.executor.noise_sigma,
+            seed=self.executor.seed,
+            exec_cache=config,
+        )
+
+    def set_execution_cache(self, config: ExecutionCacheConfig | bool) -> None:
+        """Reconfigure the memoization layer of *this* database in place.
+
+        Reconfiguring to the *same* config is a no-op, so warm cache state
+        survives repeated calls.  The execution service never calls this on
+        a user's database — it derives a snapshot via
+        :meth:`with_execution_cache` instead.
+        """
+        config = self._normalize_cache_config(config)
+        if config == self.exec_cache_config:
+            return
+        self.exec_cache_config = config
+        self.executor.cache = self._build_cache(config)
 
     # ------------------------------------------------------------------ planning
     def plan(self, query: Query, hint_set: HintSet = DEFAULT_HINT_SET) -> JoinTree:
@@ -114,6 +181,7 @@ class Database:
             "cost_params": self.cost_params,
             "noise_sigma": self.executor.noise_sigma,
             "seed": self.executor.seed,
+            "exec_cache": self.exec_cache_config,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -123,7 +191,14 @@ class Database:
             state["cost_params"],
             noise_sigma=state["noise_sigma"],
             seed=state["seed"],
+            # Pre-cache pickles (older state dicts) rebuild with the default.
+            exec_cache=state.get("exec_cache", True),
         )
+
+    #: Timeout used when warmup pre-executes default plans to prime the
+    #: execution cache (the technique's own initial timeout, so pathological
+    #: defaults cost a bounded amount of simulated work).
+    WARMUP_TIMEOUT = 600.0
 
     def warmup(self, queries: list[Query]) -> None:
         """Plan each query once so a freshly built replica is ready to serve.
@@ -131,13 +206,19 @@ class Database:
         Planning runs the cardinality estimator and join-order search end to
         end, touching the statistics and relation pages a replica needs hot;
         process-pool workers call this once at startup so the first real plan
-        execution pays no cold-start penalty.  Queries whose planning fails
-        are skipped — the error will surface (with context) when the query is
-        actually executed.
+        execution pays no cold-start penalty.  When the execution cache is
+        enabled, warmup additionally executes each query's default plan once
+        (bounded by :attr:`WARMUP_TIMEOUT`), priming the subplan memo with
+        the base-table scans and default join subtrees — the fragments
+        optimizer proposals most often share.  Queries whose planning or
+        warm execution fails are skipped — the error will surface (with
+        context) when the query is actually executed.
         """
         for query in queries:
             try:
-                self.plan(query)
+                plan = self.plan(query)
+                if self.execution_cache is not None:
+                    self.executor.execute(query, plan, timeout=self.WARMUP_TIMEOUT)
             except Exception:  # noqa: BLE001 - warmup is best-effort by design
                 continue
 
@@ -155,6 +236,7 @@ class Database:
             self.cost_params,
             noise_sigma=self.executor.noise_sigma,
             seed=self.executor.seed,
+            exec_cache=self.exec_cache_config,
         )
 
     def with_relations(self, relations: dict[str, Relation]) -> "Database":
@@ -165,6 +247,7 @@ class Database:
             self.cost_params,
             noise_sigma=self.executor.noise_sigma,
             seed=self.executor.seed,
+            exec_cache=self.exec_cache_config,
         )
 
     # ------------------------------------------------------------------ metadata

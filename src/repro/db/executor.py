@@ -13,6 +13,16 @@ magnitude across join orders, and bad plans must be cut short by timeouts.
 Timeouts are enforced *during* execution: before and after each operator the
 accumulated simulated time is compared against the timeout, and execution
 aborts with a right-censored result as soon as it is exceeded.
+
+Execution is memoized through an optional :class:`~repro.db.plan_cache.ExecutionCache`:
+an identical ``(query, plan)`` pair replays its recorded charge-event log
+instead of re-executing (timeout-aware — see
+:class:`~repro.db.plan_cache.OutcomeEntry`), and within a scratch execution
+every join subtree already seen for the same query replays its recorded
+charges and reuses its materialized intermediate.  Replay repeats the exact
+float additions of the recording run in the exact order, so latencies,
+censoring, node counts and cost breakdowns are bit-for-bit identical with the
+cache on or off.
 """
 
 from __future__ import annotations
@@ -24,6 +34,15 @@ import numpy as np
 
 from repro.db.catalog import Schema
 from repro.db.cost import CostParams, DEFAULT_COST_PARAMS, index_scan_cost, join_cost, seq_scan_cost
+from repro.db.plan_cache import (
+    CAP_EVENT,
+    NODE_EVENT,
+    CacheStats,
+    Event,
+    ExecutionCache,
+    plan_fingerprint,
+    query_fingerprint,
+)
 from repro.db.query import Query
 from repro.db.relation import Relation
 from repro.exceptions import ExecutionError
@@ -52,6 +71,8 @@ class ExecutionResult:
     nodes_executed: int = 0
     timeout: float | None = None
     breakdown: dict[str, float] = field(default_factory=dict)
+    #: Cache observability for this execution (``None`` when caching is off).
+    cache: CacheStats | None = None
 
     @property
     def censored(self) -> bool:
@@ -104,6 +125,11 @@ class Executor:
         repeated executions of the same plan observe the same latency.
     seed:
         Base seed for the latency noise.
+    cache:
+        Optional :class:`~repro.db.plan_cache.ExecutionCache`.  When set,
+        repeated ``(query, plan)`` executions replay their recorded charge
+        log and overlapping plans of the same query reuse memoized subtree
+        intermediates — results are bit-for-bit identical either way.
     """
 
     def __init__(
@@ -113,12 +139,14 @@ class Executor:
         cost_params: CostParams = DEFAULT_COST_PARAMS,
         noise_sigma: float = 0.0,
         seed: int = 0,
+        cache: ExecutionCache | None = None,
     ) -> None:
         self.schema = schema
         self.relations = relations
         self.cost_params = cost_params
         self.noise_sigma = noise_sigma
         self.seed = seed
+        self.cache = cache
 
     # ------------------------------------------------------------------ public API
     def execute(
@@ -126,11 +154,39 @@ class Executor:
     ) -> ExecutionResult:
         """Execute ``plan`` for ``query``; abort with a censored result after ``timeout``."""
         plan.validate_for_query(query)
-        state = _ExecutionState(timeout=timeout)
+        if self.cache is None:
+            return self._execute_scratch(query, plan, timeout, None, None)
+        outcome_key = plan_fingerprint(query, plan)
+        entry = self.cache.lookup_outcome(outcome_key, timeout)
+        if entry is not None:
+            return self._replay_outcome(plan, entry, timeout)
+        return self._execute_scratch(
+            query, plan, timeout, query_fingerprint(query), outcome_key
+        )
+
+    def _execute_scratch(
+        self,
+        query: Query,
+        plan: JoinTree,
+        timeout: float | None,
+        query_key: tuple | None,
+        outcome_key: tuple | None,
+    ) -> ExecutionResult:
+        """Execute for real, recording the charge log when caching is on."""
+        caching = self.cache is not None and query_key is not None
+        state = _ExecutionState(timeout=timeout, events=[] if caching else None)
+        subplan_hits_before = self.cache.counters.subplan_hits if caching else 0
+        subplan_misses_before = self.cache.counters.subplan_misses if caching else 0
         try:
-            intermediate = self._execute_node(query, plan, state)
+            intermediate = self._execute_node(query, plan, state, query_key, is_root=True)
         except _Timeout:
             assert timeout is not None
+            if caching:
+                self.cache.store_outcome(
+                    outcome_key, state.events, completed=False,
+                    observed_to=timeout, output_rows=None,
+                    work_capped=bool(state.events) and state.events[-1][0] == CAP_EVENT,
+                )
             return ExecutionResult(
                 latency=timeout,
                 timed_out=True,
@@ -138,7 +194,14 @@ class Executor:
                 nodes_executed=state.nodes_executed,
                 timeout=timeout,
                 breakdown=dict(state.breakdown),
+                cache=self._scratch_stats(caching, subplan_hits_before, subplan_misses_before),
             )
+        if caching:
+            self.cache.store_outcome(
+                outcome_key, state.events, completed=True,
+                observed_to=None, output_rows=intermediate.num_rows,
+            )
+        stats = self._scratch_stats(caching, subplan_hits_before, subplan_misses_before)
         latency = self._apply_noise(plan, state.simulated_time)
         if timeout is not None and latency > timeout:
             return ExecutionResult(
@@ -148,6 +211,7 @@ class Executor:
                 nodes_executed=state.nodes_executed,
                 timeout=timeout,
                 breakdown=dict(state.breakdown),
+                cache=stats,
             )
         return ExecutionResult(
             latency=latency,
@@ -156,6 +220,67 @@ class Executor:
             nodes_executed=state.nodes_executed,
             timeout=timeout,
             breakdown=dict(state.breakdown),
+            cache=stats,
+        )
+
+    def _scratch_stats(
+        self, caching: bool, hits_before: int, misses_before: int
+    ) -> CacheStats | None:
+        if not caching:
+            return None
+        return CacheStats(
+            outcome_hit=False,
+            subplan_hits=self.cache.counters.subplan_hits - hits_before,
+            subplan_misses=self.cache.counters.subplan_misses - misses_before,
+            bytes_cached=self.cache.subplan_bytes,
+        )
+
+    def _replay_outcome(
+        self, plan: JoinTree, entry, timeout: float | None
+    ) -> ExecutionResult:
+        """Re-produce an execution from its recorded charge log.
+
+        The replay feeds the log through a fresh :class:`_ExecutionState`
+        under the *requested* timeout, so censoring happens at exactly the
+        charge where a real run would have aborted, and the accumulated
+        simulated time goes through the identical sequence of additions.
+        """
+        state = _ExecutionState(timeout=timeout)
+        stats = CacheStats(outcome_hit=True, bytes_cached=self.cache.subplan_bytes)
+        try:
+            state.replay(entry.events)
+        except _Timeout:
+            assert timeout is not None
+            return ExecutionResult(
+                latency=timeout,
+                timed_out=True,
+                output_rows=None,
+                nodes_executed=state.nodes_executed,
+                timeout=timeout,
+                breakdown=dict(state.breakdown),
+                cache=stats,
+            )
+        # The log replayed to completion; OutcomeEntry.serves guarantees this
+        # only happens for completed recordings.
+        latency = self._apply_noise(plan, state.simulated_time)
+        if timeout is not None and latency > timeout:
+            return ExecutionResult(
+                latency=timeout,
+                timed_out=True,
+                output_rows=None,
+                nodes_executed=state.nodes_executed,
+                timeout=timeout,
+                breakdown=dict(state.breakdown),
+                cache=stats,
+            )
+        return ExecutionResult(
+            latency=latency,
+            timed_out=False,
+            output_rows=entry.output_rows,
+            nodes_executed=state.nodes_executed,
+            timeout=timeout,
+            breakdown=dict(state.breakdown),
+            cache=stats,
         )
 
     def true_latency(self, query: Query, plan: JoinTree) -> float:
@@ -169,12 +294,62 @@ class Executor:
         return result.latency
 
     # ------------------------------------------------------------------ node execution
-    def _execute_node(self, query: Query, node: JoinTree, state: "_ExecutionState") -> _Intermediate:
+    def _execute_node(
+        self,
+        query: Query,
+        node: JoinTree,
+        state: "_ExecutionState",
+        query_key: tuple | None = None,
+        is_root: bool = False,
+    ) -> _Intermediate:
+        if query_key is None:
+            if node.is_leaf:
+                return self._execute_scan(query, node.alias, state)  # type: ignore[arg-type]
+            left = self._execute_node(query, node.left, state)  # type: ignore[arg-type]
+            right = self._execute_node(query, node.right, state)  # type: ignore[arg-type]
+            return self._execute_join(query, node, left, right, state)
+        # The plan root is deliberately not memoized: a root subtree can only
+        # match the identical (query, plan) pair, and a *completed* root is
+        # exactly what the outcome cache stores — a root entry would
+        # duplicate that log and never be hit.
+        if is_root:
+            if node.is_leaf:
+                return self._execute_scan(query, node.alias, state)  # type: ignore[arg-type]
+            left = self._execute_node(query, node.left, state, query_key)  # type: ignore[arg-type]
+            right = self._execute_node(query, node.right, state, query_key)  # type: ignore[arg-type]
+            return self._execute_join(query, node, left, right, state)
+        # Memoized path: a subtree already executed for this query replays its
+        # recorded charges (identical floats, identical timeout behaviour) and
+        # returns the cached intermediate without touching the relations.
+        subplan_key = (query_key, node.canonical())
+        entry = self.cache.get_subplan(subplan_key)
+        if entry is not None:
+            if entry.intermediate is not None:
+                self.cache.count_subplan_hit()
+                state.replay(entry.events)
+                return entry.intermediate
+            if state.would_timeout(entry.events):
+                # Events-only entry (intermediate was over the byte cap), but
+                # its recorded charges alone blow the timeout from here: the
+                # replay censors before any array would have been needed.
+                self.cache.count_subplan_hit()
+                state.replay(entry.events)
+                raise AssertionError("events-only replay must censor")  # pragma: no cover
+            # The charges fit under this timeout, so the arrays are genuinely
+            # needed: fall through and execute the subtree for real.
+        self.cache.count_subplan_miss()
+        start = state.mark()
         if node.is_leaf:
-            return self._execute_scan(query, node.alias, state)  # type: ignore[arg-type]
-        left = self._execute_node(query, node.left, state)  # type: ignore[arg-type]
-        right = self._execute_node(query, node.right, state)  # type: ignore[arg-type]
-        return self._execute_join(query, node, left, right, state)
+            intermediate = self._execute_scan(query, node.alias, state)  # type: ignore[arg-type]
+        else:
+            left = self._execute_node(query, node.left, state, query_key)  # type: ignore[arg-type]
+            right = self._execute_node(query, node.right, state, query_key)  # type: ignore[arg-type]
+            intermediate = self._execute_join(query, node, left, right, state)
+        # Only fully executed subtrees are cached: a _Timeout propagating
+        # through here skips the put (its completed children were already
+        # cached bottom-up).
+        self.cache.put_subplan(subplan_key, intermediate, state.events_since(start))
+        return intermediate
 
     def _execute_scan(self, query: Query, alias: str, state: "_ExecutionState") -> _Intermediate:
         table = query.table_of(alias)
@@ -187,7 +362,7 @@ class Executor:
         else:
             cost = seq_scan_cost(relation.num_rows, self.cost_params)
         state.charge("scan", cost)
-        state.nodes_executed += 1
+        state.count_node()
         return _Intermediate({alias: positions}, covered={alias}, count=len(positions))
 
     def _execute_join(
@@ -218,7 +393,7 @@ class Executor:
             left_idx, right_idx = self._match(query, left, right, predicates, state)
         else:
             left_idx, right_idx = self._cross_join(n_left, n_right, state)
-        state.nodes_executed += 1
+        state.count_node()
         covered = left.covered | right.covered
         needed = self._needed_aliases(query, covered)
         positions: dict[str, np.ndarray] = {}
@@ -307,12 +482,7 @@ class Executor:
         # Charge the output cost analytically; this will normally blow past the
         # timeout.  Without a timeout we still refuse to materialize.
         state.charge("join", self.cost_params.output_row * rows)
-        if state.timeout is not None:
-            raise _Timeout
-        raise ExecutionError(
-            f"intermediate result of {rows} rows exceeds the executor work cap; "
-            "execute this plan with a timeout"
-        )
+        state.work_cap(rows)
 
     def _inner_index_info(self, query: Query, node: JoinTree, predicates: list) -> tuple[bool, float]:
         right = node.right
@@ -346,12 +516,81 @@ class _ExecutionState:
     simulated_time: float = 0.0
     nodes_executed: int = 0
     breakdown: dict[str, float] = field(default_factory=dict)
+    #: Charge-event log (recording is on when the executor has a cache).
+    #: The event is appended *before* the timeout check so a censored log
+    #: ends with the violating charge and replays to the same abort point.
+    events: list[Event] | None = None
 
     def charge(self, category: str, cost: float) -> None:
+        if self.events is not None:
+            self.events.append((category, cost))
         self.simulated_time += cost
         self.breakdown[category] = self.breakdown.get(category, 0.0) + cost
         if self.timeout is not None and self.simulated_time > self.timeout:
             raise _Timeout
+
+    def count_node(self) -> None:
+        if self.events is not None:
+            self.events.append((NODE_EVENT, 0.0))
+        self.nodes_executed += 1
+
+    def work_cap(self, rows: float) -> None:
+        """Abort: an intermediate exceeded the materialization work cap.
+
+        Unlike a timeout, the cap fires regardless of accumulated simulated
+        time, so it must leave its own event in the log for replay to abort
+        at the same point.
+        """
+        if self.events is not None:
+            self.events.append((CAP_EVENT, float(rows)))
+        if self.timeout is not None:
+            raise _Timeout
+        raise ExecutionError(
+            f"intermediate result of {int(rows)} rows exceeds the executor work cap; "
+            "execute this plan with a timeout"
+        )
+
+    def mark(self) -> int:
+        """Current position in the event log (start of a subtree segment)."""
+        return len(self.events) if self.events is not None else 0
+
+    def events_since(self, start: int) -> list[Event]:
+        return self.events[start:] if self.events is not None else []
+
+    def replay(self, events: list[Event]) -> None:
+        """Re-apply a recorded event segment through this state.
+
+        Replayed events are themselves re-recorded (when recording is on), so
+        a parent subtree's segment — and the whole plan's outcome log —
+        contains its memoized children's charges too.
+        """
+        for category, cost in events:
+            if category == NODE_EVENT:
+                self.count_node()
+            elif category == CAP_EVENT:
+                self.work_cap(cost)
+            else:
+                self.charge(category, cost)
+
+    def would_timeout(self, events: list[Event]) -> bool:
+        """Whether replaying ``events`` from here would abort this execution.
+
+        A dry run of :meth:`replay`'s accumulation — the same float additions
+        in the same order against a local accumulator — with no side effects,
+        so the caller can decide whether an events-only cache entry suffices.
+        """
+        if self.timeout is None:
+            return False
+        simulated = self.simulated_time
+        for category, cost in events:
+            if category == NODE_EVENT:
+                continue
+            if category == CAP_EVENT:
+                return True
+            simulated += cost
+            if simulated > self.timeout:
+                return True
+        return False
 
 
 @dataclass

@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.config import ExecutionServiceConfig
 from repro.core.protocol import ExecutionOutcome
+from repro.db.plan_cache import CacheStats, ExecutionCache, ExecutionCacheConfig
 from repro.db.query import Query
 from repro.exceptions import OptimizationError
 from repro.exec.backend import (
@@ -70,7 +71,10 @@ __all__ = [
     "BackendStatus",
     "BackendUnavailableError",
     "BudgetAwarePriority",
+    "CacheStats",
     "ExecutionBackend",
+    "ExecutionCache",
+    "ExecutionCacheConfig",
     "ExecutionOutcome",
     "ExecutionRequest",
     "ExecutionServiceConfig",
@@ -80,10 +84,39 @@ __all__ = [
     "RoundRobin",
     "SchedulingPolicy",
     "ThreadPoolBackend",
+    "apply_cache_overrides",
     "make_backend",
     "make_policy",
     "perform_request",
 ]
+
+
+def apply_cache_overrides(config: ExecutionServiceConfig, database: "Database") -> "Database":
+    """The database the service config's cache knobs describe.
+
+    Returns ``database`` untouched when both knobs are ``None`` (the
+    defaults — the database's own ``exec_cache`` choice stands) or when the
+    database does not expose the cache API (duck-typed wrappers).  With an
+    explicit override, a snapshot sharing the same relations carries the
+    merged config, so the caller's database is never silently reconfigured
+    and its warm cache state is never dropped.
+    """
+    if config.plan_cache is None and config.plan_cache_bytes is None:
+        return database
+    if not hasattr(database, "with_execution_cache"):
+        return database
+    current = database.exec_cache_config
+    return database.with_execution_cache(
+        ExecutionCacheConfig(
+            enabled=config.plan_cache if config.plan_cache is not None else current.enabled,
+            max_bytes=(
+                config.plan_cache_bytes
+                if config.plan_cache_bytes is not None
+                else current.max_bytes
+            ),
+            max_entry_bytes=current.max_entry_bytes,
+        )
+    )
 
 
 def make_backend(
@@ -96,7 +129,18 @@ def make_backend(
     With ``replicas > 1`` every replica is an independent backend instance
     (process backends get their own worker pools) behind one
     :class:`MultiBackendRouter`.
+
+    The config's execution-memoization knobs (``plan_cache`` /
+    ``plan_cache_bytes``) are applied through
+    :func:`apply_cache_overrides` first, so they govern inline/thread
+    execution directly and ride the pickled constructor inputs into every
+    process-pool worker replica (each worker rebuilds a fresh, private
+    cache).  Knobs left at ``None`` keep whatever ``exec_cache``
+    configuration the database was built with, and overrides never mutate
+    the caller's database — a snapshot sharing the same relations carries
+    them instead.
     """
+    database = apply_cache_overrides(config, database)
 
     def one_backend() -> ExecutionBackend:
         if config.backend == "inline":

@@ -50,7 +50,13 @@ class ExecutionRequest:
 
 
 def perform_request(database: "Database", request: ExecutionRequest) -> ExecutionOutcome:
-    """Execute one request against ``database`` and shape the outcome."""
+    """Execute one request against ``database`` and shape the outcome.
+
+    Runs wherever the backend lives (scheduler thread, pool thread, worker
+    process) against *that* actor's database — so the outcome's ``cache``
+    stats describe the executing actor's private execution cache, which is
+    how per-worker memoization activity surfaces to the scheduler.
+    """
     execution = database.execute(request.query, request.plan, timeout=request.timeout)
     return ExecutionOutcome.from_execution(
         execution, request.timeout, proposal_id=request.proposal_id

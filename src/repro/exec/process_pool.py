@@ -36,7 +36,15 @@ _WORKER_STATE: dict = {}
 
 
 def _init_worker(database: "Database", queries: tuple[Query, ...], warmup: bool) -> None:
-    """Build this worker's warm replica (runs once per worker process)."""
+    """Build this worker's warm replica (runs once per worker process).
+
+    The replica arrives with a *fresh, private* execution cache
+    (:class:`~repro.db.engine.Database` pickles only its cache *config*, not
+    cached state), so workers never share mutable cache structures; warmup
+    primes it with each query's default plan and the per-execution
+    :class:`~repro.db.plan_cache.CacheStats` travel back to the scheduler on
+    every :class:`~repro.core.protocol.ExecutionOutcome`.
+    """
     _WORKER_STATE["database"] = database
     _WORKER_STATE["queries"] = {query.name: query for query in queries}
     if warmup and hasattr(database, "warmup"):

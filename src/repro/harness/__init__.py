@@ -18,9 +18,11 @@ from repro.harness.metrics import (
     percentage_difference,
     workload_curve,
 )
+from repro.harness.batching import BatchSizeController
 from repro.harness.reporting import format_cdf, format_summaries, format_table
 from repro.harness.runner import (
     ComparisonRun,
+    ExecutionCacheReport,
     TECHNIQUES,
     WorkloadSession,
     prepare_schema_model,
@@ -31,9 +33,11 @@ from repro.core.config import ExecutionServiceConfig
 from repro.core.protocol import BudgetSpec, ExecutionOutcome, PlanProposal
 
 __all__ = [
+    "BatchSizeController",
     "BudgetSpec",
     "ExecutionServiceConfig",
     "ComparisonRun",
+    "ExecutionCacheReport",
     "ExecutionOutcome",
     "PlanProposal",
     "TECHNIQUES",

@@ -1,0 +1,101 @@
+"""Adaptive batch sizing: the ``batch_size="auto"`` controller.
+
+PR 4's batched ask uses a fixed q (proposals in flight per query).  The
+tradeoff it hand-tunes: throughput gain saturates at the worker count, while
+sample-efficiency loss *grows* with q (each extra in-flight proposal is
+chosen with one less observation).  :class:`BatchSizeController` closes the
+loop with the two signals the scheduler can already measure:
+
+* **starvation** — the backend had free execution slots but no ready state
+  was allowed to issue (every query parked at its q cap).  Persistent
+  starvation means q is the bottleneck: widen toward the backend capacity.
+* **stall** — a sliding window of completed observations produced no new
+  best latency for any query.  The extra parallelism is no longer buying
+  information: narrow back toward sequential proposing.
+
+The controller is deliberately minimal — integer q, one-step moves, small
+hysteresis counters — because it sits on the scheduler thread of
+:class:`~repro.harness.runner.WorkloadSession` and must never become the hot
+path.  Auto mode inherits the q > 1 caveat: traces depend on completion
+timing, so runs are not bit-for-bit reproducible (use a fixed q for that).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.exceptions import OptimizationError
+
+
+class BatchSizeController:
+    """Widens q while workers idle; narrows when improvement stalls.
+
+    Parameters
+    ----------
+    max_q:
+        Upper bound for q — the backend capacity (more in-flight proposals
+        than execution slots can never help).
+    min_q:
+        Lower bound (1 = sequential proposing).
+    widen_patience:
+        Consecutive starved scheduling rounds required before widening.
+    stall_window:
+        Completed observations inspected for the narrowing signal; if none
+        of the last ``stall_window`` observations improved its query's best
+        latency, q shrinks by one.
+    """
+
+    def __init__(
+        self,
+        max_q: int,
+        min_q: int = 1,
+        widen_patience: int = 2,
+        stall_window: int = 8,
+    ) -> None:
+        if min_q < 1:
+            raise OptimizationError("min_q must be at least 1")
+        if max_q < min_q:
+            raise OptimizationError("max_q must be at least min_q")
+        if widen_patience < 1:
+            raise OptimizationError("widen_patience must be at least 1")
+        if stall_window < 1:
+            raise OptimizationError("stall_window must be at least 1")
+        self.min_q = min_q
+        self.max_q = max_q
+        self.widen_patience = widen_patience
+        self.stall_window = stall_window
+        self.q = min_q
+        self._starved_rounds = 0
+        self._recent: deque[bool] = deque(maxlen=stall_window)
+        #: (q values over time, for observability/tests)
+        self.history: list[int] = [min_q]
+
+    # ------------------------------------------------------------------ signals
+    def record_round(self, idle_slots: int, starved: bool) -> None:
+        """One scheduling round: ``idle_slots`` free while ``starved`` states
+        wanted to issue but were q-capped."""
+        if starved and idle_slots > 0:
+            self._starved_rounds += 1
+            if self._starved_rounds >= self.widen_patience:
+                self._move(self.q + 1)
+                self._starved_rounds = 0
+        else:
+            self._starved_rounds = 0
+
+    def record_outcome(self, improved: bool) -> None:
+        """One completed observation; ``improved`` = new best for its query."""
+        self._recent.append(improved)
+        if (
+            len(self._recent) == self.stall_window
+            and not any(self._recent)
+            and self.q > self.min_q
+        ):
+            self._move(self.q - 1)
+            self._recent.clear()
+
+    # ------------------------------------------------------------------ internals
+    def _move(self, q: int) -> None:
+        q = max(self.min_q, min(self.max_q, q))
+        if q != self.q:
+            self.q = q
+            self.history.append(q)

@@ -45,7 +45,12 @@ from dataclasses import dataclass, field
 # Importing the technique modules registers them with the registry.
 from repro.baselines import balsa, bao, limeqo, random_search  # noqa: F401
 from repro.core import optimizer as _bayesqo_module  # noqa: F401
-from repro.core.config import BayesQOConfig, ExecutionServiceConfig, VAETrainingConfig
+from repro.core.config import (
+    BayesQOConfig,
+    ExecutionServiceConfig,
+    VAETrainingConfig,
+    validate_batch_size,
+)
 from repro.core.optimizer import SchemaModel, train_schema_model
 from repro.core.protocol import (
     BudgetSpec,
@@ -57,12 +62,15 @@ from repro.core.protocol import (
 )
 from repro.core.registry import TechniqueContext, TechniqueSpec, get_technique, technique_names
 from repro.core.result import OptimizationResult
+from repro.db.plan_cache import CacheStats
 from repro.db.query import Query
 from repro.exceptions import OptimizationError
+from repro.harness.batching import BatchSizeController
 from repro.exec import (
     ExecutionBackend,
     ExecutionRequest,
     SchedulingPolicy,
+    apply_cache_overrides,
     make_backend,
     make_policy,
 )
@@ -86,9 +94,73 @@ class ComparisonRun:
     results: dict[str, dict[str, OptimizationResult]] = field(default_factory=dict)
     bao_latencies: dict[str, float] = field(default_factory=dict)
     default_latencies: dict[str, float] = field(default_factory=dict)
+    #: Execution-memoization totals of the session that produced the run
+    #: (see :class:`ExecutionCacheReport`).
+    cache_summary: dict = field(default_factory=dict)
 
     def techniques(self) -> list[str]:
         return sorted(self.results)
+
+
+@dataclass
+class ExecutionCacheReport:
+    """Session-wide aggregation of per-execution cache stats.
+
+    Every :class:`~repro.core.protocol.ExecutionOutcome` the session observes
+    carries the :class:`~repro.db.plan_cache.CacheStats` of the run that
+    produced it — wherever it ran (inline, thread pool, or a process-pool
+    worker's private cache).  The report sums them so a workload run can
+    answer "how much execution work did memoization absorb?".
+    """
+
+    executions: int = 0
+    #: Executions that carried cache stats (caching enabled on their executor).
+    cached_executions: int = 0
+    #: Whole executions replayed from the outcome cache.
+    outcome_hits: int = 0
+    subplan_hits: int = 0
+    subplan_misses: int = 0
+    #: Largest subplan-memo footprint any executor reported (bytes).
+    peak_bytes: int = 0
+
+    def note(self, stats: "CacheStats | None") -> None:
+        self.executions += 1
+        if stats is None:
+            return
+        self.cached_executions += 1
+        if stats.outcome_hit:
+            self.outcome_hits += 1
+        self.subplan_hits += stats.subplan_hits
+        self.subplan_misses += stats.subplan_misses
+        self.peak_bytes = max(self.peak_bytes, stats.bytes_cached)
+
+    @property
+    def outcome_hit_rate(self) -> float:
+        return self.outcome_hits / self.cached_executions if self.cached_executions else 0.0
+
+    @property
+    def subplan_hit_rate(self) -> float:
+        total = self.subplan_hits + self.subplan_misses
+        return self.subplan_hits / total if total else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "executions": self.executions,
+            "cached_executions": self.cached_executions,
+            "outcome_hits": self.outcome_hits,
+            "outcome_hit_rate": self.outcome_hit_rate,
+            "subplan_hits": self.subplan_hits,
+            "subplan_misses": self.subplan_misses,
+            "subplan_hit_rate": self.subplan_hit_rate,
+            "peak_bytes": self.peak_bytes,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.executions} executions, {self.outcome_hits} replayed "
+            f"({self.outcome_hit_rate:.0%}), subplan hit rate "
+            f"{self.subplan_hit_rate:.0%}, peak {self.peak_bytes / 1e6:.1f} MB cached"
+        )
 
 
 def prepare_schema_model(
@@ -140,7 +212,10 @@ class WorkloadSession:
         Techniques advertising ``supports_batch`` in the registry keep up to
         q plans executing concurrently for one query — what lets a
         single-query workload saturate a process pool; others fall back to
-        q=1 transparently.  Defaults to ``exec_config.batch_size`` (1).
+        q=1 transparently.  ``"auto"`` delegates the knob to a
+        :class:`~repro.harness.batching.BatchSizeController` (widen while
+        workers idle, narrow when improvement stalls).  Defaults to
+        ``exec_config.batch_size`` (1).
     interleave:
         Force interleaving on/off; defaults to backend capacity > 1.
 
@@ -162,15 +237,14 @@ class WorkloadSession:
         policy: "SchedulingPolicy | str | None" = None,
         exec_config: ExecutionServiceConfig | None = None,
         max_workers: int = 1,
-        batch_size: int | None = None,
+        batch_size: int | str | None = None,
         interleave: bool | None = None,
     ) -> None:
         if max_workers < 1:
             raise OptimizationError("max_workers must be at least 1")
         if batch_size is None:
             batch_size = exec_config.batch_size if exec_config is not None else 1
-        if batch_size < 1:
-            raise OptimizationError("batch_size must be at least 1")
+        validate_batch_size(batch_size)
         self.workload = workload
         self.database = workload.database
         self.queries = list(queries) if queries is not None else list(workload.queries)
@@ -189,6 +263,9 @@ class WorkloadSession:
             self.interleave = self._backend.capacity() > 1
         self._schema_model = schema_model
         self._results: dict[str, dict[str, OptimizationResult]] = {}
+        #: Session-wide execution-memoization totals, updated on every
+        #: outcome the session observes (any backend, any scheduler mode).
+        self.cache_report = ExecutionCacheReport()
 
     # ------------------------------------------------------------------ execution service
     def _resolve_backend(self, backend) -> ExecutionBackend:
@@ -208,6 +285,9 @@ class WorkloadSession:
                 backend="inline" if self.max_workers == 1 else "thread",
                 max_workers=self.max_workers,
             )
+        # Cache-knob overrides swap in a snapshot rather than mutating the
+        # workload's database; the session works against the effective one.
+        self.database = apply_cache_overrides(config, self.database)
         return make_backend(config, self.database, self.queries)
 
     def _resolve_policy(self, policy) -> SchedulingPolicy:
@@ -267,8 +347,16 @@ class WorkloadSession:
         budget = self.budget.without_execution_cap() if spec.ignores_execution_cap else self.budget
         # The per-query in-flight cap: only techniques advertising the
         # batched ask get q > 1; everyone else falls back to one proposal
-        # outstanding per state, transparently.
-        q = self.batch_size if spec.supports_batch else 1
+        # outstanding per state, transparently.  "auto" hands the knob to a
+        # fresh controller per run (q starts at 1 and adapts).
+        controller: BatchSizeController | None = None
+        if not spec.supports_batch:
+            q = 1
+        elif self.batch_size == "auto":
+            controller = BatchSizeController(max_q=max(1, self._backend.capacity()))
+            q = controller.max_q
+        else:
+            q = self.batch_size
         interleave = (
             self.interleave
             and self._backend.capacity() > 1
@@ -283,7 +371,7 @@ class WorkloadSession:
         if spec.workload_level:
             results = self._run_workload_level(optimizer, budget)
         elif interleave:
-            results = self._run_interleaved(optimizer, budget, spec, q)
+            results = self._run_interleaved(optimizer, budget, spec, q, controller)
         else:
             results = self._run_sequential(optimizer, budget)
         self._results[technique] = results
@@ -333,10 +421,11 @@ class WorkloadSession:
 
     def _execute(self, proposal: PlanProposal, query: Query) -> ExecutionOutcome:
         """Execute one proposal through the backend, waiting for its outcome."""
-        return self._backend.submit(self._request(proposal, query)).result()
+        outcome = self._backend.submit(self._request(proposal, query)).result()
+        self.cache_report.note(outcome.cache)
+        return outcome
 
-    @staticmethod
-    def _outcome_of(future: "Future[ExecutionOutcome]", query_name: str) -> ExecutionOutcome:
+    def _outcome_of(self, future: "Future[ExecutionOutcome]", query_name: str) -> ExecutionOutcome:
         """Unwrap a backend future, attributing any failure to its query.
 
         A bare ``future.result()`` traceback names a pool internals frame,
@@ -344,11 +433,13 @@ class WorkloadSession:
         run say *which* query's plan execution died.
         """
         try:
-            return future.result()
+            outcome = future.result()
         except Exception as exc:
             raise OptimizationError(
                 f"plan execution failed for query {query_name!r}: {exc}"
             ) from exc
+        self.cache_report.note(outcome.cache)
+        return outcome
 
     # ------------------------------------------------------------------ schedulers
     def _run_sequential(self, optimizer, budget: BudgetSpec) -> dict[str, OptimizationResult]:
@@ -375,7 +466,12 @@ class WorkloadSession:
         return optimizer.finish_workload(state)
 
     def _run_interleaved(
-        self, optimizer, budget: BudgetSpec, spec: TechniqueSpec, q: int = 1
+        self,
+        optimizer,
+        budget: BudgetSpec,
+        spec: TechniqueSpec,
+        q: int = 1,
+        controller: "BatchSizeController | None" = None,
     ) -> dict[str, OptimizationResult]:
         """Step all per-query states; the backend holds executions in flight.
 
@@ -392,6 +488,12 @@ class WorkloadSession:
         outcomes resolve out of completion order by ``proposal_id``.  Budget
         is charged per *completed* outcome; :func:`issue_allowance` caps the
         in-flight count so the execution budget can never be overshot.
+
+        With a :class:`~repro.harness.batching.BatchSizeController`
+        (``batch_size="auto"``) the per-round q follows ``controller.q``,
+        widened when rounds leave slots idle with every state parked at its
+        cap and narrowed when a window of observations stops improving any
+        query's best latency.
         """
         results: dict[str, OptimizationResult] = {}
         self.policy.reset()
@@ -399,11 +501,13 @@ class WorkloadSession:
         scored = optimizer if spec.predicts_improvement else None
         in_flight: dict[Future, object] = {}
         capacity = max(1, self._backend.capacity())
+        best_seen: dict[str, float] = {}
         try:
             while ready or in_flight:
+                q_now = controller.q if controller is not None else q
                 while ready and len(in_flight) < capacity:
                     state = ready.pop(self.policy.select(ready, scored))
-                    want = min(issue_allowance(state, q), capacity - len(in_flight))
+                    want = min(issue_allowance(state, q_now), capacity - len(in_flight))
                     proposals = suggest_proposals(optimizer, state, want)
                     if not proposals:
                         if want > 0:
@@ -418,16 +522,32 @@ class WorkloadSession:
                     for proposal in proposals:
                         future = self._backend.submit(self._request(proposal, state.query))
                         in_flight[future] = state
-                    if len(proposals) == want and issue_allowance(state, q) > 0:
+                    if len(proposals) == want and issue_allowance(state, q_now) > 0:
                         # The ask was capacity-capped, not technique-capped:
                         # the state may claim further slots as they free up.
                         ready.append(state)
+                if controller is not None:
+                    # Starvation: slots idle while every unfinished state is
+                    # parked at its q cap (nothing ready to issue).
+                    controller.record_round(
+                        idle_slots=capacity - len(in_flight),
+                        starved=bool(in_flight) and not ready,
+                    )
                 if not in_flight:
                     continue
                 done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
                 for future in done:
                     state = in_flight.pop(future)
-                    optimizer.observe(state, self._outcome_of(future, state.query.name))
+                    outcome = self._outcome_of(future, state.query.name)
+                    if controller is not None:
+                        name = state.query.name
+                        improved = not outcome.timed_out and outcome.latency < best_seen.get(
+                            name, float("inf")
+                        )
+                        if improved:
+                            best_seen[name] = outcome.latency
+                        controller.record_outcome(improved)
+                    optimizer.observe(state, outcome)
                     if all(other is not state for other in ready):
                         ready.append(state)
         finally:
@@ -496,4 +616,5 @@ def run_comparison(
         run.default_latencies = session.default_latencies()
         for technique in techniques:
             run.results[technique] = session.run(technique)
+        run.cache_summary = session.cache_report.summary()
         return run

@@ -59,25 +59,6 @@ class Workload:
     def size_bytes(self) -> int:
         return self.database.info(self.name).size_bytes
 
-    def healthy_queries(self, timeout: float = 600.0, limit: int | None = None) -> list[Query]:
-        """Queries whose default plan finishes within ``timeout`` simulated seconds.
-
-        Scaled-down query generation is a lottery: some queries' default
-        plans exceed even the techniques' initial timeout (600 s, the value
-        Bao/BayesQO start from), leaving offline optimization nothing to
-        improve on.  Examples and demos probe with this before picking
-        queries; an empty result means the workload scale/seed combination
-        is pathological, not that the code is broken.  Pass ``limit`` to stop
-        probing once enough healthy queries are found.
-        """
-        healthy: list[Query] = []
-        for query in self.queries:
-            if limit is not None and len(healthy) >= limit:
-                break
-            if not self.database.execute(query, timeout=timeout).timed_out:
-                healthy.append(query)
-        return healthy
-
     def query(self, name: str) -> Query:
         for query in self.queries:
             if query.name == name:

@@ -115,6 +115,7 @@ class TestBalsa:
                 best_so_far = record.latency if best_so_far is None else min(best_so_far, record.latency)
 
 
+@pytest.mark.slow
 class TestLimeQO:
     def test_matrix_completion_recovers_low_rank(self, rng):
         u = rng.standard_normal((12, 2))

@@ -83,6 +83,7 @@ class TestBatchCapability:
 
 # -------------------------------------------------------- q=1 trace identity
 @pytest.mark.parametrize("technique", ALL_TECHNIQUES)
+@pytest.mark.slow
 class TestQ1Equivalence:
     def test_q1_batched_scheduler_matches_sequential(
         self, technique, tiny_workload, tiny_schema_model

@@ -18,6 +18,7 @@ def run(bayes, tiny_query):
     return bayes.optimize(tiny_query)
 
 
+@pytest.mark.slow
 class TestBayesQORun:
     def test_budget_respected(self, run):
         assert 1 <= run.num_executions <= 30
@@ -80,6 +81,7 @@ class TestCacheAndReoptimization:
         assert outcome.result.num_executions <= 8
 
 
+@pytest.mark.slow
 class TestConfigVariants:
     @pytest.mark.parametrize("strategy", ["none", "percentile", "best_seen", "multiplier"])
     def test_timeout_strategies_run(self, tiny_database, tiny_schema_model, tiny_three_table_query, strategy):

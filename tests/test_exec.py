@@ -237,6 +237,7 @@ class TestBackends:
 
 
 # ------------------------------------------------------- trace determinism
+@pytest.mark.slow
 class TestProcessPoolDeterminism:
     def test_random_sequential_equals_process_pool(self, noisy_workload):
         budget = BudgetSpec(max_executions=6)

@@ -98,6 +98,7 @@ class TestReporting:
         assert "past" in text and "future" in text
 
 
+@pytest.mark.slow
 class TestRunners:
     def test_unknown_technique_rejected(self, tiny_workload):
         with pytest.raises(OptimizationError):

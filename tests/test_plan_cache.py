@@ -1,0 +1,433 @@
+"""Tests for the execution-memoization layer (repro.db.plan_cache).
+
+Covers the tentpole guarantees: fingerprint identity/collision behaviour,
+bit-for-bit cache-on/off equivalence (including noise, timeouts and the
+materialization work cap), the censored-result reuse rules, LRU eviction
+under the byte budget, adaptive batch sizing, and per-worker cache isolation
+and determinism under the process-pool backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionServiceConfig
+from repro.core.protocol import BudgetSpec, ExecutionOutcome
+from repro.db.engine import Database
+from repro.db.plan_cache import (
+    CacheStats,
+    ExecutionCache,
+    ExecutionCacheConfig,
+    plan_fingerprint,
+    query_fingerprint,
+)
+from repro.db.query import FilterPredicate, JoinPredicate, Query, TableRef
+from repro.exceptions import OptimizationError
+from repro.harness import WorkloadSession
+from repro.harness.batching import BatchSizeController
+from repro.plans.jointree import JoinOp
+from repro.plans.sampling import random_join_trees
+
+
+def _result_key(result):
+    """Everything observable about an execution except the cache stats."""
+    return (
+        result.latency,
+        result.timed_out,
+        result.output_rows,
+        result.nodes_executed,
+        result.timeout,
+        tuple(sorted(result.breakdown.items())),
+    )
+
+
+def _clone(database: Database, **kwargs) -> Database:
+    return Database(
+        database.schema,
+        database.relations,
+        database.cost_params,
+        noise_sigma=database.executor.noise_sigma,
+        seed=database.executor.seed,
+        **kwargs,
+    )
+
+
+# --------------------------------------------------------------------- fingerprints
+class TestFingerprints:
+    def test_query_fingerprint_ignores_name_and_order(self, tiny_query):
+        clone = Query(
+            name="renamed",
+            table_refs=list(reversed(tiny_query.table_refs)),
+            join_predicates=[p.reversed() for p in reversed(tiny_query.join_predicates)],
+            filters=list(reversed(tiny_query.filters)),
+        )
+        assert query_fingerprint(clone) == query_fingerprint(tiny_query)
+
+    def test_query_fingerprint_separates_filters(self, tiny_query):
+        changed = Query(
+            name=tiny_query.name,
+            table_refs=list(tiny_query.table_refs),
+            join_predicates=list(tiny_query.join_predicates),
+            filters=[FilterPredicate("customer#1", "region", "=", 3)],
+        )
+        assert query_fingerprint(changed) != query_fingerprint(tiny_query)
+
+    def test_plan_fingerprint_separates_operators(self, tiny_database, tiny_query):
+        plan = tiny_database.plan(tiny_query)
+        flipped = plan.with_operators([JoinOp.NESTED_LOOP] * plan.num_joins)
+        assert plan_fingerprint(tiny_query, plan) != plan_fingerprint(tiny_query, flipped)
+
+    def test_same_content_query_objects_share_outcome_entries(self, tiny_database, tiny_query):
+        database = _clone(tiny_database, exec_cache=True)
+        plan = database.plan(tiny_query)
+        first = database.execute(tiny_query, plan)
+        renamed = Query(
+            name="other_name",
+            table_refs=list(tiny_query.table_refs),
+            join_predicates=list(tiny_query.join_predicates),
+            filters=list(tiny_query.filters),
+        )
+        second = database.execute(renamed, plan)
+        assert second.cache is not None and second.cache.outcome_hit
+        assert second.latency == first.latency
+
+
+# --------------------------------------------------------------------- equivalence
+class TestCacheEquivalence:
+    def test_repeated_execution_is_replayed_and_identical(self, tiny_database, tiny_query):
+        database = _clone(tiny_database, exec_cache=True)
+        plan = database.plan(tiny_query)
+        first = database.execute(tiny_query, plan)
+        second = database.execute(tiny_query, plan)
+        assert not first.cache.outcome_hit and second.cache.outcome_hit
+        assert _result_key(first) == _result_key(second)
+
+    def test_cache_on_off_bit_for_bit(self, tiny_database, tiny_query, tiny_three_table_query):
+        on = _clone(tiny_database, exec_cache=True)
+        off = _clone(tiny_database, exec_cache=False)
+        for query in (tiny_query, tiny_three_table_query):
+            for i, plan in enumerate(random_join_trees(query, 12, seed=3)):
+                timeout = [None, 300.0, 0.05][i % 3]
+                base = off.execute(query, plan, timeout=timeout)
+                assert base.cache is None
+                for _ in range(2):  # scratch-with-memo, then outcome replay
+                    cached = on.execute(query, plan, timeout=timeout)
+                    assert _result_key(cached) == _result_key(base)
+
+    def test_overlapping_plans_share_subtrees(self, tiny_database, tiny_query):
+        database = _clone(tiny_database, exec_cache=True)
+        plan = database.plan(tiny_query)
+        database.execute(tiny_query, plan)
+        # Same join order, one operator flipped: every subtree below the
+        # changed node replays from the memo.
+        ops = plan.operators()
+        ops[-1] = JoinOp.NESTED_LOOP if ops[-1] != JoinOp.NESTED_LOOP else JoinOp.HASH
+        edited = plan.with_operators(ops)
+        result = database.execute(tiny_query, edited)
+        assert result.cache.subplan_hits > 0
+        off = _clone(tiny_database, exec_cache=False)
+        assert _result_key(result) == _result_key(off.execute(tiny_query, edited))
+
+    def test_noise_identical_with_cache(self, tiny_database, tiny_query):
+        on = _clone(tiny_database, exec_cache=True)
+        off = _clone(tiny_database, exec_cache=False)
+        on.executor.noise_sigma = off.executor.noise_sigma = 0.3
+        plan = on.plan(tiny_query)
+        base = off.execute(tiny_query, plan, timeout=600.0)
+        assert on.execute(tiny_query, plan, timeout=600.0).latency == base.latency
+        assert on.execute(tiny_query, plan, timeout=600.0).latency == base.latency
+
+    def test_work_cap_censoring_replays(self, tiny_database, monkeypatch):
+        import repro.db.executor as executor_module
+
+        monkeypatch.setattr(executor_module, "MAX_MATERIALIZED_ROWS", 10)
+        query = Query(
+            "cap",
+            [TableRef("orders#1", "orders"), TableRef("customer#1", "customer")],
+            [JoinPredicate("orders#1", "customer_id", "customer#1", "id")],
+        )
+        database = _clone(tiny_database, exec_cache=True)
+        plan = database.plan(query)
+        first = database.execute(query, plan, timeout=600.0)
+        assert first.timed_out
+        second = database.execute(query, plan, timeout=600.0)
+        assert second.cache.outcome_hit
+        assert _result_key(first) == _result_key(second)
+        # The cap fires for every finite timeout, so a *larger* timeout is
+        # served too; no timeout still raises like an uncached run.
+        third = database.execute(query, plan, timeout=10_000.0)
+        assert third.cache.outcome_hit and third.timed_out
+
+
+# --------------------------------------------------------------------- censored reuse
+class TestCensoredReuse:
+    def test_censored_entry_serves_smaller_timeouts_only(self, tiny_database, tiny_query):
+        database = _clone(tiny_database, exec_cache=True)
+        off = _clone(tiny_database, exec_cache=False)
+        plan = database.plan(tiny_query)
+        full_latency = off.execute(tiny_query, plan).latency
+        censored = database.execute(tiny_query, plan, timeout=full_latency / 10)
+        assert censored.timed_out and not censored.cache.outcome_hit
+        # T' < T: replayed, censored at T'.
+        tighter = database.execute(tiny_query, plan, timeout=full_latency / 20)
+        assert tighter.cache.outcome_hit and tighter.timed_out
+        assert tighter.latency == pytest.approx(full_latency / 20)
+        # T'' > T: not servable; the fresh run completes and upgrades the entry.
+        looser = database.execute(tiny_query, plan, timeout=full_latency * 2)
+        assert not looser.cache.outcome_hit and not looser.timed_out
+        # A completed entry serves everything, including no timeout at all.
+        final = database.execute(tiny_query, plan)
+        assert final.cache.outcome_hit and final.latency == full_latency
+
+    def test_completed_entry_serves_any_timeout(self, tiny_database, tiny_query):
+        database = _clone(tiny_database, exec_cache=True)
+        off = _clone(tiny_database, exec_cache=False)
+        plan = database.plan(tiny_query)
+        full = database.execute(tiny_query, plan)
+        for factor in (0.1, 0.5, 2.0):
+            timeout = full.latency * factor
+            replayed = database.execute(tiny_query, plan, timeout=timeout)
+            base = off.execute(tiny_query, plan, timeout=timeout)
+            assert replayed.cache.outcome_hit
+            assert _result_key(replayed) == _result_key(base)
+
+
+# --------------------------------------------------------------------- LRU eviction
+class TestSubplanLRU:
+    def test_eviction_respects_byte_budget(self, tiny_database, tiny_query):
+        budget = 64 * 1024
+        database = _clone(
+            tiny_database,
+            exec_cache=ExecutionCacheConfig(max_bytes=budget, max_entry_bytes=budget),
+        )
+        for plan in random_join_trees(tiny_query, 20, seed=11):
+            database.execute(tiny_query, plan, timeout=300.0)
+        cache = database.execution_cache
+        assert cache.subplan_bytes <= budget
+        assert cache.counters.evictions > 0
+
+    def test_oversized_intermediates_become_events_only(self, tiny_database, tiny_query):
+        # A tiny per-entry cap forces every intermediate to events-only
+        # storage; execution stays bit-for-bit identical, and replays of a
+        # tight-timeout execution can still censor from the charge log alone.
+        database = _clone(
+            tiny_database,
+            exec_cache=ExecutionCacheConfig(max_entry_bytes=0),
+        )
+        off = _clone(tiny_database, exec_cache=False)
+        plan = database.plan(tiny_query)
+        full = off.execute(tiny_query, plan)
+        for timeout in (None, full.latency / 10):
+            base = off.execute(tiny_query, plan, timeout=timeout)
+            first = database.execute(tiny_query, plan, timeout=timeout)
+            assert _result_key(first) == _result_key(base)
+        cache = database.execution_cache
+        assert cache.num_subplans > 0
+        entries = [cache._subplans[key] for key in cache.subplan_keys()]
+        assert any(entry.intermediate is None for entry in entries)
+        # Only zero-byte intermediates (empty/pruned position sets) may keep
+        # their arrays under a zero entry cap.
+        from repro.db.plan_cache import intermediate_nbytes
+
+        assert all(
+            entry.intermediate is None or intermediate_nbytes(entry.intermediate) == 0
+            for entry in entries
+        )
+        # A different plan sharing the censoring subtree is cut short by the
+        # events-only probe — identical result, no materialization needed.
+        ops = plan.operators()
+        ops[-1] = JoinOp.NESTED_LOOP if ops[-1] != JoinOp.NESTED_LOOP else JoinOp.HASH
+        edited = plan.with_operators(ops)
+        tight = full.latency / 100
+        assert _result_key(database.execute(tiny_query, edited, timeout=tight)) == _result_key(
+            off.execute(tiny_query, edited, timeout=tight)
+        )
+
+    def test_lru_order_evicts_oldest(self):
+        # Each entry charges 80 array bytes + 64 bytes for its (empty) event
+        # log = 144; budget fits exactly three.
+        cache = ExecutionCache(
+            ExecutionCacheConfig(max_bytes=3 * 144, max_entry_bytes=80)
+        )
+
+        class FakeIntermediate:
+            def __init__(self):
+                self.positions = {"a": np.zeros(10, dtype=np.int64)}  # 80 bytes
+
+        keys = [("q", f"p{i}") for i in range(3)]
+        for key in keys:
+            cache.put_subplan(key, FakeIntermediate(), [])
+        # Touch the oldest so it becomes most recent, then overflow.
+        assert cache.get_subplan(keys[0]) is not None
+        cache.put_subplan(("q", "p3"), FakeIntermediate(), [])
+        assert cache.get_subplan(keys[1]) is None  # evicted (was oldest)
+        assert cache.get_subplan(keys[0]) is not None  # survived the touch
+
+    def test_oversized_entry_is_not_cached(self):
+        cache = ExecutionCache(ExecutionCacheConfig(max_bytes=16))
+
+        class FakeIntermediate:
+            positions = {"a": np.zeros(100, dtype=np.int64)}
+
+        cache.put_subplan(("q", "big"), FakeIntermediate(), [])
+        assert cache.num_subplans == 0 and cache.subplan_bytes == 0
+
+
+# --------------------------------------------------------------------- config plumbing
+class TestConfigPlumbing:
+    def test_exec_config_validates_knobs(self):
+        assert ExecutionServiceConfig(batch_size="auto").batch_size == "auto"
+        with pytest.raises(OptimizationError):
+            ExecutionServiceConfig(batch_size="wide")
+        with pytest.raises(OptimizationError):
+            ExecutionServiceConfig(batch_size=0)
+        with pytest.raises(OptimizationError):
+            ExecutionServiceConfig(plan_cache_bytes=-1)
+
+    def test_plan_cache_false_disables_database_cache(self, tiny_workload):
+        with WorkloadSession(
+            tiny_workload,
+            budget=BudgetSpec(max_executions=2),
+            exec_config=ExecutionServiceConfig(plan_cache=False),
+        ) as session:
+            assert session.database.execution_cache is None
+            session.run("random")
+            assert session.cache_report.cached_executions == 0
+        with WorkloadSession(
+            tiny_workload,
+            budget=BudgetSpec(max_executions=2),
+            exec_config=ExecutionServiceConfig(plan_cache=True, plan_cache_bytes=1 << 20),
+        ) as session:
+            cache = session.database.execution_cache
+            assert cache is not None and cache.config.max_bytes == 1 << 20
+            session.run("random")
+            assert session.cache_report.cached_executions > 0
+
+    def test_default_exec_config_respects_database_cache_setting(self, tiny_workload):
+        import dataclasses
+
+        disabled_db = _clone(tiny_workload.database, exec_cache=False)
+        workload = dataclasses.replace(tiny_workload, database=disabled_db)
+        # plan_cache defaults to None: the database's explicit choice stands.
+        with WorkloadSession(
+            workload,
+            budget=BudgetSpec(max_executions=2),
+            exec_config=ExecutionServiceConfig(),
+        ) as session:
+            assert session.database.execution_cache is None
+        # Reconfiguring to an equivalent config keeps the warm cache object.
+        cached_db = _clone(tiny_workload.database, exec_cache=True)
+        before = cached_db.execution_cache
+        cached_db.set_execution_cache(cached_db.exec_cache_config)
+        assert cached_db.execution_cache is before
+
+    def test_outcome_carries_cache_stats(self, tiny_database, tiny_query):
+        database = _clone(tiny_database, exec_cache=True)
+        plan = database.plan(tiny_query)
+        database.execute(tiny_query, plan)
+        outcome = ExecutionOutcome.from_execution(database.execute(tiny_query, plan))
+        assert isinstance(outcome.cache, CacheStats) and outcome.cache.outcome_hit
+
+    def test_warmup_primes_subplan_memo(self, tiny_database, tiny_query):
+        database = _clone(tiny_database, exec_cache=True)
+        database.warmup([tiny_query])
+        assert database.execution_cache.num_subplans > 0
+        # The first "real" execution of the default plan is already a replay.
+        result = database.execute(tiny_query, database.plan(tiny_query))
+        assert result.cache.outcome_hit
+
+    def test_pickle_ships_config_not_state(self, tiny_database, tiny_query):
+        import pickle
+
+        database = _clone(
+            tiny_database, exec_cache=ExecutionCacheConfig(max_bytes=12345)
+        )
+        database.execute(tiny_query, database.plan(tiny_query))
+        clone = pickle.loads(pickle.dumps(database))
+        assert clone.exec_cache_config.max_bytes == 12345
+        assert clone.execution_cache.num_outcomes == 0  # fresh cache
+        assert clone.execution_cache is not database.execution_cache
+
+
+# --------------------------------------------------------------------- process pool
+@pytest.mark.slow
+class TestProcessPoolIsolation:
+    def test_process_traces_match_inline_and_cache_off(self, tiny_workload):
+        def run(**kwargs):
+            with WorkloadSession(
+                tiny_workload, budget=BudgetSpec(max_executions=6), seed=0, **kwargs
+            ) as session:
+                return session.run("random"), session.cache_report
+
+        base, base_report = run(exec_config=ExecutionServiceConfig(plan_cache=False))
+        cached, cached_report = run()
+        pooled, pooled_report = run(
+            exec_config=ExecutionServiceConfig(backend="process", max_workers=2)
+        )
+        for name in base:
+            assert base[name].trace_signature() == cached[name].trace_signature()
+            assert base[name].trace_signature() == pooled[name].trace_signature()
+        assert base_report.cached_executions == 0
+        assert cached_report.cached_executions == cached_report.executions > 0
+        # Worker caches are private: their stats still reach the scheduler
+        # through the outcomes.
+        assert pooled_report.cached_executions == pooled_report.executions > 0
+
+
+# --------------------------------------------------------------------- batch controller
+class TestBatchSizeController:
+    def test_widen_on_persistent_starvation(self):
+        controller = BatchSizeController(max_q=4, widen_patience=2)
+        controller.record_round(idle_slots=3, starved=True)
+        assert controller.q == 1
+        controller.record_round(idle_slots=3, starved=True)
+        assert controller.q == 2
+        # A non-starved round resets the patience counter.
+        controller.record_round(idle_slots=0, starved=False)
+        controller.record_round(idle_slots=2, starved=True)
+        assert controller.q == 2
+
+    def test_narrow_on_stall_and_clamp(self):
+        controller = BatchSizeController(max_q=3, widen_patience=1, stall_window=4)
+        for _ in range(5):
+            controller.record_round(idle_slots=1, starved=True)
+        assert controller.q == 3  # clamped at max_q
+        for _ in range(4):
+            controller.record_outcome(improved=False)
+        assert controller.q == 2
+        # An improvement inside the window prevents further narrowing.
+        controller.record_outcome(improved=True)
+        for _ in range(3):
+            controller.record_outcome(improved=False)
+        assert controller.q == 2
+
+    def test_never_below_min_q(self):
+        controller = BatchSizeController(max_q=2, stall_window=2)
+        for _ in range(10):
+            controller.record_outcome(improved=False)
+        assert controller.q == 1
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            BatchSizeController(max_q=0)
+        with pytest.raises(OptimizationError):
+            BatchSizeController(max_q=2, min_q=3)
+
+    def test_session_rejects_bad_auto_string(self, tiny_workload):
+        with pytest.raises(OptimizationError):
+            WorkloadSession(tiny_workload, batch_size="wide")
+
+    def test_auto_batch_session_runs(self, tiny_workload):
+        with WorkloadSession(
+            tiny_workload,
+            queries=[tiny_workload.queries[0]],
+            budget=BudgetSpec(max_executions=8),
+            seed=0,
+            exec_config=ExecutionServiceConfig(
+                backend="thread", max_workers=4, batch_size="auto"
+            ),
+        ) as session:
+            results = session.run("random")
+        result = results[tiny_workload.queries[0].name]
+        assert result.num_executions == 8

@@ -78,6 +78,7 @@ class TestRegistry:
 
 # ------------------------------------------------------------------ conformance
 @pytest.mark.parametrize("technique", ALL_TECHNIQUES)
+@pytest.mark.slow
 class TestProtocolConformance:
     def test_suggest_observe_roundtrip(self, technique, tiny_workload, tiny_schema_model):
         spec, optimizer = build_optimizer(technique, tiny_workload, tiny_schema_model)
@@ -143,6 +144,7 @@ class TestProtocolConformance:
 
 # ----------------------------------------------------------------- interleaving
 @pytest.mark.parametrize("technique", ["bayesqo", "random"])
+@pytest.mark.slow
 class TestInterleavedEquivalence:
     def test_interleaved_matches_sequential(self, technique, tiny_workload, tiny_schema_model):
         sequential = make_session(tiny_workload, tiny_schema_model, max_workers=1).run(technique)

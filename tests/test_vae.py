@@ -53,6 +53,7 @@ class TestCorpus:
         assert len({h.name for h in hints}) == 5
 
 
+@pytest.mark.slow
 class TestPlanVAE:
     def test_encode_decode_shapes(self, tiny_corpus):
         config = VAEConfig(vocab_size=tiny_corpus.vocabulary.size, max_length=tiny_corpus.max_length,
