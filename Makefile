@@ -19,3 +19,4 @@ bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_exec_backends.py --smoke
 	PYTHONPATH=src python benchmarks/bench_batch_ask.py --smoke
 	PYTHONPATH=src python benchmarks/bench_plan_cache.py --smoke
+	PYTHONPATH=src python benchmarks/bench_faults.py --smoke

@@ -35,6 +35,7 @@ HEADLINE_METRICS: dict[str, list[tuple[str, str]]] = {
     "BENCH_exec.json": [("process_speedup", "higher")],
     "BENCH_batch.json": [("speedup", "higher")],
     "BENCH_plancache.json": [("speedup", "higher"), ("cached_s", "lower")],
+    "BENCH_faults.json": [("overhead_ratio", "lower")],
 }
 
 

@@ -164,6 +164,47 @@ class ExecutionServiceConfig:
     #: is warm before the first real execution.
     warmup: bool = True
 
+    # Fault tolerance ---------------------------------------------------------
+    #: Wrap the backend in a :class:`~repro.exec.SupervisedBackend` (hang
+    #: watchdogs, retry with backoff, pool rebuild, degradation to inline
+    #: execution).  Implied by setting ``request_deadline``.
+    supervised: bool = False
+    #: Wall-clock seconds one execution attempt may run before the supervisor
+    #: declares it hung and retries it.  ``None`` disables the watchdog.
+    request_deadline: float | None = None
+    #: Supervisor retries per request beyond the first attempt (only
+    #: infrastructure failures are retried; genuine plan errors propagate).
+    max_retries: int = 3
+    #: Exponential backoff between retries: attempt k waits
+    #: ``min(backoff_max, backoff_base * 2**k)`` plus deterministic jitter.
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    #: Jitter fraction on top of the backoff delay (0 disables jitter).
+    backoff_jitter: float = 0.25
+    #: How many times the supervisor rebuilds a broken process pool before
+    #: degrading to inline execution on the scheduler thread.
+    pool_rebuilds: int = 2
+    #: Router probation: a replica that exhausts ``max_failures`` sits out
+    #: this many seconds (doubling per relapse), then gets a half-open probe
+    #: instead of being retired forever.  ``None`` restores permanent
+    #: retirement.
+    probation_seconds: float | None = 30.0
+    #: A :class:`~repro.exec.FaultInjectionConfig` (kept duck-typed here to
+    #: avoid a config -> exec import cycle); ``None`` disables injection.
+    #: When set, the backend is wrapped in a
+    #: :class:`~repro.exec.FaultInjectionBackend` *inside* the supervision
+    #: layer, so injected faults exercise the real recovery paths.
+    fault_injection: object | None = None
+
+    # Checkpoint / resume -----------------------------------------------------
+    #: Where the session persists its checkpoint (optimizer states, budget
+    #: ledgers, plan-cache outcome logs).  ``None`` disables checkpointing.
+    #: Checkpointed runs are pinned to the sequential scheduler so a resumed
+    #: session replays bit-for-bit.
+    checkpoint_path: str | None = None
+    #: Persist a checkpoint every N observations (and at query boundaries).
+    checkpoint_every: int = 25
+
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
             raise OptimizationError(
@@ -182,6 +223,22 @@ class ExecutionServiceConfig:
             raise OptimizationError("replicas must be at least 1")
         if self.max_failures < 1:
             raise OptimizationError("max_failures must be at least 1")
+        if self.request_deadline is not None and self.request_deadline <= 0:
+            raise OptimizationError("request_deadline must be positive")
+        if self.max_retries < 0:
+            raise OptimizationError("max_retries must be non-negative")
+        if self.backoff_base <= 0:
+            raise OptimizationError("backoff_base must be positive")
+        if self.backoff_max < self.backoff_base:
+            raise OptimizationError("backoff_max must be at least backoff_base")
+        if self.backoff_jitter < 0:
+            raise OptimizationError("backoff_jitter must be non-negative")
+        if self.pool_rebuilds < 0:
+            raise OptimizationError("pool_rebuilds must be non-negative")
+        if self.probation_seconds is not None and self.probation_seconds <= 0:
+            raise OptimizationError("probation_seconds must be positive")
+        if self.checkpoint_every < 1:
+            raise OptimizationError("checkpoint_every must be at least 1")
 
 
 @dataclass

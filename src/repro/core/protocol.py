@@ -147,6 +147,11 @@ class ExecutionOutcome:
     timeout: float | None = None
     proposal_id: int | None = None
     cache: CacheStats | None = None
+    #: How many execution attempts it took to produce this outcome (1 =
+    #: first try).  Stamped by the supervision layer
+    #: (:class:`~repro.exec.supervisor.SupervisedBackend`); purely
+    #: observational — traces and budget charging ignore it.
+    attempts: int = 1
 
     @classmethod
     def from_execution(

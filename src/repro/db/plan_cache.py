@@ -299,6 +299,47 @@ class ExecutionCache:
             work_capped=work_capped,
         )
 
+    def export_outcomes(self) -> list[tuple]:
+        """The outcome cache as plain picklable tuples (for checkpoints).
+
+        Only the outcome side travels: it is the part that carries replayable
+        execution *results*.  The subplan memo is a pure performance
+        structure rebuilt naturally as execution resumes, and its
+        intermediates can be large.
+        """
+        return [
+            (
+                key,
+                list(entry.events),
+                entry.completed,
+                entry.observed_to,
+                entry.output_rows,
+                entry.work_capped,
+            )
+            for key, entry in self._outcomes.items()
+        ]
+
+    def import_outcomes(self, payload: Iterable[tuple]) -> int:
+        """Restore entries exported by :meth:`export_outcomes`.
+
+        Goes through :meth:`store_outcome`, so restoring into a cache that
+        already holds fresher entries keeps the most informative one — the
+        import is an upsert, not a blind overwrite.  Returns the number of
+        entries offered.
+        """
+        count = 0
+        for key, events, completed, observed_to, output_rows, work_capped in payload:
+            self.store_outcome(
+                tuple(key),
+                list(events),
+                completed,
+                observed_to,
+                output_rows,
+                work_capped=work_capped,
+            )
+            count += 1
+        return count
+
     # ------------------------------------------------------------------ subplan side
     def get_subplan(self, key: tuple) -> SubplanEntry | None:
         """The entry for ``key``, recency-refreshed; does **not** count stats.

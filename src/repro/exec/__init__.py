@@ -58,11 +58,21 @@ from repro.exec.backend import (
     ExecutionRequest,
     InlineBackend,
     ThreadPoolBackend,
+    TransientBackendError,
+    is_infra_failure,
     perform_request,
 )
+from repro.exec.faults import (
+    FaultCounters,
+    FaultInjectionBackend,
+    FaultInjectionConfig,
+    InjectedTransientError,
+    InjectedWorkerCrash,
+)
 from repro.exec.policy import BudgetAwarePriority, RoundRobin, SchedulingPolicy
-from repro.exec.process_pool import ProcessPoolBackend
+from repro.exec.process_pool import ProcessPoolBackend, RemoteExecutionError
 from repro.exec.router import BackendStatus, BackendUnavailableError, MultiBackendRouter
+from repro.exec.supervisor import HangTimeout, SupervisedBackend, SupervisorCounters
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.engine import Database
@@ -78,13 +88,24 @@ __all__ = [
     "ExecutionOutcome",
     "ExecutionRequest",
     "ExecutionServiceConfig",
+    "FaultCounters",
+    "FaultInjectionBackend",
+    "FaultInjectionConfig",
+    "HangTimeout",
+    "InjectedTransientError",
+    "InjectedWorkerCrash",
     "InlineBackend",
     "MultiBackendRouter",
     "ProcessPoolBackend",
+    "RemoteExecutionError",
     "RoundRobin",
     "SchedulingPolicy",
+    "SupervisedBackend",
+    "SupervisorCounters",
     "ThreadPoolBackend",
+    "TransientBackendError",
     "apply_cache_overrides",
+    "is_infra_failure",
     "make_backend",
     "make_policy",
     "perform_request",
@@ -158,10 +179,39 @@ def make_backend(
         raise OptimizationError(f"unknown execution backend {config.backend!r}")
 
     if config.replicas == 1:
-        return one_backend()
-    return MultiBackendRouter(
-        [one_backend() for _ in range(config.replicas)], max_failures=config.max_failures
-    )
+        backend = one_backend()
+    else:
+        backend = MultiBackendRouter(
+            [one_backend() for _ in range(config.replicas)],
+            max_failures=config.max_failures,
+            probation_seconds=config.probation_seconds,
+        )
+
+    # Fault injection sits *inside* supervision so injected faults exercise
+    # the real recovery paths (watchdog, retry, rebuild, degradation).
+    if config.fault_injection is not None:
+        fault_config = config.fault_injection
+        if not isinstance(fault_config, FaultInjectionConfig):
+            fault_config = FaultInjectionConfig(**dict(fault_config))  # type: ignore[arg-type]
+        backend = FaultInjectionBackend(backend, fault_config)
+
+    if config.supervised or config.request_deadline is not None:
+        # The fallback gives the session somewhere to run when all pooled
+        # capacity is lost; pointless when the primary already *is* inline.
+        fallback: ExecutionBackend | None = None
+        if not (config.backend == "inline" and config.replicas == 1):
+            fallback = InlineBackend(database)
+        backend = SupervisedBackend(
+            backend,
+            request_deadline=config.request_deadline,
+            max_retries=config.max_retries,
+            backoff_base=config.backoff_base,
+            backoff_max=config.backoff_max,
+            backoff_jitter=config.backoff_jitter,
+            max_rebuilds=config.pool_rebuilds,
+            fallback=fallback,
+        )
+    return backend
 
 
 def make_policy(name: str) -> SchedulingPolicy:

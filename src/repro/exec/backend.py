@@ -14,7 +14,7 @@ out over several independent backends
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
@@ -25,6 +25,29 @@ from repro.plans.jointree import JoinTree
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.engine import Database
+
+
+class TransientBackendError(OptimizationError):
+    """A retryable infrastructure failure (network blip, evicted worker, ...).
+
+    Says nothing about the plan that was executing: the same request submitted
+    again may well succeed.  The supervision layer
+    (:class:`~repro.exec.supervisor.SupervisedBackend`) retries these with
+    backoff, and the :class:`~repro.exec.router.MultiBackendRouter` charges
+    them against the failing member's health budget — exactly like a
+    :class:`~concurrent.futures.BrokenExecutor`.
+    """
+
+
+def is_infra_failure(exc: BaseException) -> bool:
+    """Whether ``exc`` is an infrastructure failure rather than a plan error.
+
+    Infrastructure failures (a worker process died, a transient backend
+    error, a supervision deadline expired) are retryable: the plan itself is
+    not implicated.  Everything else — the plan genuinely failing to execute —
+    must propagate to the scheduler untouched.
+    """
+    return isinstance(exc, (BrokenExecutor, TransientBackendError))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,263 @@
+"""Deterministic fault injection: reproducible chaos for execution backends.
+
+Offline planning spends hours of machine time on plan executions, so the
+execution service has to survive unreliable infrastructure — and the only way
+to *test* that it survives is to make the infrastructure unreliable on
+purpose.  :class:`FaultInjectionBackend` wraps any
+:class:`~repro.exec.backend.ExecutionBackend` and injects four fault kinds:
+
+* **crash** — the submission fails with a :class:`BrokenExecutor` subclass,
+  modelling a worker process dying mid-task,
+* **transient** — the submission fails with a
+  :class:`~repro.exec.backend.TransientBackendError`, modelling a network
+  blip or an evicted worker,
+* **hang** — the execution runs, but its result is withheld for
+  ``hang_seconds`` after completion, modelling a stuck worker; a supervision
+  deadline (:class:`~repro.exec.supervisor.SupervisedBackend`) must fire
+  first for the request to make progress,
+* **slow** — like a hang but short (``slow_seconds``), modelling a straggler
+  replica; a well-tuned deadline must *not* fire on these.
+
+Every decision comes from a :func:`~repro.utils.seeding.stable_digest`-seeded
+schedule keyed by ``(seed, query, plan, attempt)``, so a chaos scenario is a
+pure function of its config and the submitted requests — the same run injects
+the same faults in every process, on every machine, regardless of thread
+timing.  Retrying a request advances its per-request attempt counter, which
+is how a retried execution can deterministically succeed where the first
+attempt crashed.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import BrokenExecutor, Future, InvalidStateError
+from dataclasses import dataclass, field
+
+from repro.core.protocol import ExecutionOutcome
+from repro.exceptions import OptimizationError
+from repro.exec.backend import ExecutionBackend, ExecutionRequest, TransientBackendError
+from repro.utils.seeding import stable_digest
+
+#: The injectable fault kinds, in the order the schedule's rate intervals
+#: partition ``[0, 1)``.
+FAULT_KINDS = ("crash", "hang", "transient", "slow")
+
+
+class InjectedWorkerCrash(BrokenExecutor):
+    """An injected worker-process death (classified as infrastructure)."""
+
+
+class InjectedTransientError(TransientBackendError):
+    """An injected transient infrastructure failure (retryable)."""
+
+
+@dataclass(frozen=True)
+class FaultInjectionConfig:
+    """A reproducible chaos scenario: fault rates, durations and the seed.
+
+    The four rates partition ``[0, 1)``; each submission draws a stable
+    uniform deviate from ``(seed, query, plan, attempt)`` and the interval it
+    lands in decides the fault (or none).  ``max_faults_per_request`` bounds
+    how many *attempts* of one ``(query, plan)`` request may fault — with a
+    supervisor whose ``max_retries`` exceeds it, every request is guaranteed
+    to eventually complete, which is what lets a chaos benchmark assert full
+    completion while still exercising every failure path.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    transient_rate: float = 0.0
+    slow_rate: float = 0.0
+    #: How long a hung execution withholds its (already computed) result.
+    hang_seconds: float = 30.0
+    #: How long a slow replica delays its result.
+    slow_seconds: float = 0.05
+    #: Attempts of one request eligible for faults; ``None`` = every attempt.
+    max_faults_per_request: int | None = None
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name in ("crash_rate", "hang_rate", "transient_rate", "slow_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise OptimizationError(f"{name} must be in [0, 1], got {rate!r}")
+            total += rate
+        if total > 1.0:
+            raise OptimizationError(f"fault rates must sum to at most 1, got {total}")
+        if self.hang_seconds <= 0:
+            raise OptimizationError("hang_seconds must be positive")
+        if self.slow_seconds < 0:
+            raise OptimizationError("slow_seconds must be non-negative")
+        if self.max_faults_per_request is not None and self.max_faults_per_request < 0:
+            raise OptimizationError("max_faults_per_request must be non-negative")
+
+    def decide(self, request: ExecutionRequest, attempt: int) -> str | None:
+        """The fault (if any) for ``attempt`` of ``request`` — a pure function.
+
+        Deterministic in every process and under any submission interleaving:
+        the deviate depends only on the scenario seed, the request's content
+        and its per-request attempt index.
+        """
+        if self.max_faults_per_request is not None and attempt >= self.max_faults_per_request:
+            return None
+        deviate = stable_digest(
+            "fault", self.seed, request.query.name, request.plan.canonical(), attempt, bits=53
+        ) / float(1 << 53)
+        edge = 0.0
+        for kind, rate in zip(
+            FAULT_KINDS, (self.crash_rate, self.hang_rate, self.transient_rate, self.slow_rate)
+        ):
+            edge += rate
+            if deviate < edge:
+                return kind
+        return None
+
+
+@dataclass
+class FaultCounters:
+    """What one :class:`FaultInjectionBackend` actually injected."""
+
+    crashes: int = 0
+    hangs: int = 0
+    transients: int = 0
+    slowdowns: int = 0
+    clean: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return self.crashes + self.hangs + self.transients + self.slowdowns
+
+    def snapshot(self) -> dict:
+        return {
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "transients": self.transients,
+            "slowdowns": self.slowdowns,
+            "clean": self.clean,
+            "total_faults": self.total_faults,
+        }
+
+
+class FaultInjectionBackend:
+    """Wrap a backend so a seeded schedule injects faults into its requests.
+
+    Crashes and transient errors short-circuit (the inner backend never sees
+    the request — the submission itself "dies"); hangs and slowdowns run the
+    request for real and only delay delivery of its result, which is exactly
+    what a stuck or straggling worker looks like from the scheduler.  The
+    delay timers are daemonic and cancelled on :meth:`close`, with any
+    withheld results flushed so no caller is left waiting on a closed
+    backend.
+    """
+
+    name = "faults"
+
+    def __init__(self, inner: ExecutionBackend, config: FaultInjectionConfig) -> None:
+        self.inner = inner
+        self.config = config
+        self.counters = FaultCounters()
+        self._attempts: dict[tuple, int] = {}
+        self._lock = threading.Lock()
+        #: timer -> (inner future, outer future) for in-flight delayed deliveries.
+        self._delayed: dict[threading.Timer, tuple[Future, Future]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ backend protocol
+    def capacity(self) -> int:
+        return self.inner.capacity()
+
+    def healthy(self) -> bool:
+        return not self._closed and self.inner.healthy()
+
+    def submit(self, request: ExecutionRequest) -> "Future[ExecutionOutcome]":
+        if self._closed:
+            raise OptimizationError("backend is closed")
+        attempt = self._next_attempt(request)
+        kind = self.config.decide(request, attempt)
+        if kind == "crash":
+            self.counters.crashes += 1
+            return self._failed(
+                InjectedWorkerCrash(
+                    f"injected worker crash (query {request.query.name!r}, attempt {attempt})"
+                )
+            )
+        if kind == "transient":
+            self.counters.transients += 1
+            return self._failed(
+                InjectedTransientError(
+                    f"injected transient infra error (query {request.query.name!r}, "
+                    f"attempt {attempt})"
+                )
+            )
+        if kind == "hang":
+            self.counters.hangs += 1
+            return self._delayed_submit(request, self.config.hang_seconds)
+        if kind == "slow":
+            self.counters.slowdowns += 1
+            return self._delayed_submit(request, self.config.slow_seconds)
+        self.counters.clean += 1
+        return self.inner.submit(request)
+
+    def close(self) -> None:
+        """Cancel pending delay timers, flush withheld results, close inner."""
+        with self._lock:
+            self._closed = True
+            delayed = list(self._delayed.items())
+            self._delayed.clear()
+        for timer, (inner_future, outer) in delayed:
+            timer.cancel()
+            if inner_future.done():
+                _copy_completion(inner_future, outer)
+        self.inner.close()
+
+    # ------------------------------------------------------------------ internals
+    def _next_attempt(self, request: ExecutionRequest) -> int:
+        key = (request.query.name, request.plan.canonical())
+        with self._lock:
+            attempt = self._attempts.get(key, 0)
+            self._attempts[key] = attempt + 1
+        return attempt
+
+    @staticmethod
+    def _failed(exc: Exception) -> "Future[ExecutionOutcome]":
+        future: Future[ExecutionOutcome] = Future()
+        future.set_exception(exc)
+        return future
+
+    def _delayed_submit(self, request: ExecutionRequest, delay: float) -> "Future[ExecutionOutcome]":
+        """Run the request now, withhold its completion for ``delay`` seconds."""
+        outer: Future[ExecutionOutcome] = Future()
+        inner_future = self.inner.submit(request)
+
+        # The delay starts when the execution *finishes*: a hung worker has
+        # done the work, it just never reports back in time.
+        def arm(done: Future) -> None:
+            def deliver() -> None:
+                with self._lock:
+                    self._delayed.pop(timer, None)
+                _copy_completion(done, outer)
+
+            timer = threading.Timer(delay, deliver)
+            timer.daemon = True
+            with self._lock:
+                if self._closed:
+                    _copy_completion(done, outer)
+                    return
+                self._delayed[timer] = (done, outer)
+            timer.start()
+
+        inner_future.add_done_callback(arm)
+        return outer
+
+
+def _copy_completion(source: Future, target: Future) -> None:
+    """Copy a finished future's completion onto ``target``, tolerating races."""
+    try:
+        exc = source.exception()
+        if exc is not None:
+            target.set_exception(exc)
+        else:
+            target.set_result(source.result())
+    except InvalidStateError:  # pragma: no cover - duplicate delivery race
+        pass

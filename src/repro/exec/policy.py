@@ -112,9 +112,16 @@ class BudgetAwarePriority:
 
     def _score(self, state: OptimizerState, optimizer: object | None) -> float:
         predictor = getattr(optimizer, "predicted_improvement", None)
+        headroom: float | None = None
         if predictor is not None:
-            headroom = float(predictor(state))
-        else:
+            try:
+                headroom = float(predictor(state))
+            except Exception:  # noqa: BLE001 - scheduling must survive the model
+                # A numerically cornered surrogate (singular posterior, NaN
+                # hyperparameters) must not kill the whole session's
+                # scheduling; fall through to the model-free score.
+                headroom = None
+        if headroom is None:
             try:
                 headroom = float(state.result.best_latency)
             except OptimizationError:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import traceback
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import TYPE_CHECKING
 
@@ -33,6 +34,33 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Per-process replica state, populated once by :func:`_init_worker`.
 _WORKER_STATE: dict = {}
+
+
+class RemoteExecutionError(OptimizationError):
+    """A plan execution failed inside a worker process.
+
+    Exceptions that cross the process boundary normally lose their stack: the
+    scheduler sees ``KeyError: 'x'`` with a traceback pointing at
+    ``Future.result()``.  This wrapper pickles the *worker-side* traceback as
+    a string so the original stack rides along to the scheduler (and into the
+    run report, tagged with the owning query).  It is a genuine execution
+    error — :func:`~repro.exec.backend.is_infra_failure` is false for it, so
+    neither the router's health budget nor the supervisor's retries apply.
+    """
+
+    def __init__(self, message: str, remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.remote_traceback:
+            return f"{base}\n--- remote traceback ---\n{self.remote_traceback}"
+        return base
+
+    def __reduce__(self):
+        # Default Exception pickling would drop the keyword attribute.
+        return (self.__class__, (self.args[0], self.remote_traceback))
 
 
 def _init_worker(database: "Database", queries: tuple[Query, ...], warmup: bool) -> None:
@@ -54,16 +82,30 @@ def _init_worker(database: "Database", queries: tuple[Query, ...], warmup: bool)
 def _execute_in_worker(
     query_or_name: "Query | str", plan, timeout: float | None, proposal_id: int | None = None
 ) -> ExecutionOutcome:
-    """Execute one plan against this worker's replica."""
-    database = _WORKER_STATE["database"]
-    if isinstance(query_or_name, str):
-        query = _WORKER_STATE["queries"][query_or_name]
-    else:
-        query = query_or_name
-    return perform_request(
-        database,
-        ExecutionRequest(query=query, plan=plan, timeout=timeout, proposal_id=proposal_id),
-    )
+    """Execute one plan against this worker's replica.
+
+    Failures are re-raised as :class:`RemoteExecutionError` carrying the
+    worker-side traceback string, so the scheduler's report shows where in
+    the worker the plan actually died.
+    """
+    try:
+        database = _WORKER_STATE["database"]
+        if isinstance(query_or_name, str):
+            query = _WORKER_STATE["queries"][query_or_name]
+        else:
+            query = query_or_name
+        return perform_request(
+            database,
+            ExecutionRequest(query=query, plan=plan, timeout=timeout, proposal_id=proposal_id),
+        )
+    except RemoteExecutionError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - wrapped with the remote stack
+        name = query_or_name if isinstance(query_or_name, str) else query_or_name.name
+        raise RemoteExecutionError(
+            f"worker execution of query {name!r} failed: {type(exc).__name__}: {exc}",
+            remote_traceback=traceback.format_exc(),
+        ) from exc
 
 
 def _pick_context(start_method: str | None) -> multiprocessing.context.BaseContext:
@@ -145,8 +187,23 @@ class ProcessPoolBackend:
         if self._closed:
             return False
         # A pool that hasn't been started yet is healthy by definition; a
-        # broken pool (worker died mid-task) is permanently unusable.
+        # broken pool (worker died mid-task) is unusable until rebuild().
         return self._pool is None or getattr(self._pool, "_broken", False) is False
+
+    def rebuild(self) -> None:
+        """Replace a broken process pool with a fresh one.
+
+        ``BrokenProcessPool`` poisons the executor permanently; the
+        supervisor calls this to discard it so the next submission lazily
+        starts fresh workers (replicas rebuilt from the same pickled
+        database, so determinism is unaffected).  In-flight futures of the
+        old pool have already failed — nothing is carried over.
+        """
+        if self._closed:
+            return
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         self._closed = True

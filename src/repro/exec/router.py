@@ -6,21 +6,34 @@ fleet of simulation workers, …).  Per member it tracks **occupancy** (requests
 in flight, maintained via future callbacks) and **health** (accumulated
 infrastructure failures); submissions go to the least-loaded healthy member,
 and a request whose member breaks mid-flight (e.g. a worker process dies, the
-pool raises :class:`~concurrent.futures.BrokenExecutor`) is transparently
+pool raises :class:`~concurrent.futures.BrokenExecutor`, or a
+:class:`~repro.exec.backend.TransientBackendError` surfaces) is transparently
 retried on the remaining healthy members.  Genuine execution errors — the
 plan itself failing — are *not* retried: they propagate to the scheduler,
 which reports them with the owning query's name.
+
+Members that exhaust their failure budget are not retired forever.  With
+``probation_seconds`` set, a failing member is put **on probation**: it takes
+no traffic until the probation expires, then becomes eligible for a single
+half-open **probe** request (only while it has nothing else in flight).  A
+successful probe clears its failure record; a failed probe doubles the next
+probation.  This is what lets a replica that was merely rebooting rejoin the
+fleet instead of shrinking it permanently.  With ``probation_seconds=None``
+the pre-probation behaviour — permanent retirement at ``max_failures`` — is
+preserved.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import BrokenExecutor, Future, InvalidStateError
+import time
+from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.protocol import ExecutionOutcome
 from repro.exceptions import OptimizationError
-from repro.exec.backend import ExecutionBackend, ExecutionRequest
+from repro.exec.backend import ExecutionBackend, ExecutionRequest, is_infra_failure
 
 
 class BackendUnavailableError(OptimizationError):
@@ -38,6 +51,21 @@ class BackendStatus:
     completed: int
     failures: int
     healthy: bool
+    retries: int = 0
+    on_probation: bool = False
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "occupancy": self.occupancy,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failures": self.failures,
+            "healthy": self.healthy,
+            "retries": self.retries,
+            "on_probation": self.on_probation,
+        }
 
 
 class _Member:
@@ -50,10 +78,39 @@ class _Member:
         self.submitted = 0
         self.completed = 0
         self.failures = 0
+        #: Requests this member received after another member failed them.
+        self.retries = 0
         self.marked_unhealthy = False
+        #: Monotonic deadline until which the member takes no traffic.
+        self.probation_until: float | None = None
+        #: Probation periods served — doubles each successive probation.
+        self.probations = 0
 
-    def healthy(self) -> bool:
-        return not self.marked_unhealthy and self.backend.healthy()
+    def on_probation(self, now: float) -> bool:
+        return self.probation_until is not None and now < self.probation_until
+
+    def probing(self, now: float) -> bool:
+        """Probation expired but the member hasn't proven itself yet."""
+        return self.probation_until is not None and now >= self.probation_until
+
+    def healthy(self, now: float) -> bool:
+        return (
+            not self.marked_unhealthy
+            and not self.on_probation(now)
+            and self.backend.healthy()
+        )
+
+    def eligible(self, now: float) -> bool:
+        """Whether the member may take a new request right now.
+
+        A member fresh off probation is *half-open*: it gets exactly one
+        in-flight probe (occupancy 0) until a success clears its record.
+        """
+        if not self.healthy(now):
+            return False
+        if self.probing(now) and self.occupancy > 0:
+            return False
+        return True
 
     def load(self) -> float:
         return self.occupancy / max(1, self.backend.capacity())
@@ -64,25 +121,37 @@ class MultiBackendRouter:
 
     name = "router"
 
-    def __init__(self, backends: list[ExecutionBackend], max_failures: int = 3) -> None:
+    def __init__(
+        self,
+        backends: list[ExecutionBackend],
+        max_failures: int = 3,
+        probation_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if not backends:
             raise OptimizationError("router needs at least one backend")
         if max_failures < 1:
             raise OptimizationError("max_failures must be at least 1")
+        if probation_seconds is not None and probation_seconds <= 0:
+            raise OptimizationError("probation_seconds must be positive")
         self._members = [_Member(backend, index) for index, backend in enumerate(backends)]
         self._max_failures = max_failures
+        self._probation_seconds = probation_seconds
+        self._clock = clock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ backend protocol
     def capacity(self) -> int:
+        now = self._clock()
         with self._lock:
             return sum(
-                member.backend.capacity() for member in self._members if member.healthy()
+                member.backend.capacity() for member in self._members if member.healthy(now)
             )
 
     def healthy(self) -> bool:
+        now = self._clock()
         with self._lock:
-            return any(member.healthy() for member in self._members)
+            return any(member.healthy(now) for member in self._members)
 
     def submit(self, request: ExecutionRequest) -> "Future[ExecutionOutcome]":
         outer: Future[ExecutionOutcome] = Future()
@@ -95,6 +164,7 @@ class MultiBackendRouter:
 
     # ------------------------------------------------------------------ introspection
     def statuses(self) -> list[BackendStatus]:
+        now = self._clock()
         with self._lock:
             return [
                 BackendStatus(
@@ -104,40 +174,46 @@ class MultiBackendRouter:
                     submitted=member.submitted,
                     completed=member.completed,
                     failures=member.failures,
-                    healthy=member.healthy(),
+                    healthy=member.healthy(now),
+                    retries=member.retries,
+                    on_probation=member.on_probation(now),
                 )
                 for member in self._members
             ]
 
     # ------------------------------------------------------------------ routing
-    def _choose(self, tried: frozenset) -> "_Member | None":
+    def _choose(self, tried: frozenset, now: float) -> "_Member | None":
         candidates = [
             member
             for member in self._members
-            if member.healthy() and member.name not in tried
+            if member.eligible(now) and member.name not in tried
         ]
         if not candidates:
             return None
         return min(candidates, key=lambda member: (member.load(), member.name))
 
     def _dispatch(self, request: ExecutionRequest, outer: Future, tried: frozenset) -> None:
+        now = self._clock()
         with self._lock:
-            member = self._choose(tried)
+            member = self._choose(tried, now)
             if member is not None:
                 member.occupancy += 1
                 member.submitted += 1
+                if tried:
+                    member.retries += 1
         if member is None:
-            outer.set_exception(
-                BackendUnavailableError(
+            self._resolve(
+                outer,
+                exc=BackendUnavailableError(
                     f"no healthy execution backend left for query {request.query.name!r} "
                     f"(tried {sorted(tried) or 'none'})"
-                )
+                ),
             )
             return
         try:
             inner = member.backend.submit(request)
         except Exception as exc:  # noqa: BLE001 - delivered via the outer future
-            if isinstance(exc, BrokenExecutor):
+            if is_infra_failure(exc):
                 self._record_failure(member)
                 self._dispatch(request, outer, tried | {member.name})
             else:
@@ -161,12 +237,18 @@ class MultiBackendRouter:
             with self._lock:
                 member.occupancy -= 1
                 member.completed += 1
+                # A success clears the member's record: a probe that lands
+                # restores full membership, and steady members never creep
+                # toward retirement on isolated blips.
+                member.failures = 0
+                member.probation_until = None
             self._resolve(outer, result=inner.result())
             return
-        if isinstance(exc, BrokenExecutor):
+        if is_infra_failure(exc):
             # Infrastructure death, not a property of the plan: the member is
-            # charged a failure (retired at max_failures) and the request is
-            # retried elsewhere.
+            # charged a failure (put on probation — or retired, without a
+            # probation policy — at max_failures) and the request is retried
+            # elsewhere.
             self._record_failure(member)
             self._dispatch(request, outer, tried | {member.name})
         else:
@@ -200,5 +282,15 @@ class MultiBackendRouter:
         with self._lock:
             member.occupancy -= 1
             member.failures += 1
-            if member.failures >= self._max_failures:
-                member.marked_unhealthy = True
+            failing_probe = member.probing(self._clock())
+            if member.failures >= self._max_failures or failing_probe:
+                if self._probation_seconds is None:
+                    member.marked_unhealthy = True
+                else:
+                    # Each successive probation doubles: a flapping member
+                    # backs off the fleet exponentially instead of thrashing.
+                    member.probation_until = self._clock() + self._probation_seconds * (
+                        2.0 ** member.probations
+                    )
+                    member.probations += 1
+                    member.failures = 0

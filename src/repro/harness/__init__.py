@@ -19,6 +19,7 @@ from repro.harness.metrics import (
     workload_curve,
 )
 from repro.harness.batching import BatchSizeController
+from repro.harness.checkpoint import CheckpointManager, SessionCheckpoint
 from repro.harness.reporting import format_cdf, format_summaries, format_table
 from repro.harness.runner import (
     ComparisonRun,
@@ -35,9 +36,11 @@ from repro.core.protocol import BudgetSpec, ExecutionOutcome, PlanProposal
 __all__ = [
     "BatchSizeController",
     "BudgetSpec",
+    "CheckpointManager",
     "ExecutionServiceConfig",
     "ComparisonRun",
     "ExecutionCacheReport",
+    "SessionCheckpoint",
     "ExecutionOutcome",
     "PlanProposal",
     "TECHNIQUES",

@@ -1,0 +1,116 @@
+"""Durable session state: periodic checkpoints and bit-for-bit resume.
+
+A paper-scale tuning run spends hours executing plans; a crash at hour three
+must not discard them.  :class:`CheckpointManager` persists a
+:class:`SessionCheckpoint` — the technique's optimizer (with all its mutable
+model/RNG state), the in-progress query state, every completed per-query
+result and the execution cache's replayable outcome logs — as **one** pickle
+payload, so shared references between the optimizer and its states survive
+the round trip intact.
+
+Checkpoints are only taken at *quiescent* points (after an ``observe``, with
+no proposal outstanding), which is what makes resumption exact: the restored
+optimizer continues from precisely the suggest/observe boundary the
+checkpoint captured, and because plan execution is deterministic in
+``(query, plan, timeout)`` given the database seed, the resumed session's
+traces are bit-for-bit identical to an uninterrupted run.
+
+Writes are atomic (temp file + :func:`os.replace`): a crash *during* a
+checkpoint leaves the previous checkpoint intact, never a torn file.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+
+#: Bumped when the checkpoint layout changes; mismatched files are ignored
+#: (the session just starts over) instead of resuming garbage.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class SessionCheckpoint:
+    """Everything needed to resume one technique's run over one query list."""
+
+    technique: str
+    seed: int
+    query_names: list[str]
+    #: Per-query results of queries fully drained before the checkpoint.
+    completed: dict = field(default_factory=dict)
+    #: The technique instance mid-run (models, RNGs, shared caches) — pickled
+    #: together with ``state`` so references between them stay shared.
+    optimizer: object | None = None
+    #: The in-progress state (per-query or workload-level), quiescent: no
+    #: proposal outstanding.  ``None`` at query boundaries.
+    state: object | None = None
+    #: The execution cache's outcome-event logs
+    #: (:meth:`~repro.db.plan_cache.ExecutionCache.export_outcomes`), so a
+    #: resumed session replays already-executed plans instead of re-paying
+    #: for them.
+    cache_events: list = field(default_factory=list)
+    version: int = CHECKPOINT_VERSION
+
+    def matches(self, technique: str, seed: int, query_names: list[str]) -> bool:
+        """Whether this checkpoint belongs to the run being (re)started."""
+        return (
+            self.version == CHECKPOINT_VERSION
+            and self.technique == technique
+            and self.seed == seed
+            and self.query_names == list(query_names)
+        )
+
+
+class CheckpointManager:
+    """Owns one checkpoint file: cadence, atomic writes, tolerant reads."""
+
+    def __init__(self, path: str, every: int = 25) -> None:
+        if every < 1:
+            raise ValueError("checkpoint cadence must be at least 1")
+        self.path = str(path)
+        self.every = every
+        self._since_save = 0
+
+    def due(self) -> bool:
+        """Count one observation; ``True`` every ``every`` observations."""
+        self._since_save += 1
+        if self._since_save >= self.every:
+            self._since_save = 0
+            return True
+        return False
+
+    def save(self, checkpoint: SessionCheckpoint) -> None:
+        """Atomically persist ``checkpoint`` (temp file + rename)."""
+        self._since_save = 0
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, self.path)
+
+    def load(self) -> SessionCheckpoint | None:
+        """The stored checkpoint, or ``None`` when absent/unreadable.
+
+        A corrupt or version-mismatched file means "no checkpoint", never an
+        error: the worst outcome of a damaged checkpoint is a from-scratch
+        run, which is exactly what checkpointing was protecting against
+        anyway.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                checkpoint = handle.read()
+            loaded = pickle.loads(checkpoint)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            return None
+        if not isinstance(loaded, SessionCheckpoint) or loaded.version != CHECKPOINT_VERSION:
+            return None
+        return loaded
+
+    def clear(self) -> None:
+        """Delete the checkpoint (the run completed; nothing to resume)."""
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass

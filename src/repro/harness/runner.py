@@ -66,10 +66,14 @@ from repro.db.plan_cache import CacheStats
 from repro.db.query import Query
 from repro.exceptions import OptimizationError
 from repro.harness.batching import BatchSizeController
+from repro.harness.checkpoint import CheckpointManager, SessionCheckpoint
 from repro.exec import (
     ExecutionBackend,
     ExecutionRequest,
+    FaultInjectionBackend,
+    MultiBackendRouter,
     SchedulingPolicy,
+    SupervisedBackend,
     apply_cache_overrides,
     make_backend,
     make_policy,
@@ -97,6 +101,10 @@ class ComparisonRun:
     #: Execution-memoization totals of the session that produced the run
     #: (see :class:`ExecutionCacheReport`).
     cache_summary: dict = field(default_factory=dict)
+    #: Backend-health snapshot of the session (supervisor counters, fault
+    #: injection totals, per-replica router statuses) — degraded runs are
+    #: visible in the report instead of silent.
+    backend_health: dict = field(default_factory=dict)
 
     def techniques(self) -> list[str]:
         return sorted(self.results)
@@ -218,6 +226,15 @@ class WorkloadSession:
         ``exec_config.batch_size`` (1).
     interleave:
         Force interleaving on/off; defaults to backend capacity > 1.
+    checkpoint_path / checkpoint_every:
+        Periodic checkpoint/resume (see :mod:`repro.harness.checkpoint`):
+        the session persists optimizer state, completed results and the
+        execution cache's outcome logs every ``checkpoint_every``
+        observations, and a session restarted with the same technique, seed
+        and query list resumes from the checkpoint and finishes with traces
+        bit-for-bit identical to an uninterrupted run.  Checkpointed runs
+        are pinned to the sequential scheduler.  Defaults come from
+        ``exec_config``; ``None`` disables checkpointing.
 
     Sessions own their backend's pools: call :meth:`close` (or use the
     session as a context manager) when done with non-inline backends.
@@ -239,12 +256,18 @@ class WorkloadSession:
         max_workers: int = 1,
         batch_size: int | str | None = None,
         interleave: bool | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_every: int | None = None,
     ) -> None:
         if max_workers < 1:
             raise OptimizationError("max_workers must be at least 1")
         if batch_size is None:
             batch_size = exec_config.batch_size if exec_config is not None else 1
         validate_batch_size(batch_size)
+        if checkpoint_path is None and exec_config is not None:
+            checkpoint_path = exec_config.checkpoint_path
+        if checkpoint_every is None:
+            checkpoint_every = exec_config.checkpoint_every if exec_config is not None else 25
         self.workload = workload
         self.database = workload.database
         self.queries = list(queries) if queries is not None else list(workload.queries)
@@ -261,6 +284,11 @@ class WorkloadSession:
             self.interleave = interleave
         else:
             self.interleave = self._backend.capacity() > 1
+        self._checkpoint: CheckpointManager | None = (
+            CheckpointManager(checkpoint_path, every=checkpoint_every)
+            if checkpoint_path is not None
+            else None
+        )
         self._schema_model = schema_model
         self._results: dict[str, dict[str, OptimizationResult]] = {}
         #: Session-wide execution-memoization totals, updated on every
@@ -369,11 +397,14 @@ class WorkloadSession:
             and not spec.order_sensitive
         )
         if spec.workload_level:
-            results = self._run_workload_level(optimizer, budget)
-        elif interleave:
+            results = self._run_workload_level(optimizer, budget, technique=technique)
+        elif interleave and self._checkpoint is None:
+            # Checkpointing pins the run to the sequential scheduler: its
+            # quiescent points are well-defined there, and sequential traces
+            # are the reference every other mode must match anyway.
             results = self._run_interleaved(optimizer, budget, spec, q, controller)
         else:
-            results = self._run_sequential(optimizer, budget)
+            results = self._run_sequential(optimizer, budget, technique=technique)
         self._results[technique] = results
         return results
 
@@ -441,29 +472,135 @@ class WorkloadSession:
         self.cache_report.note(outcome.cache)
         return outcome
 
+    # ------------------------------------------------------------------ checkpointing
+    def _cache_events(self) -> list:
+        cache = getattr(self.database, "execution_cache", None)
+        return cache.export_outcomes() if cache is not None else []
+
+    def _restore_cache_events(self, events: list) -> None:
+        cache = getattr(self.database, "execution_cache", None)
+        if cache is not None and events:
+            cache.import_outcomes(events)
+
+    def _save_checkpoint(
+        self, technique: str, optimizer, completed: dict, state=None
+    ) -> None:
+        assert self._checkpoint is not None
+        self._checkpoint.save(
+            SessionCheckpoint(
+                technique=technique,
+                seed=self.seed,
+                query_names=[query.name for query in self.queries],
+                completed=dict(completed),
+                optimizer=optimizer,
+                state=state,
+                cache_events=self._cache_events(),
+            )
+        )
+
+    def _load_checkpoint(self, technique: str) -> "SessionCheckpoint | None":
+        if self._checkpoint is None:
+            return None
+        checkpoint = self._checkpoint.load()
+        if checkpoint is None or not checkpoint.matches(
+            technique, self.seed, [query.name for query in self.queries]
+        ):
+            return None
+        self._restore_cache_events(checkpoint.cache_events)
+        return checkpoint
+
+    # ------------------------------------------------------------------ reporting
+    def health_report(self) -> dict:
+        """Backend-health snapshot: supervision, fault injection, router.
+
+        Walks the backend's wrapper layers (supervisor -> fault harness ->
+        router/pool), so a degraded run — retries burned, replicas on
+        probation, execution running on the inline fallback — is visible in
+        reports next to :attr:`cache_report` instead of silent.
+        """
+        report: dict = {}
+        layer = self._backend
+        seen: set[int] = set()
+        while layer is not None and id(layer) not in seen:
+            seen.add(id(layer))
+            if isinstance(layer, SupervisedBackend):
+                report["supervisor"] = layer.report()
+            elif isinstance(layer, FaultInjectionBackend):
+                report["faults"] = layer.counters.snapshot()
+            elif isinstance(layer, MultiBackendRouter):
+                report["router"] = [status.snapshot() for status in layer.statuses()]
+            layer = getattr(layer, "inner", None)
+        return report
+
     # ------------------------------------------------------------------ schedulers
-    def _run_sequential(self, optimizer, budget: BudgetSpec) -> dict[str, OptimizationResult]:
-        """Drain one query at a time (the behaviour of the old private loops)."""
+    def _run_sequential(
+        self, optimizer, budget: BudgetSpec, technique: str = ""
+    ) -> dict[str, OptimizationResult]:
+        """Drain one query at a time (the behaviour of the old private loops).
+
+        With checkpointing enabled the loop periodically persists the
+        optimizer (and current state) at quiescent points — after an
+        ``observe``, nothing outstanding — plus at every query boundary, and
+        on start resumes from a matching checkpoint: completed queries are
+        restored verbatim, the in-progress query continues from its exact
+        suggest/observe position.
+        """
         results: dict[str, OptimizationResult] = {}
+        resumed_state = None
+        checkpoint = self._load_checkpoint(technique)
+        if checkpoint is not None:
+            results.update(checkpoint.completed)
+            if checkpoint.optimizer is not None:
+                # The pickled optimizer carries the mid-run model/RNG state
+                # the freshly built one lacks.
+                optimizer = checkpoint.optimizer
+            resumed_state = checkpoint.state
         for query in self.queries:
-            state = optimizer.start(query, budget=budget)
+            if query.name in results:
+                continue
+            if resumed_state is not None and resumed_state.query.name == query.name:
+                state, resumed_state = resumed_state, None
+            else:
+                state = optimizer.start(query, budget=budget)
             while state.budget_left():
                 proposal = optimizer.suggest(state)
                 if proposal is None:
                     break
                 optimizer.observe(state, self._execute(proposal, query))
+                if self._checkpoint is not None and self._checkpoint.due():
+                    self._save_checkpoint(technique, optimizer, results, state=state)
             results[query.name] = optimizer.finish(state)
+            if self._checkpoint is not None:
+                self._save_checkpoint(technique, optimizer, results)
+        if self._checkpoint is not None:
+            self._checkpoint.clear()
         return results
 
-    def _run_workload_level(self, optimizer, budget: BudgetSpec) -> dict[str, OptimizationResult]:
+    def _run_workload_level(
+        self, optimizer, budget: BudgetSpec, technique: str = ""
+    ) -> dict[str, OptimizationResult]:
         """Drive a workload-level optimizer against the shared budget pool."""
-        state = optimizer.start_workload(self.queries, budget=budget.scaled(len(self.queries)))
+        state = None
+        checkpoint = self._load_checkpoint(technique)
+        if checkpoint is not None and checkpoint.state is not None:
+            if checkpoint.optimizer is not None:
+                optimizer = checkpoint.optimizer
+            state = checkpoint.state
+        if state is None:
+            state = optimizer.start_workload(
+                self.queries, budget=budget.scaled(len(self.queries))
+            )
         while state.budget_left():
             proposal = optimizer.suggest(state)
             if proposal is None:
                 break
             optimizer.observe(state, self._execute(proposal, proposal.query))
-        return optimizer.finish_workload(state)
+            if self._checkpoint is not None and self._checkpoint.due():
+                self._save_checkpoint(technique, optimizer, {}, state=state)
+        results = optimizer.finish_workload(state)
+        if self._checkpoint is not None:
+            self._checkpoint.clear()
+        return results
 
     def _run_interleaved(
         self,
@@ -617,4 +754,5 @@ def run_comparison(
         for technique in techniques:
             run.results[technique] = session.run(technique)
         run.cache_summary = session.cache_report.summary()
+        run.backend_health = session.health_report()
         return run
