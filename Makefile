@@ -5,7 +5,7 @@
 
 PYTEST = PYTHONPATH=src python -m pytest
 
-.PHONY: test quick bench-smoke
+.PHONY: test quick bench-smoke serve-smoke
 
 test:
 	$(PYTEST) -x -q
@@ -20,3 +20,7 @@ bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_batch_ask.py --smoke
 	PYTHONPATH=src python benchmarks/bench_plan_cache.py --smoke
 	PYTHONPATH=src python benchmarks/bench_faults.py --smoke
+	PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+
+serve-smoke:
+	PYTHONPATH=src python benchmarks/bench_serve.py --smoke

@@ -1,0 +1,299 @@
+"""Plan-serving benchmark: the acceptance gates of the serving layer.
+
+Drives a seeded Zipf/bursty query stream (with a mid-stream data-drift event)
+through a :class:`~repro.serve.server.PlanServer` and gates on the three
+properties a plan server must actually deliver:
+
+* **fast path** — every repeat arrival is served from the store (>= 90% of
+  repeats, and with this design exactly 100%), and the fast path invokes no
+  planner, no optimizer and no executor: a server whose database is replaced
+  by a poisoned stub still serves every known fingerprint.  ``served_qps``
+  (store lookups per second, measured over the poisoned server) and
+  ``fast_path_hit_rate`` are the headline metrics tracked by
+  ``bench_trend.py``.
+* **drift recovery** — the mid-stream drift event (rolled-back "past"
+  snapshot -> full "future" database) regresses stored plans; the drift
+  detector flags them, admission prioritizes them, and background
+  re-optimization brings the drifted queries' served latency back below
+  their post-drift (pre-re-optimization) level.
+* **kill + resume is exact** — a server killed mid-stream and resumed from
+  its persisted store serves the remaining arrivals with a trace bit-for-bit
+  identical to the uninterrupted run.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from collections import defaultdict
+
+from repro.core.protocol import BudgetSpec
+from repro.serve import (
+    DriftEvent,
+    PlanServer,
+    ServeConfig,
+    TrafficConfig,
+    TrafficGenerator,
+    drive_stream,
+)
+from repro.workloads.drift import rollback_to_date
+from repro.workloads.stack import STACK_DATE_2017, build_stack_workload
+
+SEED = 0
+FULL_ARRIVALS = 500
+SMOKE_ARRIVALS = 160
+FULL_QUERIES = 24
+SMOKE_QUERIES = 12
+MAINTENANCE_EVERY = 25
+KILL_AT_FRACTION = 0.6  # kill the resume arm at this point of the stream
+QPS_PROBES = 20_000
+
+
+class _PoisonedDatabase:
+    """Stands in for the live database to prove fast-path purity.
+
+    Any attribute access raises: a serve that plans, optimizes or executes
+    through the server's database cannot be a pure store lookup.
+    """
+
+    def __getattr__(self, name: str):
+        raise AssertionError(f"fast path touched database.{name}")
+
+
+def _serve_config() -> ServeConfig:
+    return ServeConfig(
+        technique="bao",
+        budget=BudgetSpec(max_executions=16),
+        drift_factor=1.3,
+        seed=SEED,
+    )
+
+
+def _traffic_config(arrivals: int) -> TrafficConfig:
+    return TrafficConfig(
+        num_arrivals=arrivals,
+        zipf_alpha=1.1,
+        seed=SEED,
+        burst_every=120,
+        burst_length=40,
+        drift_events=(DriftEvent(index=arrivals // 2, cutoff=None),),
+    )
+
+
+def _drift_recovery(result, drift_index: int) -> dict:
+    """Per-query latency before/after re-optimization, for drifted queries.
+
+    A query counts as recovered when its mean served latency *after* its
+    post-drift re-optimization is below its mean served latency *between*
+    the drift event and that re-optimization.
+    """
+    reopt_at: dict[str, int] = {}
+    for record in result.maintenance:
+        if record.arrival_index >= drift_index and record.query_name not in reopt_at:
+            reopt_at[record.query_name] = record.arrival_index
+    serves = defaultdict(list)
+    for record in result.records:
+        if record.index >= drift_index and not record.timed_out:
+            serves[record.query_name].append((record.index, record.latency))
+    recovered, regressions = [], []
+    for name, reopt_index in sorted(reopt_at.items()):
+        before = [lat for idx, lat in serves[name] if idx <= reopt_index]
+        after = [lat for idx, lat in serves[name] if idx > reopt_index]
+        if not before or not after:
+            continue
+        mean_before = sum(before) / len(before)
+        mean_after = sum(after) / len(after)
+        regressions.append(
+            {
+                "query": name,
+                "reopt_at": reopt_index,
+                "mean_latency_post_drift": mean_before,
+                "mean_latency_post_reopt": mean_after,
+                "recovered": mean_after < mean_before,
+            }
+        )
+        if mean_after < mean_before:
+            recovered.append(name)
+    return {
+        "reoptimized_after_drift": len(reopt_at),
+        "comparable": len(regressions),
+        "recovered": len(recovered),
+        "details": regressions,
+    }
+
+
+def run_benchmark(arrivals: int, num_queries: int, store_dir: str) -> dict:
+    workload = build_stack_workload(
+        scale=0.05, seed=SEED, num_templates=8, num_queries=num_queries
+    )
+    future = workload.database
+    past = rollback_to_date(future, STACK_DATE_2017)
+    config = _serve_config()
+    traffic = _traffic_config(arrivals)
+    generator = TrafficGenerator(workload.queries, traffic)
+    drift_index = traffic.drift_events[0].index
+
+    # ------------------------------------------------------------ arm 1: reference stream
+    with PlanServer(past, config=config, workload=workload) as server:
+        start = time.perf_counter()
+        reference = drive_stream(
+            server, generator, future, maintenance_every=MAINTENANCE_EVERY
+        )
+        stream_s = time.perf_counter() - start
+        # Snapshot before the QPS probe below, which serves through the same
+        # counters object.
+        counters = server.counters.snapshot()
+
+        # Fast-path purity + throughput: serve known fingerprints against a
+        # poisoned database — any planner/optimizer/executor touch raises.
+        known = [entry.query for entry in server.store.entries.values()]
+        live_database = server.database
+        server.database = _PoisonedDatabase()
+        try:
+            probe_start = time.perf_counter()
+            for i in range(QPS_PROBES):
+                decision = server.serve(known[i % len(known)])
+                assert decision.source == "store"
+            probe_s = time.perf_counter() - probe_start
+        finally:
+            server.database = live_database
+
+    repeats = generator.repeat_arrivals()
+    fast_path_hit_rate = counters["fast_path"] / repeats if repeats else 0.0
+    drift = _drift_recovery(reference, drift_index)
+
+    # ------------------------------------------------------------ arm 2: kill + resume
+    kill_at = int(arrivals * KILL_AT_FRACTION)
+    store_path = os.path.join(store_dir, "plan_store.pkl")
+    with PlanServer(past, config=config, workload=workload) as victim:
+        drive_stream(
+            victim,
+            generator,
+            future,
+            stop_index=kill_at,
+            maintenance_every=MAINTENANCE_EVERY,
+            checkpoint_path=store_path,
+        )
+        # The "kill": the victim object is simply abandoned here — everything
+        # the resumed server knows comes from the persisted store.
+
+    current = DriftEvent(index=drift_index).realize(future) if kill_at > drift_index else past
+    with PlanServer.resume(store_path, current, config=config, workload=workload) as resumed:
+        resumed_arrivals = resumed.counters.arrivals
+        tail = drive_stream(
+            resumed,
+            generator,
+            future,
+            start_index=kill_at,
+            maintenance_every=MAINTENANCE_EVERY,
+        )
+
+    reference_tail = [r for r in reference.records if r.index >= kill_at]
+    resume_bitforbit = tail.trace() == [
+        (r.index, r.query_name, r.fingerprint, r.source, r.latency, r.timed_out)
+        for r in reference_tail
+    ]
+
+    return {
+        "arrivals": arrivals,
+        "distinct_queries": generator.distinct_queries(),
+        "repeat_arrivals": repeats,
+        "stream_s": stream_s,
+        "counters": counters,
+        "fast_path_hit_rate": fast_path_hit_rate,
+        "fast_path_pure": True,  # the poisoned probe loop would have raised
+        "served_qps": QPS_PROBES / probe_s if probe_s > 0 else float("inf"),
+        "drift_index": drift_index,
+        "drift": drift,
+        "kill_at": kill_at,
+        "resumed_arrivals_on_record": resumed_arrivals,
+        "resume_bitforbit": resume_bitforbit,
+        "maintenance_tasks": len(reference.maintenance),
+        "store_bytes": os.path.getsize(store_path),
+    }
+
+
+def gate_failures(report: dict, smoke: bool) -> list[str]:
+    failures = []
+    if not smoke and report["arrivals"] < 500:
+        failures.append("stream shorter than the 500-arrival gate")
+    if not smoke and report["distinct_queries"] < 20:
+        failures.append("stream has fewer than 20 distinct queries")
+    if report["fast_path_hit_rate"] < 0.90:
+        failures.append(
+            f"fast-path hit rate {report['fast_path_hit_rate']:.3f} below 0.90"
+        )
+    if report["drift"]["comparable"] == 0:
+        failures.append("no drifted query was re-optimized with serves on both sides")
+    elif report["drift"]["recovered"] == 0:
+        failures.append("re-optimization lowered no drifted query's served latency")
+    if not report["resume_bitforbit"]:
+        failures.append("resumed serve trace diverges from the uninterrupted run")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="smaller stream (CI smoke mode)")
+    parser.add_argument("--json", metavar="PATH", help="write the result breakdown to PATH")
+    args = parser.parse_args(argv)
+
+    arrivals = SMOKE_ARRIVALS if args.smoke else FULL_ARRIVALS
+    num_queries = SMOKE_QUERIES if args.smoke else FULL_QUERIES
+    with tempfile.TemporaryDirectory(prefix="bench_serve_") as store_dir:
+        report = run_benchmark(arrivals, num_queries, store_dir)
+
+    counters = report["counters"]
+    print(
+        f"plan serving @ {report['arrivals']} arrivals, "
+        f"{report['distinct_queries']} distinct queries "
+        f"(drift at {report['drift_index']})"
+    )
+    print(
+        f"  fast path   {counters['fast_path']}/{report['repeat_arrivals']} repeats "
+        f"({report['fast_path_hit_rate']:.1%}), {counters['misses']} first-sight misses, "
+        f"{counters['planner_calls']} planner calls"
+    )
+    print(f"  throughput  {report['served_qps']:,.0f} serves/s (poisoned-database probe)")
+    print(
+        f"  maintenance {counters['optimizations']} optimizations, "
+        f"{counters['maintenance_executions']} plan executions, "
+        f"{counters['drift_flags']} drift flags"
+    )
+    drift = report["drift"]
+    print(
+        f"  drift       {drift['recovered']}/{drift['comparable']} re-optimized queries "
+        f"recovered below post-drift latency"
+    )
+    for detail in drift["details"]:
+        print(
+            f"              {detail['query']:<14} reopt@{detail['reopt_at']:>4} "
+            f"{detail['mean_latency_post_drift']:.4f}s -> "
+            f"{detail['mean_latency_post_reopt']:.4f}s"
+            f"{'' if detail['recovered'] else '  (not recovered)'}"
+        )
+    print(
+        f"  resume      killed at {report['kill_at']}, store "
+        f"{report['store_bytes'] / 1024:.0f} KiB, "
+        f"bit-for-bit: {report['resume_bitforbit']}"
+    )
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"  wrote {args.json}")
+
+    failures = gate_failures(report, args.smoke)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

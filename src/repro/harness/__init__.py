@@ -10,6 +10,7 @@ wrappers kept for existing call sites.
 """
 
 from repro.harness.metrics import (
+    StreamingPercentiles,
     WorkloadSummary,
     best_latency_curve,
     improvement_cdf,
@@ -41,6 +42,7 @@ __all__ = [
     "ComparisonRun",
     "ExecutionCacheReport",
     "SessionCheckpoint",
+    "StreamingPercentiles",
     "ExecutionOutcome",
     "PlanProposal",
     "TECHNIQUES",

@@ -30,6 +30,37 @@ from dataclasses import dataclass, field
 CHECKPOINT_VERSION = 1
 
 
+def atomic_pickle_save(path: str, payload: object) -> None:
+    """Pickle ``payload`` to ``path`` atomically (temp file + :func:`os.replace`).
+
+    A crash mid-write leaves any previous file intact, never a torn one.
+    Shared by :class:`CheckpointManager` and the plan store
+    (:mod:`repro.serve.store`), so every durable artifact in the repository
+    has the same crash-safety story.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def tolerant_pickle_load(path: str) -> object | None:
+    """Unpickle ``path``, or ``None`` when the file is absent or unreadable.
+
+    Corruption maps to "no artifact", never an error: callers that persist
+    recoverable state (checkpoints, plan stores) treat a damaged file exactly
+    like a missing one and rebuild from scratch.
+    """
+    try:
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        return pickle.loads(payload)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+        return None
+
+
 @dataclass
 class SessionCheckpoint:
     """Everything needed to resume one technique's run over one query list."""
@@ -83,12 +114,7 @@ class CheckpointManager:
     def save(self, checkpoint: SessionCheckpoint) -> None:
         """Atomically persist ``checkpoint`` (temp file + rename)."""
         self._since_save = 0
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        tmp = f"{self.path}.tmp.{os.getpid()}"
-        with open(tmp, "wb") as handle:
-            pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, self.path)
+        atomic_pickle_save(self.path, checkpoint)
 
     def load(self) -> SessionCheckpoint | None:
         """The stored checkpoint, or ``None`` when absent/unreadable.
@@ -98,12 +124,7 @@ class CheckpointManager:
         run, which is exactly what checkpointing was protecting against
         anyway.
         """
-        try:
-            with open(self.path, "rb") as handle:
-                checkpoint = handle.read()
-            loaded = pickle.loads(checkpoint)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
-            return None
+        loaded = tolerant_pickle_load(self.path)
         if not isinstance(loaded, SessionCheckpoint) or loaded.version != CHECKPOINT_VERSION:
             return None
         return loaded

@@ -104,3 +104,64 @@ def percentage_difference(latency: float, baseline: float) -> float:
     if baseline <= 0:
         raise ValueError("baseline latency must be positive")
     return 100.0 * (latency - baseline) / baseline
+
+
+class StreamingPercentiles:
+    """Percentiles over an unbounded stream from a bounded reservoir.
+
+    A long-lived plan server observes millions of latencies; keeping them all
+    to answer "what is the p99?" would grow without bound.  This tracker keeps
+    a uniform sample of the stream (Vitter's Algorithm R: element ``n`` replaces
+    a random reservoir slot with probability ``capacity / n``) and reads
+    percentiles off the sample.  Up to ``capacity`` observations the sample
+    *is* the stream, so small-stream percentiles are exact — the property the
+    unit tests pin against numpy.
+
+    The replacement draws come from a private seeded generator, so a stream
+    replayed from the same seed reproduces the same reservoir — the tracker
+    is picklable and deterministic, which is what lets a resumed plan server
+    continue an SLO window bit-for-bit.
+    """
+
+    def __init__(self, capacity: int = 512, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be at least 1")
+        self.capacity = capacity
+        self.seed = seed
+        self._values: list[float] = []
+        self._count = 0
+        self._rng = np.random.default_rng(seed)
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        if len(self._values) < self.capacity:
+            self._values.append(float(value))
+            return
+        slot = int(self._rng.integers(0, self._count))
+        if slot < self.capacity:
+            self._values[slot] = float(value)
+
+    def __len__(self) -> int:
+        """Observations *seen* (not retained)."""
+        return self._count
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile of the (sampled) stream; 0.0 before any data."""
+        if not self._values:
+            return 0.0
+        return float(np.percentile(np.asarray(self._values), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def snapshot(self) -> dict:
+        return {"count": self._count, "p50": self.p50, "p95": self.p95, "p99": self.p99}

@@ -1,0 +1,88 @@
+"""End-to-end plan-serving demo: ``python -m repro.serve``.
+
+Builds a small Stack-like workload, starts a :class:`~repro.serve.server.PlanServer`
+on the rolled-back 2017 snapshot, and drives a seeded Zipf/bursty stream with a
+mid-stream drift event to the full database.  Prints the serve counters, the
+maintenance log and the SLO percentiles, then demonstrates checkpoint/resume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+
+from repro.core.protocol import BudgetSpec
+from repro.serve.server import PlanServer, ServeConfig
+from repro.serve.traffic import DriftEvent, TrafficConfig, TrafficGenerator, drive_stream
+from repro.workloads.drift import rollback_to_date
+from repro.workloads.stack import STACK_DATE_2017, build_stack_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description="plan-serving demo")
+    parser.add_argument("--arrivals", type=int, default=200)
+    parser.add_argument("--queries", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("building workload ...")
+    workload = build_stack_workload(
+        scale=0.05, seed=args.seed, num_templates=6, num_queries=args.queries
+    )
+    future = workload.database
+    past = rollback_to_date(future, STACK_DATE_2017)
+
+    config = ServeConfig(
+        technique="bao",
+        budget=BudgetSpec(max_executions=16),
+        drift_factor=1.3,
+        seed=args.seed,
+    )
+    traffic = TrafficConfig(
+        num_arrivals=args.arrivals,
+        seed=args.seed,
+        drift_events=(DriftEvent(index=args.arrivals // 2, cutoff=None),),
+    )
+    generator = TrafficGenerator(workload.queries, traffic)
+
+    print(
+        f"stream: {len(generator)} arrivals, {generator.distinct_queries()} distinct "
+        f"queries, drift at arrival {args.arrivals // 2}"
+    )
+    with PlanServer(past, config=config, workload=workload) as server:
+        result = drive_stream(server, generator, future, maintenance_every=25)
+        summary = server.summary()
+
+        counters = summary["counters"]
+        print("\nserve counters:")
+        for key, value in counters.items():
+            print(f"  {key:>24}: {value:.3f}" if isinstance(value, float) else f"  {key:>24}: {value}")
+
+        print("\nmaintenance log:")
+        for record in result.maintenance:
+            print(
+                f"  {record.query_name:<12} reason={record.reason:<9} "
+                f"technique={record.technique} executions={record.executions} "
+                f"best={record.best_latency:.4f} adopted={record.adopted} "
+                f"warm_started={record.warm_started}"
+            )
+
+        print("\nSLO percentiles (store-served):")
+        for key, value in summary["slo_store"].items():
+            print(f"  {key:>8}: {value:.4f}" if isinstance(value, float) else f"  {key:>8}: {value}")
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "plan_store.pkl")
+            server.checkpoint(path)
+            print(f"\ncheckpointed store to {path} ({os.path.getsize(path)} bytes)")
+            resumed = PlanServer.resume(path, server.database, config=config, workload=workload)
+            print(
+                f"resumed: {len(resumed.store)} entries, "
+                f"{resumed.counters.arrivals} arrivals on record"
+            )
+            resumed.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,530 @@
+"""The long-lived plan server: microsecond fast path + background maintenance.
+
+The offline/online split of the paper's Figure 2, made operational.  A
+:class:`PlanServer` answers a query stream:
+
+* **Fast path** — a known fingerprint resolves to its stored plan with one
+  dictionary lookup.  No optimizer, no planner, no executor is invoked; the
+  serve itself costs microseconds, which is what lets the store amortize
+  thousands of offline plan executions over millions of serves.
+* **Miss path** — an unknown fingerprint falls back to the default planner
+  *once*, and the produced plan is promoted into the store immediately: the
+  second arrival of any query is already a store hit.  The admission policy
+  (:mod:`repro.serve.admission`) then decides whether the fingerprint's
+  popularity earns it real optimization budget.
+* **Telemetry** — clients report the latency each served plan actually
+  achieved (:meth:`PlanServer.report`).  Observations feed per-entry rolling
+  windows and a reservoir-sampled SLO tracker
+  (:class:`~repro.harness.metrics.StreamingPercentiles`); when a window's
+  median diverges from the store's recorded latency by more than
+  ``drift_factor`` — the stale-plan signal of :mod:`repro.workloads.drift` —
+  the entry is flagged for re-optimization.
+* **Maintenance** — :meth:`PlanServer.run_maintenance` drains the admission
+  policy's triage list: each task builds the configured technique from the
+  registry, drives it through the standard ask/tell protocol with plan
+  executions routed through an :mod:`repro.exec` backend
+  (:class:`~repro.core.config.ExecutionServiceConfig`), warm-starting
+  regressed entries from the stored observation history via
+  :func:`repro.core.reoptimize.warm_start_plans`, and folds the finished run
+  back into the store.
+
+Everything the server decides from — store entries, admission counters, SLO
+reservoirs, arrival counts — persists through :meth:`PlanServer.checkpoint`
+and :meth:`PlanServer.resume`, so a server killed mid-stream continues the
+remaining arrivals bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import ExecutionServiceConfig
+from repro.core.protocol import BudgetSpec, PlanProposal
+from repro.core.registry import TechniqueContext, get_technique
+from repro.core.reoptimize import warm_start_plans
+from repro.db.engine import Database
+from repro.db.query import Query
+from repro.exceptions import OptimizationError
+from repro.exec import ExecutionBackend, ExecutionRequest, make_backend
+from repro.harness.metrics import StreamingPercentiles
+from repro.plans.jointree import JoinTree
+from repro.serve.admission import AdmissionConfig, AdmissionPolicy, AdmissionTask
+from repro.serve.store import PlanStore, StoreEntry
+
+if False:  # pragma: no cover - typing only
+    from repro.core.optimizer import SchemaModel
+    from repro.workloads.base import Workload
+
+#: Timeout of server-side warm-start seed executions (matches the generous
+#: first-execution timeout the Bao baseline uses).
+WARM_START_TIMEOUT = 600.0
+
+
+def data_signature(database: Database) -> tuple:
+    """Cheap deterministic identity of a database's *data* snapshot.
+
+    Outcome-cache event logs replay recorded charges verbatim; replaying logs
+    recorded on one snapshot against another would report the old snapshot's
+    latencies.  The store therefore tags its exported logs with this
+    signature — per-table row counts plus the executor's noise seeding — and
+    :meth:`PlanServer.resume` only primes a database whose signature matches.
+    """
+    rows = tuple(sorted((name, rel.num_rows) for name, rel in database.relations.items()))
+    return (rows, database.executor.noise_sigma, database.executor.seed)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the serving layer."""
+
+    #: Registry technique driven by background maintenance ("bao" by default:
+    #: no schema model needed and a naturally bounded search space).
+    technique: str = "bao"
+    #: Latency SLO observed executions are judged against (``inf`` disables
+    #: SLO-based admission pressure).
+    slo_latency: float = float("inf")
+    #: Window-median / recorded-latency ratio that flags an entry as drifted.
+    drift_factor: float = 1.5
+    #: Observations a window needs before the drift detector may fire.
+    drift_min_observations: int = 2
+    #: Per-entry rolling window length (observations since last optimization).
+    observation_window: int = 32
+    #: Fastest distinct history plans seeded into a warm-started
+    #: re-optimization (plus the incumbent plan itself).
+    warm_start_history: int = 4
+    #: Budget of one background optimization task (techniques flagged
+    #: ``ignores_execution_cap`` drop the count axis, as in the harness).
+    budget: BudgetSpec = field(default_factory=BudgetSpec)
+    #: Where maintenance plan executions run; ``None`` = inline.
+    exec_config: ExecutionServiceConfig | None = None
+    #: Admission policy knobs.
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: Reservoir size of the SLO percentile trackers.
+    slo_reservoir: int = 512
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.drift_factor < 1.0:
+            raise OptimizationError("drift_factor must be at least 1")
+        if self.drift_min_observations < 1:
+            raise OptimizationError("drift_min_observations must be at least 1")
+        if self.observation_window < 1:
+            raise OptimizationError("observation_window must be at least 1")
+        if self.warm_start_history < 0:
+            raise OptimizationError("warm_start_history must be non-negative")
+        if self.slo_latency <= 0:
+            raise OptimizationError("slo_latency must be positive")
+
+
+@dataclass(frozen=True)
+class ServeDecision:
+    """What the server answered one arrival with."""
+
+    query: Query
+    plan: JoinTree
+    #: ``"store"`` (fast path) or ``"default"`` (first-sight planner fallback).
+    source: str
+    fingerprint: tuple
+
+
+@dataclass
+class ServeCounters:
+    """Cumulative serving statistics (picklable; persisted with the store)."""
+
+    arrivals: int = 0
+    fast_path: int = 0
+    misses: int = 0
+    #: Default-planner invocations — incremented on the miss path only; the
+    #: fast path never plans, optimizes or executes anything.
+    planner_calls: int = 0
+    reports: int = 0
+    slo_violations: int = 0
+    drift_flags: int = 0
+    optimizations: int = 0
+    maintenance_executions: int = 0
+
+    @property
+    def fast_path_rate(self) -> float:
+        return self.fast_path / self.arrivals if self.arrivals else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "arrivals": self.arrivals,
+            "fast_path": self.fast_path,
+            "misses": self.misses,
+            "planner_calls": self.planner_calls,
+            "fast_path_rate": self.fast_path_rate,
+            "reports": self.reports,
+            "slo_violations": self.slo_violations,
+            "drift_flags": self.drift_flags,
+            "optimizations": self.optimizations,
+            "maintenance_executions": self.maintenance_executions,
+        }
+
+
+@dataclass(frozen=True)
+class MaintenanceRecord:
+    """One finished background optimization task."""
+
+    query_name: str
+    reason: str
+    technique: str
+    executions: int
+    best_latency: float
+    #: Whether the run's best plan replaced the incumbent in the store.
+    adopted: bool
+    warm_started: bool
+    #: Arrival index the maintenance cycle ran at (stamped by the serve
+    #: loop; -1 when maintenance was invoked outside a stream).
+    arrival_index: int = -1
+
+
+class PlanServer:
+    """Serves plans for a query stream out of a persistent store.
+
+    Parameters
+    ----------
+    database:
+        The live database clients execute against.  Swapped wholesale on
+        data drift via :meth:`update_database`.
+    store / admission:
+        Persistent state; fresh instances by default.  Pass the objects a
+        previous session persisted to continue its stream (or use
+        :meth:`resume`, which wires all of it from one file).
+    config:
+        Serving knobs (:class:`ServeConfig`).
+    workload / schema_model:
+        Optional context for techniques that need them (BayesQO's schema
+        model; workload-aware factories).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        store: PlanStore | None = None,
+        admission: AdmissionPolicy | None = None,
+        config: ServeConfig | None = None,
+        workload: "Workload | None" = None,
+        schema_model: "SchemaModel | None" = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.database = database
+        self.workload = workload
+        self.schema_model = schema_model
+        self.store = store or PlanStore(observation_window=self.config.observation_window)
+        self.admission = admission or AdmissionPolicy(config=self.config.admission)
+        self.counters = ServeCounters()
+        #: SLO tracking: latency percentiles over everything served from the
+        #: store vs everything served from the default planner.
+        self.slo_store = StreamingPercentiles(self.config.slo_reservoir, seed=self.config.seed)
+        self.slo_default = StreamingPercentiles(
+            self.config.slo_reservoir, seed=self.config.seed + 1
+        )
+        self._backend: ExecutionBackend | None = None
+
+    # ------------------------------------------------------------------ serving
+    def serve(self, query: Query) -> ServeDecision:
+        """Answer one arrival.
+
+        Fast path: fingerprint -> stored plan, one dict lookup.  Miss path:
+        default planner once, plan promoted into the store so every repeat
+        arrival of this fingerprint is a fast-path serve.
+        """
+        self.counters.arrivals += 1
+        entry = self.store.get(query)
+        if entry is not None and entry.best_plan is not None:
+            entry.serves += 1
+            self.counters.fast_path += 1
+            self.admission.note_arrival(entry.fingerprint, entry.optimized)
+            return ServeDecision(
+                query=query, plan=entry.best_plan, source="store",
+                fingerprint=entry.fingerprint,
+            )
+        entry = self.store.ensure(query)
+        self.counters.misses += 1
+        self.counters.planner_calls += 1
+        entry.best_plan = self.database.plan(query)
+        entry.source = "default"
+        self.admission.note_arrival(entry.fingerprint, entry.optimized)
+        return ServeDecision(
+            query=query, plan=entry.best_plan, source="default",
+            fingerprint=entry.fingerprint,
+        )
+
+    def report(self, decision: ServeDecision, latency: float, timed_out: bool = False) -> None:
+        """Client telemetry: the served plan ran in ``latency`` seconds.
+
+        Feeds the per-entry drift window, the SLO reservoirs and the
+        admission policy's violation counters; flags the entry for
+        re-optimization when the window median exceeds ``drift_factor`` times
+        the store's recorded latency.
+        """
+        self.counters.reports += 1
+        entry = self.store.get_fingerprint(decision.fingerprint)
+        if entry is None:
+            return
+        (self.slo_store if decision.source == "store" else self.slo_default).add(latency)
+        slo_violated = not timed_out and latency > self.config.slo_latency
+        if timed_out:
+            slo_violated = True
+        if slo_violated:
+            self.counters.slo_violations += 1
+        self.admission.note_latency(entry.fingerprint, slo_violated)
+        if timed_out:
+            return
+        entry.observe(latency)
+        if entry.recorded_latency == float("inf"):
+            # First observation of a freshly promoted default plan: it *is*
+            # the drift baseline until optimization replaces it.
+            entry.recorded_latency = latency
+            return
+        median = entry.observed_median()
+        if (
+            median is not None
+            and len(entry.observed) >= self.config.drift_min_observations
+            and median > self.config.drift_factor * entry.recorded_latency
+        ):
+            self.admission.flag_regression(entry.fingerprint, median / entry.recorded_latency)
+            self.counters.drift_flags += 1
+
+    # ------------------------------------------------------------------ drift
+    def update_database(self, database: Database) -> None:
+        """Swap the live database (a drift event).
+
+        Stored plans and recorded latencies deliberately stay: they are the
+        *record* the drift detector compares fresh observations against.  The
+        maintenance backend is rebuilt lazily against the new data.
+        """
+        self.database = database
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    # ------------------------------------------------------------------ maintenance
+    def _known_queries(self) -> list[Query]:
+        if self.workload is not None:
+            return list(self.workload.queries)
+        return [entry.query for entry in self.store.entries.values()]
+
+    def backend(self) -> ExecutionBackend:
+        """The maintenance execution backend, built lazily from the config."""
+        if self._backend is None:
+            config = self.config.exec_config or ExecutionServiceConfig()
+            self._backend = make_backend(config, self.database, self._known_queries())
+        return self._backend
+
+    def close(self) -> None:
+        """Release the maintenance backend's pools.  Idempotent."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def __enter__(self) -> "PlanServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _technique_context(self) -> TechniqueContext:
+        return TechniqueContext(
+            database=self.database,
+            workload=self.workload,
+            schema_model=self.schema_model,
+            seed=self.config.seed,
+        )
+
+    @staticmethod
+    def _detached_optimizer_state(optimizer) -> object:
+        """A picklable snapshot of a finished optimizer, detached from its
+        live context — the database/workload/schema-model references would
+        drag full relation arrays into every store pickle, and they are stale
+        after drift anyway (re-optimization always rebuilds against the
+        current database)."""
+        clone = copy.copy(optimizer)
+        for attr in ("database", "workload", "schema_model"):
+            if hasattr(clone, attr):
+                setattr(clone, attr, None)
+        return clone
+
+    @staticmethod
+    def _supports_initial_plans(optimizer) -> bool:
+        try:
+            return "initial_plans" in inspect.signature(optimizer.start).parameters
+        except (TypeError, ValueError):
+            return False
+
+    def run_maintenance(self, limit: int | None = None) -> list[MaintenanceRecord]:
+        """Drain the admission triage list: optimize what earned budget.
+
+        "Background" is architectural, not concurrent: maintenance runs
+        between serves (never *on* the serve path) and its plan executions go
+        through the configured :mod:`repro.exec` backend, which is where real
+        concurrency lives.  Returns one record per finished task.
+        """
+        records = []
+        for task in self.admission.triage(limit):
+            entry = self.store.get_fingerprint(task.fingerprint)
+            if entry is None:
+                continue
+            records.append(self._optimize_entry(entry, task))
+        if records:
+            self.store.sync_cache(self.database)
+        return records
+
+    def _optimize_entry(self, entry: StoreEntry, task: AdmissionTask) -> MaintenanceRecord:
+        spec = get_technique(self.config.technique)
+        optimizer = spec.factory(self._technique_context())
+        budget = self.config.budget
+        if spec.ignores_execution_cap:
+            budget = replace(budget, max_executions=None)
+        query = entry.query
+        backend = self.backend()
+        # The re-optimization recipe of Section 5.5, fed from the *stored*
+        # history instead of a live session: the incumbent plan and its
+        # fastest runners-up anchor the search in what past optimization
+        # discovered, re-measured against the current (possibly drifted)
+        # data.  Optimizers whose ``start`` takes ``initial_plans`` (BayesQO)
+        # fold the seeds into their model; for the rest the server executes
+        # the seeds itself and merges them into the run's trace.
+        warm_started = False
+        seeds: list = []
+        if entry.optimized and entry.best_plan is not None:
+            seeds = warm_start_plans(
+                self.database,
+                query,
+                entry.best_plan,
+                history=entry.fastest_history_plans(self.config.warm_start_history),
+                include_bao=False,
+            )
+            warm_started = bool(seeds)
+        start_kwargs: dict = {}
+        inline_seeds = seeds
+        if seeds and self._supports_initial_plans(optimizer):
+            start_kwargs["initial_plans"] = warm_start_plans(
+                self.database,
+                query,
+                entry.best_plan,
+                history=entry.fastest_history_plans(self.config.warm_start_history),
+            )
+            inline_seeds = []
+        seed_records: list[tuple] = []
+        for plan, label in inline_seeds:
+            request = ExecutionRequest(query=query, plan=plan, timeout=WARM_START_TIMEOUT)
+            outcome = backend.submit(request).result()
+            self.counters.maintenance_executions += 1
+            seed_records.append((plan, outcome.latency, outcome.timed_out, outcome.timeout, label))
+        state = optimizer.start(query, budget=budget, **start_kwargs)
+        while state.budget_left():
+            proposal = optimizer.suggest(state)
+            if proposal is None:
+                break
+            outcome = backend.submit(self._request(proposal, query)).result()
+            self.counters.maintenance_executions += 1
+            optimizer.observe(state, outcome)
+        result = optimizer.finish(state)
+        for plan, latency, censored, timeout, label in seed_records:
+            result.record(plan, latency, censored, timeout, source=label)
+        entry.record_run(result.trace, technique=spec.name)
+        entry.optimizer = self._detached_optimizer_state(optimizer)
+        best = result.best_latency_or(float("inf"))
+        # The incumbent's worth *on the current data* is what fresh
+        # observations say, not the (possibly pre-drift) recorded latency.
+        median = entry.observed_median()
+        incumbent = median if median is not None else entry.recorded_latency
+        adopted = best < incumbent
+        if adopted:
+            entry.best_plan = result.best_plan
+            entry.recorded_latency = best
+        elif median is not None:
+            # Keep the incumbent but refresh its drift baseline to the
+            # current data, so the detector re-arms at post-drift reality.
+            entry.recorded_latency = median
+        entry.optimized = True
+        entry.observed.clear()
+        self.admission.note_optimized(entry.fingerprint)
+        self.counters.optimizations += 1
+        return MaintenanceRecord(
+            query_name=query.name,
+            reason=task.reason,
+            technique=spec.name,
+            executions=result.num_executions,
+            best_latency=best,
+            adopted=adopted,
+            warm_started=warm_started,
+        )
+
+    def _request(self, proposal: PlanProposal, query: Query) -> ExecutionRequest:
+        target = proposal.query if proposal.query is not None else query
+        return ExecutionRequest(
+            query=target,
+            plan=proposal.plan,
+            timeout=proposal.timeout,
+            proposal_id=proposal.proposal_id,
+        )
+
+    # ------------------------------------------------------------------ persistence
+    def checkpoint(self, path: str) -> None:
+        """Persist everything the server decides from, atomically."""
+        self.store.sync_cache(self.database)
+        self.store.server_state = {
+            "admission": self.admission,
+            "counters": self.counters,
+            "slo_store": self.slo_store,
+            "slo_default": self.slo_default,
+            "data_signature": data_signature(self.database),
+        }
+        self.store.save(path)
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        database: Database,
+        *,
+        config: ServeConfig | None = None,
+        workload: "Workload | None" = None,
+        schema_model: "SchemaModel | None" = None,
+    ) -> "PlanServer":
+        """Rebuild a server from a persisted store.
+
+        Restores entries, admission counters, SLO reservoirs and serve
+        counters; primes ``database``'s execution cache from the stored
+        outcome logs when (and only when) the data signature matches — event
+        logs recorded on a different snapshot would replay the wrong
+        latencies.
+        """
+        store = PlanStore.load(path)
+        if store is None:
+            raise OptimizationError(f"no plan store at {path!r}")
+        server = cls(
+            database,
+            store=store,
+            config=config,
+            workload=workload,
+            schema_model=schema_model,
+        )
+        state = store.server_state
+        if "admission" in state:
+            server.admission = state["admission"]
+        if "counters" in state:
+            server.counters = state["counters"]
+        if "slo_store" in state:
+            server.slo_store = state["slo_store"]
+        if "slo_default" in state:
+            server.slo_default = state["slo_default"]
+        if state.get("data_signature") == data_signature(database):
+            store.prime(database)
+        return server
+
+    # ------------------------------------------------------------------ reporting
+    def summary(self) -> dict:
+        return {
+            "counters": self.counters.snapshot(),
+            "store": self.store.summary(),
+            "admission": self.admission.summary(),
+            "slo_store": self.slo_store.snapshot(),
+            "slo_default": self.slo_default.snapshot(),
+        }

@@ -1,0 +1,271 @@
+"""The persistent plan store: what the serving layer knows across sessions.
+
+Everything the offline tuner learns about a query — the best plan it found,
+the full observation history that found it, the finished optimizer object and
+the execution cache's replayable outcome logs — is worth exactly nothing if
+it dies with the process.  The store is the first layer of the system that
+lives *across* sessions: a fingerprint-keyed map of :class:`StoreEntry`
+records persisted with the same atomic-write machinery as session
+checkpoints (:mod:`repro.harness.checkpoint`), under an explicit, versioned
+on-disk format.
+
+Keys are PR 5's **content-based query fingerprints**
+(:func:`repro.db.plan_cache.query_fingerprint`): two Query objects describing
+the same tables/joins/filters share one entry regardless of name, and two
+same-named queries with different filters never collide — the property a
+server facing ad-hoc client queries needs.
+
+The store also carries the exported outcome-cache event logs
+(:meth:`~repro.db.plan_cache.ExecutionCache.export_outcomes`), so
+:meth:`PlanStore.prime` can warm a fresh :class:`~repro.db.engine.Database`'s
+execution cache on restore: the first post-restart execution of every known
+plan is an outcome replay, not a from-scratch run.
+
+Unlike checkpoint files — where corruption silently means "start over" — a
+*version mismatch* on a readable store raises :class:`StoreFormatError`.  A
+checkpoint protects one run; the store is long-lived operational state, and
+silently discarding it because the format drifted is exactly the failure mode
+the versioned header (and the CI assertion on :data:`STORE_FORMAT_VERSION`)
+exists to make loud.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.db.engine import Database
+from repro.db.plan_cache import query_fingerprint
+from repro.db.query import Query
+from repro.exceptions import ReproError
+from repro.harness.checkpoint import atomic_pickle_save, tolerant_pickle_load
+from repro.plans.jointree import JoinTree
+
+#: On-disk format version.  Bump this (and only this) when the payload layout
+#: changes — the tier-1 suite asserts the constant and a freshly written
+#: file's header agree, so silent format drift fails CI loudly.
+STORE_FORMAT_VERSION = 1
+
+
+class StoreFormatError(ReproError):
+    """A plan-store file was readable but its format version does not match."""
+
+
+@dataclass
+class StoredObservation:
+    """One plan execution from an optimization run, as the store remembers it."""
+
+    plan: JoinTree
+    latency: float
+    censored: bool
+    timeout: float | None
+    source: str
+
+
+@dataclass
+class StoreEntry:
+    """Everything the server knows about one query fingerprint.
+
+    ``best_plan`` is what the fast path serves; ``recorded_latency`` is the
+    latency the store *expects* that plan to achieve (the drift baseline).
+    ``observed`` is the rolling window of latencies seen since the entry was
+    last (re-)optimized — the drift detector reads it, and re-optimization
+    resets it.  ``history`` is the full observation history of every
+    optimization run that touched this entry, in execution order; its fastest
+    uncensored plans are the warm-start seeds for re-optimization.
+    ``optimizer`` holds the finished optimizer object of the last run (models,
+    RNGs) for inspection and future transfer-learning — it is *state*, not a
+    live optimizer: after drift it would be stale, so re-optimization always
+    rebuilds against the current database and warm-starts from ``history``.
+    """
+
+    fingerprint: tuple
+    query: Query
+    best_plan: JoinTree | None = None
+    recorded_latency: float = float("inf")
+    #: Where the served plan came from: "default" (planner fallback promoted
+    #: on first miss) or the optimizing technique's name.
+    source: str = "default"
+    #: Whether an optimization run (not just the default planner) produced
+    #: ``best_plan``.
+    optimized: bool = False
+    history: list[StoredObservation] = field(default_factory=list)
+    optimizer: object | None = None
+    #: Fast-path serves of this entry, over its lifetime.
+    serves: int = 0
+    #: Rolling latency window since the last (re-)optimization.
+    observed: deque = field(default_factory=lambda: deque(maxlen=32))
+    #: How many times this entry has been (re-)optimized.
+    optimizations: int = 0
+
+    def observe(self, latency: float) -> None:
+        self.observed.append(float(latency))
+
+    def observed_median(self) -> float | None:
+        """Median of the current observation window (``None`` when empty)."""
+        if not self.observed:
+            return None
+        ordered = sorted(self.observed)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    def record_run(self, records, technique: str) -> None:
+        """Append one optimization run's trace records to the history."""
+        for record in records:
+            self.history.append(
+                StoredObservation(
+                    plan=record.plan,
+                    latency=record.latency,
+                    censored=record.censored,
+                    timeout=record.timeout,
+                    source=record.source,
+                )
+            )
+        self.optimizations += 1
+        self.source = technique
+
+    def fastest_history_plans(self, count: int) -> list[JoinTree]:
+        """The ``count`` fastest distinct uncensored plans from the history.
+
+        Excludes the current best plan (the warm start passes it separately,
+        with its own ``init:past_plan`` label) and preserves deterministic
+        ordering: latency ascending, earlier observation wins ties.
+        """
+        best_key = self.best_plan.canonical() if self.best_plan is not None else None
+        seen: set = set()
+        ranked: list[tuple[float, int, JoinTree]] = []
+        for index, obs in enumerate(self.history):
+            if obs.censored:
+                continue
+            key = obs.plan.canonical()
+            if key == best_key or key in seen:
+                continue
+            seen.add(key)
+            ranked.append((obs.latency, index, obs.plan))
+        ranked.sort(key=lambda item: (item[0], item[1]))
+        return [plan for _, _, plan in ranked[:count]]
+
+
+class PlanStore:
+    """Fingerprint-keyed persistent map of :class:`StoreEntry` records.
+
+    ``server_state`` is an opaque slot the :class:`~repro.serve.server.PlanServer`
+    uses to persist its own mutable state (admission counters, SLO trackers,
+    arrival counts) alongside the entries, so a resumed server continues the
+    stream bit-for-bit.
+    """
+
+    def __init__(self, observation_window: int = 32) -> None:
+        self.observation_window = observation_window
+        self.entries: dict[tuple, StoreEntry] = {}
+        #: Outcome-cache event logs exported at the last sync (see
+        #: :meth:`sync_cache` / :meth:`prime`).
+        self.cache_events: list = []
+        self.server_state: dict = {}
+
+    # ------------------------------------------------------------------ lookup
+    def get(self, query: Query) -> StoreEntry | None:
+        return self.entries.get(query_fingerprint(query))
+
+    def get_fingerprint(self, fingerprint: tuple) -> StoreEntry | None:
+        return self.entries.get(fingerprint)
+
+    def ensure(self, query: Query) -> StoreEntry:
+        """The entry for ``query``, created (empty) on first sight."""
+        fingerprint = query_fingerprint(query)
+        entry = self.entries.get(fingerprint)
+        if entry is None:
+            entry = StoreEntry(
+                fingerprint=fingerprint,
+                query=query,
+                observed=deque(maxlen=self.observation_window),
+            )
+            self.entries[fingerprint] = entry
+        return entry
+
+    def __contains__(self, query: Query) -> bool:
+        return query_fingerprint(query) in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------ cache interchange
+    def sync_cache(self, database: Database) -> int:
+        """Export ``database``'s outcome-cache event logs into the store.
+
+        Returns the number of logs captured; 0 when the database runs
+        without an execution cache.
+        """
+        cache = getattr(database, "execution_cache", None)
+        if cache is None:
+            return 0
+        self.cache_events = cache.export_outcomes()
+        return len(self.cache_events)
+
+    def prime(self, database: Database) -> int:
+        """Merge the stored event logs into ``database``'s execution cache.
+
+        The import is an upsert (completed entries beat censored ones, longer
+        observations beat shorter — see
+        :meth:`~repro.db.plan_cache.ExecutionCache.import_outcomes`), so
+        priming a warm cache never downgrades it.  Returns entries offered.
+        """
+        cache = getattr(database, "execution_cache", None)
+        if cache is None or not self.cache_events:
+            return 0
+        return cache.import_outcomes(self.cache_events)
+
+    # ------------------------------------------------------------------ persistence
+    def save(self, path: str) -> None:
+        """Atomically persist the store under the versioned on-disk format."""
+        atomic_pickle_save(
+            path,
+            {
+                "format": "repro.serve.store",
+                "version": STORE_FORMAT_VERSION,
+                "observation_window": self.observation_window,
+                "entries": self.entries,
+                "cache_events": self.cache_events,
+                "server_state": self.server_state,
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "PlanStore | None":
+        """Load a store; ``None`` for a missing/corrupt file.
+
+        A *readable* store whose version does not match
+        :data:`STORE_FORMAT_VERSION` raises :class:`StoreFormatError` — the
+        store is long-lived state, and silently starting empty because the
+        format drifted would throw away every optimization the server ever
+        paid for.
+        """
+        payload = tolerant_pickle_load(path)
+        if payload is None:
+            return None
+        if not isinstance(payload, dict) or payload.get("format") != "repro.serve.store":
+            return None
+        version = payload.get("version")
+        if version != STORE_FORMAT_VERSION:
+            raise StoreFormatError(
+                f"plan store {path!r} has format version {version!r}, "
+                f"this build expects {STORE_FORMAT_VERSION}"
+            )
+        store = cls(observation_window=payload.get("observation_window", 32))
+        store.entries = payload["entries"]
+        store.cache_events = payload.get("cache_events", [])
+        store.server_state = payload.get("server_state", {})
+        return store
+
+    # ------------------------------------------------------------------ reporting
+    def summary(self) -> dict:
+        optimized = sum(1 for entry in self.entries.values() if entry.optimized)
+        return {
+            "entries": len(self.entries),
+            "optimized": optimized,
+            "observations": sum(len(entry.history) for entry in self.entries.values()),
+            "serves": sum(entry.serves for entry in self.entries.values()),
+            "cache_events": len(self.cache_events),
+        }

@@ -1,0 +1,237 @@
+"""Seeded query-stream generation and the serve loop that drives a server.
+
+A plan server only earns its keep under realistic traffic: popularity is
+skewed (a few queries dominate the stream), arrivals come in bursts that
+concentrate on the hot set, and the data underneath occasionally drifts.
+:class:`TrafficGenerator` produces exactly that — fully deterministically,
+so every benchmark run, test and resumed stream sees the same arrivals:
+
+* **Zipf popularity** — query *rank* ``r`` arrives with weight
+  ``1 / (r + 1) ** alpha``; ranks are a seeded shuffle of the query list.
+* **Bursty phases** — every ``burst_every`` arrivals, a ``burst_length``-long
+  phase restricts draws to the hottest ``burst_hot_fraction`` of ranks.
+* **Drift events** — at a fixed arrival index the live database is replaced:
+  a :class:`DriftEvent` names a rollback cutoff
+  (:func:`repro.workloads.drift.rollback_to_date`), or ``cutoff=None`` for
+  the full base snapshot.  A server that started on a rolled-back *past*
+  snapshot experiences ``cutoff=None`` as time moving forward — tables grow,
+  stored plans go stale, and the drift detector must notice.
+
+:func:`drive_stream` is the serve loop: it walks the arrivals, fires drift
+events, executes each served plan client-side (reporting the observed latency
+back to the server), runs maintenance on a fixed cadence and optionally
+checkpoints after every arrival.  Its ``start_index`` parameter replays the
+tail of a stream against a resumed server — the bit-for-bit resume gate
+compares the :class:`ServeRecord` traces of the killed and resumed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.db.engine import Database
+from repro.db.query import Query
+from repro.exceptions import OptimizationError
+from repro.serve.server import MaintenanceRecord, PlanServer, data_signature
+from repro.workloads.drift import rollback_to_date
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """At arrival ``index``, swap the live database to the ``cutoff`` snapshot.
+
+    ``cutoff=None`` means the full base database (the "present"); an integer
+    cutoff is passed to :func:`~repro.workloads.drift.rollback_to_date`.
+    Events fire *before* the arrival at their index is served.
+    """
+
+    index: int
+    cutoff: int | None = None
+
+    def realize(self, base: Database) -> Database:
+        if self.cutoff is None:
+            return base
+        return rollback_to_date(base, self.cutoff)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One query arrival in the stream."""
+
+    index: int
+    query: Query
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs of the deterministic stream generator."""
+
+    num_arrivals: int = 500
+    #: Zipf popularity exponent; larger = more skew toward the hot ranks.
+    zipf_alpha: float = 1.1
+    seed: int = 0
+    #: A burst phase starts every this-many arrivals (0 disables bursts).
+    burst_every: int = 120
+    #: Length of each burst phase.
+    burst_length: int = 40
+    #: Fraction of the (popularity-ranked) queries a burst concentrates on.
+    burst_hot_fraction: float = 0.2
+    #: Mid-stream data-drift events, fired by :func:`drive_stream`.
+    drift_events: tuple[DriftEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_arrivals < 1:
+            raise OptimizationError("num_arrivals must be at least 1")
+        if self.zipf_alpha < 0:
+            raise OptimizationError("zipf_alpha must be non-negative")
+        if self.burst_every < 0 or self.burst_length < 0:
+            raise OptimizationError("burst cadence/length must be non-negative")
+        if not 0.0 < self.burst_hot_fraction <= 1.0:
+            raise OptimizationError("burst_hot_fraction must be in (0, 1]")
+
+
+class TrafficGenerator:
+    """Materializes the full arrival schedule up front, deterministically.
+
+    Same queries + same config -> the same schedule, always: the generator
+    draws every index from one seeded RNG at construction, so iterating is
+    pure replay (and a resumed stream can start anywhere).
+    """
+
+    def __init__(self, queries: list[Query], config: TrafficConfig | None = None) -> None:
+        if not queries:
+            raise OptimizationError("traffic needs at least one query")
+        self.config = config or TrafficConfig()
+        rng = np.random.default_rng(self.config.seed)
+        # Popularity ranks are a seeded shuffle — which query is "hot" is an
+        # accident of the seed, not of workload file order.
+        order = rng.permutation(len(queries))
+        self.ranked: list[Query] = [queries[i] for i in order]
+        weights = 1.0 / np.power(np.arange(1, len(queries) + 1, dtype=float), self.config.zipf_alpha)
+        self._weights = weights / weights.sum()
+        hot = max(1, int(round(self.config.burst_hot_fraction * len(queries))))
+        hot_weights = self._weights[:hot] / self._weights[:hot].sum()
+        self._schedule: list[int] = []
+        for index in range(self.config.num_arrivals):
+            if self._in_burst(index):
+                rank = int(rng.choice(hot, p=hot_weights))
+            else:
+                rank = int(rng.choice(len(queries), p=self._weights))
+            self._schedule.append(rank)
+
+    def _in_burst(self, index: int) -> bool:
+        if self.config.burst_every <= 0 or self.config.burst_length <= 0:
+            return False
+        return index % self.config.burst_every < self.config.burst_length
+
+    def __len__(self) -> int:
+        return len(self._schedule)
+
+    def arrivals(self, start: int = 0, stop: int | None = None) -> list[Arrival]:
+        """The arrival slice ``[start, stop)`` of the schedule."""
+        stop = len(self._schedule) if stop is None else min(stop, len(self._schedule))
+        return [
+            Arrival(index=i, query=self.ranked[self._schedule[i]])
+            for i in range(start, stop)
+        ]
+
+    def distinct_queries(self) -> int:
+        """Distinct queries actually appearing in the schedule."""
+        return len(set(self._schedule))
+
+    def repeat_arrivals(self) -> int:
+        """Arrivals whose query already appeared earlier in the schedule."""
+        return len(self._schedule) - self.distinct_queries()
+
+
+@dataclass(frozen=True)
+class ServeRecord:
+    """One served arrival, as the resume gate compares it."""
+
+    index: int
+    query_name: str
+    fingerprint: tuple
+    source: str
+    latency: float
+    timed_out: bool
+
+
+@dataclass
+class StreamResult:
+    """What one :func:`drive_stream` run produced."""
+
+    records: list[ServeRecord] = field(default_factory=list)
+    maintenance: list[MaintenanceRecord] = field(default_factory=list)
+    drift_firings: list[int] = field(default_factory=list)
+
+    def trace(self) -> list[tuple]:
+        """The comparable serve trace (bit-for-bit resume gate)."""
+        return [
+            (r.index, r.query_name, r.fingerprint, r.source, r.latency, r.timed_out)
+            for r in self.records
+        ]
+
+
+def drive_stream(
+    server: PlanServer,
+    traffic: TrafficGenerator,
+    base_database: Database,
+    *,
+    start_index: int = 0,
+    stop_index: int | None = None,
+    maintenance_every: int = 50,
+    checkpoint_path: str | None = None,
+    execution_timeout: float | None = 600.0,
+) -> StreamResult:
+    """Walk the arrival schedule through ``server``.
+
+    Per arrival: fire any due :class:`DriftEvent` (realized against
+    ``base_database``), serve, execute the served plan client-side, report
+    the observed latency, and — every ``maintenance_every`` *absolute*
+    arrivals — run a maintenance cycle.  Cadence and drift both key on the
+    absolute arrival index, so a resumed run (``start_index > 0``) makes the
+    same decisions at the same arrivals as an uninterrupted one.
+
+    When resuming, drift events that fired before ``start_index`` are
+    re-applied first so the server faces the correct snapshot.
+    """
+    events = {event.index: event for event in traffic.config.drift_events}
+    if start_index > 0:
+        past = [event for index, event in sorted(events.items()) if index < start_index]
+        if past:
+            realized = past[-1].realize(base_database)
+            # Keep the server's database (and its primed execution cache) when
+            # the caller already resumed on the correct snapshot.
+            if data_signature(realized) != data_signature(server.database):
+                server.update_database(realized)
+    result = StreamResult()
+    for arrival in traffic.arrivals(start_index, stop_index):
+        event = events.get(arrival.index)
+        if event is not None:
+            server.update_database(event.realize(base_database))
+            result.drift_firings.append(arrival.index)
+        decision = server.serve(arrival.query)
+        execution = server.database.execute(
+            arrival.query, decision.plan, timeout=execution_timeout
+        )
+        server.report(decision, execution.latency, timed_out=execution.timed_out)
+        result.records.append(
+            ServeRecord(
+                index=arrival.index,
+                query_name=arrival.query.name,
+                fingerprint=decision.fingerprint,
+                source=decision.source,
+                latency=execution.latency,
+                timed_out=execution.timed_out,
+            )
+        )
+        if maintenance_every > 0 and (arrival.index + 1) % maintenance_every == 0:
+            result.maintenance.extend(
+                replace(record, arrival_index=arrival.index)
+                for record in server.run_maintenance()
+            )
+        if checkpoint_path is not None:
+            server.checkpoint(checkpoint_path)
+    return result

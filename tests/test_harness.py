@@ -7,6 +7,7 @@ from repro.core.result import OptimizationResult
 from repro.exceptions import OptimizationError
 from repro.harness import (
     BudgetSpec,
+    StreamingPercentiles,
     WorkloadSummary,
     best_latency_curve,
     format_cdf,
@@ -79,6 +80,57 @@ class TestMetrics:
         assert percentage_difference(0.5, 1.0) == pytest.approx(-50.0)
         with pytest.raises(ValueError):
             percentage_difference(1.0, 0.0)
+
+
+class TestStreamingPercentiles:
+    def test_exact_below_capacity(self, rng):
+        values = rng.exponential(1.0, size=200)
+        tracker = StreamingPercentiles(capacity=512, seed=0)
+        for value in values:
+            tracker.add(value)
+        assert len(tracker) == 200
+        for q in (50, 95, 99):
+            assert tracker.percentile(q) == pytest.approx(float(np.percentile(values, q)))
+        assert tracker.p50 == tracker.percentile(50)
+        assert tracker.p95 == tracker.percentile(95)
+        assert tracker.p99 == tracker.percentile(99)
+
+    def test_reservoir_approximates_beyond_capacity(self, rng):
+        values = rng.exponential(1.0, size=20_000)
+        tracker = StreamingPercentiles(capacity=512, seed=1)
+        for value in values:
+            tracker.add(value)
+        assert len(tracker) == 20_000
+        # The reservoir is a uniform sample: p50 lands near the true median.
+        true_p50 = float(np.percentile(values, 50))
+        assert tracker.p50 == pytest.approx(true_p50, rel=0.25)
+
+    def test_deterministic_and_picklable(self, rng):
+        import pickle
+
+        values = list(rng.normal(5.0, 1.0, size=3000))
+        first = StreamingPercentiles(capacity=64, seed=3)
+        second = StreamingPercentiles(capacity=64, seed=3)
+        for value in values[:1500]:
+            first.add(value)
+            second.add(value)
+        # A pickled tracker continues exactly where the original does.
+        clone = pickle.loads(pickle.dumps(first))
+        for value in values[1500:]:
+            first.add(value)
+            second.add(value)
+            clone.add(value)
+        assert first.p95 == second.p95 == clone.p95
+        assert first.snapshot() == clone.snapshot()
+
+    def test_empty_and_validation(self):
+        tracker = StreamingPercentiles(capacity=4)
+        assert tracker.p50 == 0.0
+        assert len(tracker) == 0
+        snapshot = tracker.snapshot()
+        assert snapshot["count"] == 0
+        with pytest.raises(ValueError):
+            StreamingPercentiles(capacity=0)
 
 
 class TestReporting:

@@ -193,6 +193,62 @@ class TestCensoredReuse:
             assert _result_key(replayed) == _result_key(base)
 
 
+# --------------------------------------------------------------------- outcome interchange
+class TestOutcomeInterchange:
+    """export_outcomes / import_outcomes round-trips (the plan-store path)."""
+
+    def test_export_import_roundtrip_primes_fresh_database(self, tiny_database, tiny_query):
+        source = _clone(tiny_database, exec_cache=True)
+        off = _clone(tiny_database, exec_cache=False)
+        plan = source.plan(tiny_query)
+        first = source.execute(tiny_query, plan)
+        payload = source.execution_cache.export_outcomes()
+        assert payload
+
+        target = _clone(tiny_database, exec_cache=True)
+        assert target.execution_cache.import_outcomes(payload) == len(payload)
+        replayed = target.execute(tiny_query, plan)
+        assert replayed.cache.outcome_hit
+        assert replayed.latency == first.latency
+        assert _result_key(replayed) == _result_key(off.execute(tiny_query, plan))
+
+    def test_import_is_an_upsert_completed_beats_censored(self):
+        key = ("k",)
+        events = [(0.0, 1.0)]
+        censored = ExecutionCache(ExecutionCacheConfig())
+        censored.store_outcome(key, events, completed=False, observed_to=0.5,
+                               output_rows=None)
+        completed = ExecutionCache(ExecutionCacheConfig())
+        completed.store_outcome(key, events, completed=True, observed_to=None,
+                                output_rows=10)
+
+        # Importing a completed log over a censored one upgrades the entry...
+        censored.import_outcomes(completed.export_outcomes())
+        exported = {k: (comp, obs) for k, _, comp, obs, _, _ in censored.export_outcomes()}
+        assert exported[key] == (True, None)
+
+        # ...and importing a censored log over a completed one changes nothing.
+        completed.import_outcomes(
+            [(key, events, False, 0.5, None, False)]
+        )
+        exported = {k: (comp, obs) for k, _, comp, obs, _, _ in completed.export_outcomes()}
+        assert exported[key] == (True, None)
+
+    def test_import_prefers_longer_censored_observation(self):
+        key = ("k",)
+        events = [(0.0, 1.0)]
+        cache = ExecutionCache(ExecutionCacheConfig())
+        cache.store_outcome(key, events, completed=False, observed_to=0.5, output_rows=None)
+        # A log observed further into the execution replaces a shorter one.
+        cache.import_outcomes([(key, events, False, 2.0, None, False)])
+        exported = {k: (comp, obs) for k, _, comp, obs, _, _ in cache.export_outcomes()}
+        assert exported[key] == (False, 2.0)
+        # A shorter observation is discarded.
+        cache.import_outcomes([(key, events, False, 1.0, None, False)])
+        exported = {k: (comp, obs) for k, _, comp, obs, _, _ in cache.export_outcomes()}
+        assert exported[key] == (False, 2.0)
+
+
 # --------------------------------------------------------------------- LRU eviction
 class TestSubplanLRU:
     def test_eviction_respects_byte_budget(self, tiny_database, tiny_query):

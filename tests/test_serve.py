@@ -1,0 +1,470 @@
+"""Plan serving: store persistence, admission triage, server semantics, streams."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.core import BayesQO, BayesQOConfig, reoptimize
+from repro.core.protocol import BudgetSpec
+from repro.exceptions import OptimizationError
+from repro.harness.checkpoint import atomic_pickle_save
+from repro.serve import (
+    STORE_FORMAT_VERSION,
+    AdmissionConfig,
+    AdmissionPolicy,
+    DriftEvent,
+    PlanServer,
+    PlanStore,
+    ServeConfig,
+    StoredObservation,
+    StoreEntry,
+    StoreFormatError,
+    TrafficConfig,
+    TrafficGenerator,
+    data_signature,
+    drive_stream,
+)
+from repro.workloads.drift import rollback_to_date
+
+
+def _serve_config(**overrides) -> ServeConfig:
+    defaults = dict(
+        technique="bao",
+        budget=BudgetSpec(max_executions=6),
+        drift_factor=1.3,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+# --------------------------------------------------------------------- store
+class TestPlanStore:
+    def test_fingerprint_keyed_lookup(self, tiny_database, tiny_query, tiny_three_table_query):
+        store = PlanStore()
+        entry = store.ensure(tiny_query)
+        assert store.get(tiny_query) is entry
+        assert tiny_query in store
+        assert tiny_three_table_query not in store
+        # Same content under a different name shares the entry.
+        renamed = dataclasses.replace(tiny_query, name="other_name")
+        assert store.get(renamed) is entry
+        assert len(store) == 1
+
+    def test_roundtrip(self, tmp_path, tiny_database, tiny_query):
+        store = PlanStore(observation_window=8)
+        entry = store.ensure(tiny_query)
+        entry.best_plan = tiny_database.plan(tiny_query)
+        entry.recorded_latency = 0.5
+        entry.optimized = True
+        entry.observe(0.4)
+        entry.history.append(
+            StoredObservation(plan=entry.best_plan, latency=0.5, censored=False,
+                              timeout=None, source="bo")
+        )
+        store.server_state = {"arrivals": 7}
+        path = os.path.join(tmp_path, "store.pkl")
+        store.save(path)
+
+        loaded = PlanStore.load(path)
+        assert loaded is not None
+        assert loaded.observation_window == 8
+        restored = loaded.get(tiny_query)
+        assert restored.best_plan.canonical() == entry.best_plan.canonical()
+        assert restored.recorded_latency == 0.5
+        assert restored.optimized
+        assert list(restored.observed) == [0.4]
+        assert len(restored.history) == 1
+        assert loaded.server_state == {"arrivals": 7}
+
+    def test_missing_and_corrupt_load_as_none(self, tmp_path):
+        missing = os.path.join(tmp_path, "nope.pkl")
+        assert PlanStore.load(missing) is None
+        corrupt = os.path.join(tmp_path, "corrupt.pkl")
+        with open(corrupt, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert PlanStore.load(corrupt) is None
+        # A pickle that is not a store payload is also "no store".
+        other = os.path.join(tmp_path, "other.pkl")
+        atomic_pickle_save(other, {"format": "something.else"})
+        assert PlanStore.load(other) is None
+
+    def test_version_mismatch_fails_loudly(self, tmp_path, tiny_query):
+        store = PlanStore()
+        store.ensure(tiny_query)
+        path = os.path.join(tmp_path, "store.pkl")
+        store.save(path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        assert payload["version"] == STORE_FORMAT_VERSION
+        payload["version"] = STORE_FORMAT_VERSION + 1
+        atomic_pickle_save(path, payload)
+        with pytest.raises(StoreFormatError):
+            PlanStore.load(path)
+
+    def test_cache_sync_and_prime(self, tmp_path, tiny_database, tiny_query):
+        database = tiny_database.snapshot()
+        plan = database.plan(tiny_query)
+        first = database.execute(tiny_query, plan, timeout=600.0)
+        store = PlanStore()
+        assert store.sync_cache(database) > 0
+
+        path = os.path.join(tmp_path, "store.pkl")
+        store.save(path)
+        loaded = PlanStore.load(path)
+
+        fresh = tiny_database.snapshot()  # same data, empty cache
+        assert fresh.execution_cache.export_outcomes() == []
+        assert loaded.prime(fresh) > 0
+        assert len(fresh.execution_cache.export_outcomes()) > 0
+        replay = fresh.execute(tiny_query, plan, timeout=600.0)
+        assert replay.latency == first.latency
+
+    def test_fastest_history_plans(self, tiny_database, tiny_query, tiny_three_table_query):
+        best = tiny_database.plan(tiny_query)
+        other = tiny_database.plan(tiny_three_table_query)
+        entry = StoreEntry(fingerprint=("fp",), query=tiny_query, best_plan=best)
+        entry.history = [
+            StoredObservation(plan=best, latency=0.1, censored=False, timeout=None, source="bo"),
+            StoredObservation(plan=other, latency=0.3, censored=False, timeout=None, source="bo"),
+            StoredObservation(plan=other, latency=0.2, censored=False, timeout=None, source="bo"),
+            StoredObservation(plan=other, latency=0.05, censored=True, timeout=0.05, source="bo"),
+        ]
+        plans = entry.fastest_history_plans(4)
+        # The incumbent and censored runs are excluded; duplicates collapse.
+        assert [plan.canonical() for plan in plans] == [other.canonical()]
+
+    def test_observed_median(self, tiny_query):
+        entry = StoreEntry(fingerprint=("fp",), query=tiny_query)
+        assert entry.observed_median() is None
+        entry.observe(3.0)
+        entry.observe(1.0)
+        assert entry.observed_median() == pytest.approx(2.0)
+        entry.observe(10.0)
+        assert entry.observed_median() == pytest.approx(3.0)
+
+
+# --------------------------------------------------------------------- admission
+class TestAdmission:
+    def test_popularity_ranks_unseen(self):
+        policy = AdmissionPolicy(config=AdmissionConfig(min_arrivals=2, max_tasks_per_cycle=4))
+        for _ in range(5):
+            policy.note_arrival(("hot",), optimized=False)
+        for _ in range(2):
+            policy.note_arrival(("warm",), optimized=False)
+        policy.note_arrival(("once",), optimized=False)
+        tasks = policy.triage()
+        assert [task.fingerprint for task in tasks] == [("hot",), ("warm",)]
+        assert all(task.reason == "unseen" for task in tasks)
+
+    def test_regression_outranks_unseen(self):
+        policy = AdmissionPolicy(config=AdmissionConfig(min_arrivals=2, cooldown_arrivals=0))
+        for _ in range(3):
+            policy.note_arrival(("fresh",), optimized=False)
+            policy.note_arrival(("drifted",), optimized=True)
+        policy.flag_regression(("drifted",), severity=2.0)
+        tasks = policy.triage()
+        assert tasks[0].fingerprint == ("drifted",)
+        assert tasks[0].reason == "regressed"
+
+    def test_slo_pressure_admits_optimized_entries(self):
+        policy = AdmissionPolicy(config=AdmissionConfig(min_arrivals=2, cooldown_arrivals=0))
+        for _ in range(4):
+            policy.note_arrival(("slow",), optimized=True)
+            policy.note_latency(("slow",), slo_violated=True)
+        tasks = policy.triage()
+        assert tasks[0].fingerprint == ("slow",)
+        assert tasks[0].reason == "slo"
+
+    def test_cooldown_and_reset(self):
+        policy = AdmissionPolicy(config=AdmissionConfig(min_arrivals=1, cooldown_arrivals=3))
+        for _ in range(4):
+            policy.note_arrival(("q",), optimized=False)
+        assert policy.triage()
+        policy.note_optimized(("q",))
+        # Inside the cooldown nothing is admitted, even with a fresh signal.
+        policy.note_arrival(("q",), optimized=True)
+        policy.flag_regression(("q",), severity=3.0)
+        assert policy.triage() == []
+        for _ in range(3):
+            policy.note_arrival(("q",), optimized=True)
+        tasks = policy.triage()
+        assert tasks and tasks[0].reason == "regressed"
+
+    def test_deterministic_tie_break(self):
+        policy = AdmissionPolicy(config=AdmissionConfig(min_arrivals=1, max_tasks_per_cycle=8))
+        for name in ("b", "a", "c"):
+            policy.note_arrival((name,), optimized=False)
+        tasks = policy.triage()
+        # Equal scores: first-arrival order wins, not lexicographic order.
+        assert [task.fingerprint for task in tasks] == [("b",), ("a",), ("c",)]
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            AdmissionConfig(max_tasks_per_cycle=0)
+        with pytest.raises(OptimizationError):
+            AdmissionConfig(min_arrivals=0)
+
+
+# --------------------------------------------------------------------- server
+class _PoisonedDatabase:
+    def __getattr__(self, name: str):
+        raise AssertionError(f"fast path touched database.{name}")
+
+
+class TestPlanServer:
+    def test_miss_promotes_then_fast_path(self, tiny_database, tiny_query):
+        server = PlanServer(tiny_database.snapshot(), config=_serve_config())
+        first = server.serve(tiny_query)
+        assert first.source == "default"
+        second = server.serve(tiny_query)
+        assert second.source == "store"
+        assert second.plan.canonical() == first.plan.canonical()
+        assert server.counters.misses == 1
+        assert server.counters.fast_path == 1
+        assert server.counters.planner_calls == 1
+
+    def test_fast_path_never_touches_database(self, tiny_database, tiny_query):
+        server = PlanServer(tiny_database.snapshot(), config=_serve_config())
+        server.serve(tiny_query)
+        server.database = _PoisonedDatabase()
+        decision = server.serve(tiny_query)
+        assert decision.source == "store"
+
+    def test_report_flags_drift(self, tiny_database, tiny_query):
+        server = PlanServer(tiny_database.snapshot(), config=_serve_config(drift_factor=1.5))
+        decision = server.serve(tiny_query)
+        server.report(decision, 1.0)  # becomes the drift baseline
+        assert server.store.get(tiny_query).recorded_latency == 1.0
+        server.report(decision, 1.2)  # within tolerance
+        assert server.counters.drift_flags == 0
+        server.report(decision, 2.0)
+        server.report(decision, 2.0)
+        assert server.counters.drift_flags > 0
+        stats = server.admission.stats[decision.fingerprint]
+        assert stats.regression > 1.5
+
+    def test_timed_out_report_counts_slo_not_drift(self, tiny_database, tiny_query):
+        server = PlanServer(tiny_database.snapshot(), config=_serve_config(slo_latency=0.5))
+        decision = server.serve(tiny_query)
+        server.report(decision, 10.0, timed_out=True)
+        assert server.counters.slo_violations == 1
+        # Censored latencies never enter the drift window.
+        assert len(server.store.get(tiny_query).observed) == 0
+
+    def test_maintenance_optimizes_popular_entry(self, tiny_database, tiny_query):
+        server = PlanServer(
+            tiny_database.snapshot(),
+            config=_serve_config(admission=AdmissionConfig(min_arrivals=2)),
+        )
+        for _ in range(3):
+            decision = server.serve(tiny_query)
+        records = server.run_maintenance()
+        assert len(records) == 1
+        assert records[0].reason == "unseen"
+        assert records[0].technique == "bao"
+        entry = server.store.get(tiny_query)
+        assert entry.optimized
+        assert entry.history  # the run's trace landed in the store
+        assert entry.source == "bao"
+        assert server.counters.maintenance_executions > 0
+        # The stored optimizer state is detached from the live database.
+        assert entry.optimizer is not None
+        assert entry.optimizer.database is None
+        # Post-maintenance the entry is inside its cooldown: no new tasks.
+        assert server.run_maintenance() == []
+        server.close()
+
+    def test_checkpoint_resume_restores_state(self, tmp_path, tiny_database, tiny_query):
+        database = tiny_database.snapshot()
+        server = PlanServer(database, config=_serve_config())
+        decision = server.serve(tiny_query)
+        execution = database.execute(tiny_query, decision.plan, timeout=600.0)
+        server.report(decision, execution.latency)
+        path = os.path.join(tmp_path, "store.pkl")
+        server.checkpoint(path)
+
+        resumed = PlanServer.resume(path, database, config=_serve_config())
+        assert resumed.counters.arrivals == 1
+        assert resumed.counters.reports == 1
+        assert len(resumed.slo_store) + len(resumed.slo_default) == 1
+        assert decision.fingerprint in resumed.admission.stats
+        # Same data signature: the execution cache was primed from the store.
+        assert len(database.execution_cache.export_outcomes()) > 0
+        assert len(resumed.database.execution_cache.export_outcomes()) > 0
+
+    def test_resume_skips_priming_on_data_drift(self, tmp_path, tiny_database, tiny_query):
+        database = tiny_database.snapshot()
+        server = PlanServer(database, config=_serve_config())
+        decision = server.serve(tiny_query)
+        database.execute(tiny_query, decision.plan, timeout=600.0)
+        path = os.path.join(tmp_path, "store.pkl")
+        server.checkpoint(path)
+
+        drifted = rollback_to_date(tiny_database, 500, date_column="order_date")
+        assert data_signature(drifted) != data_signature(database)
+        resumed = PlanServer.resume(path, drifted, config=_serve_config())
+        # Stale outcome logs must not replay against different data.
+        assert resumed.database.execution_cache.export_outcomes() == []
+        # The store itself (plans, counters) still restores.
+        assert resumed.counters.arrivals == 1
+
+    def test_resume_missing_store_raises(self, tmp_path, tiny_database):
+        with pytest.raises(OptimizationError):
+            PlanServer.resume(os.path.join(tmp_path, "absent.pkl"), tiny_database)
+
+    def test_config_validation(self):
+        with pytest.raises(OptimizationError):
+            ServeConfig(drift_factor=0.5)
+        with pytest.raises(OptimizationError):
+            ServeConfig(slo_latency=0.0)
+        with pytest.raises(OptimizationError):
+            ServeConfig(observation_window=0)
+
+
+# --------------------------------------------------------------------- traffic + streams
+class TestTraffic:
+    def test_schedule_is_deterministic(self, tiny_workload):
+        config = TrafficConfig(num_arrivals=50, seed=3)
+        first = TrafficGenerator(tiny_workload.queries, config)
+        second = TrafficGenerator(tiny_workload.queries, config)
+        assert [a.query.name for a in first.arrivals()] == [
+            a.query.name for a in second.arrivals()
+        ]
+        different = TrafficGenerator(
+            tiny_workload.queries, TrafficConfig(num_arrivals=50, seed=4)
+        )
+        assert [a.query.name for a in first.arrivals()] != [
+            a.query.name for a in different.arrivals()
+        ] or first.ranked != different.ranked
+
+    def test_bursts_concentrate_on_hot_set(self, job_workload_small):
+        config = TrafficConfig(
+            num_arrivals=300, seed=0, burst_every=100, burst_length=50,
+            burst_hot_fraction=0.125, zipf_alpha=0.5,
+        )
+        generator = TrafficGenerator(job_workload_small.queries, config)
+        hot = max(1, int(round(0.125 * len(job_workload_small.queries))))
+        hot_names = {query.name for query in generator.ranked[:hot]}
+        for arrival in generator.arrivals():
+            if generator._in_burst(arrival.index):
+                assert arrival.query.name in hot_names
+
+    def test_arrival_slicing(self, tiny_workload):
+        generator = TrafficGenerator(tiny_workload.queries, TrafficConfig(num_arrivals=20))
+        full = generator.arrivals()
+        assert [a.index for a in full] == list(range(20))
+        tail = generator.arrivals(start=15)
+        assert [a.index for a in tail] == list(range(15, 20))
+        assert [a.query.name for a in tail] == [a.query.name for a in full[15:]]
+
+    def test_validation(self, tiny_workload):
+        with pytest.raises(OptimizationError):
+            TrafficConfig(num_arrivals=0)
+        with pytest.raises(OptimizationError):
+            TrafficConfig(burst_hot_fraction=0.0)
+        with pytest.raises(OptimizationError):
+            TrafficGenerator([], TrafficConfig())
+
+
+class TestStream:
+    def test_stream_with_drift_and_resume_bitforbit(self, tmp_path, tiny_workload):
+        future = tiny_workload.database.snapshot()
+        past = rollback_to_date(future, 500, date_column="order_date")
+        config = _serve_config(
+            admission=AdmissionConfig(min_arrivals=2, cooldown_arrivals=4),
+        )
+        traffic = TrafficConfig(
+            num_arrivals=40, seed=0, burst_every=0,
+            drift_events=(DriftEvent(index=20, cutoff=None),),
+        )
+        generator = TrafficGenerator(tiny_workload.queries, traffic)
+
+        with PlanServer(past, config=config, workload=tiny_workload) as reference_server:
+            reference = drive_stream(
+                reference_server, generator, future, maintenance_every=10
+            )
+        assert reference.drift_firings == [20]
+        # Fast path: every arrival after first sight of each query is a hit.
+        counters = reference_server.counters
+        assert counters.fast_path == 40 - counters.misses
+        assert counters.planner_calls == counters.misses
+
+        kill_at = 28
+        path = os.path.join(tmp_path, "store.pkl")
+        with PlanServer(past, config=config, workload=tiny_workload) as victim:
+            drive_stream(
+                victim, generator, future, stop_index=kill_at,
+                maintenance_every=10, checkpoint_path=path,
+            )
+
+        with PlanServer.resume(path, future, config=config, workload=tiny_workload) as resumed:
+            assert resumed.counters.arrivals == kill_at
+            tail = drive_stream(
+                resumed, generator, future, start_index=kill_at, maintenance_every=10
+            )
+        reference_tail = [r for r in reference.records if r.index >= kill_at]
+        assert tail.trace() == [
+            (r.index, r.query_name, r.fingerprint, r.source, r.latency, r.timed_out)
+            for r in reference_tail
+        ]
+
+    def test_resume_before_drift_reapplies_nothing(self, tmp_path, tiny_workload):
+        future = tiny_workload.database.snapshot()
+        past = rollback_to_date(future, 500, date_column="order_date")
+        traffic = TrafficConfig(
+            num_arrivals=12, seed=0, burst_every=0,
+            drift_events=(DriftEvent(index=8, cutoff=None),),
+        )
+        generator = TrafficGenerator(tiny_workload.queries, traffic)
+        with PlanServer(past, config=_serve_config(), workload=tiny_workload) as server:
+            result = drive_stream(
+                server, generator, future, stop_index=6, maintenance_every=0
+            )
+            assert result.drift_firings == []
+            assert data_signature(server.database) == data_signature(past)
+
+
+# --------------------------------------------------------------------- reoptimize satellite
+class TestWarmStartFromStore:
+    def test_reoptimize_seeds_from_deserialized_history(
+        self, tmp_path, tiny_database, tiny_schema_model, tiny_query
+    ):
+        database = tiny_database.snapshot()
+        # An "earlier session": maintenance optimizes the query, the store
+        # (with its observation history) is persisted.
+        server = PlanServer(
+            database,
+            config=_serve_config(admission=AdmissionConfig(min_arrivals=1)),
+        )
+        for _ in range(2):
+            server.serve(tiny_query)
+        assert server.run_maintenance()
+        path = os.path.join(tmp_path, "store.pkl")
+        server.checkpoint(path)
+        server.close()
+
+        # A "later session": nothing in memory but the store file.
+        store = PlanStore.load(path)
+        entry = store.get(tiny_query)
+        assert entry.optimized and entry.history
+        history = entry.fastest_history_plans(3)
+
+        optimizer = BayesQO(
+            database,
+            tiny_schema_model,
+            config=BayesQOConfig(max_executions=6, num_candidates=16, seed=0),
+        )
+        outcome = reoptimize(
+            optimizer, tiny_query, entry.best_plan, max_executions=6, history=history,
+            include_bao=False,
+        )
+        sources = {record.source for record in outcome.result.trace}
+        assert "init:past_plan" in sources
+        if history:
+            assert "init:history" in sources
+        assert outcome.result.best_latency_or(float("inf")) <= entry.recorded_latency * 2
