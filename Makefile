@@ -21,6 +21,7 @@ bench-smoke:
 	PYTHONPATH=src python benchmarks/bench_plan_cache.py --smoke
 	PYTHONPATH=src python benchmarks/bench_faults.py --smoke
 	PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+	PYTHONPATH=src python benchmarks/bench_obs.py --smoke
 
 serve-smoke:
 	PYTHONPATH=src python benchmarks/bench_serve.py --smoke

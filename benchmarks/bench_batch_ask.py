@@ -35,6 +35,7 @@ from repro.core import BayesQOConfig, VAETrainingConfig
 from repro.core.optimizer import train_schema_model
 from repro.core.protocol import BudgetSpec
 from repro.harness import WorkloadSession
+from repro.utils import get_logger
 
 EXECUTIONS = 24
 SMOKE_EXECUTIONS = 16
@@ -145,7 +146,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report, handle, indent=2)
-        print(f"  wrote {args.json}")
+        get_logger("bench").info("wrote %s", args.json)
 
     failures = []
     if report["regret"] > REGRET_TOLERANCE:

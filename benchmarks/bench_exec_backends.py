@@ -40,6 +40,7 @@ from repro.db.engine import Database
 from repro.db.query import FilterPredicate, JoinPredicate, Query, TableRef
 from repro.harness import WorkloadSession
 from repro.workloads.base import Workload
+from repro.utils import get_logger
 
 NUM_QUERIES = 6
 EXECUTIONS_PER_QUERY = 10
@@ -238,7 +239,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report, handle, indent=2)
-        print(f"  wrote {args.json}")
+        get_logger("bench").info("wrote %s", args.json)
 
     failures = []
     if not report["traces_equivalent"]:

@@ -39,6 +39,7 @@ from repro.db.query import FilterPredicate, JoinPredicate, Query, TableRef
 from repro.exec import FaultInjectionConfig, InlineBackend
 from repro.harness import WorkloadSession
 from repro.workloads.base import Workload
+from repro.utils import get_logger
 
 NUM_QUERIES = 4
 EXECUTIONS_PER_QUERY = 8
@@ -279,7 +280,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report, handle, indent=2)
-        print(f"  wrote {args.json}")
+        get_logger("bench").info("wrote %s", args.json)
 
     failures = gate_failures(report)
     for failure in failures:

@@ -40,6 +40,7 @@ from repro.db.engine import Database
 from repro.plans.jointree import JOIN_OPS, JoinTree
 from repro.plans.sampling import random_join_tree
 from repro.workloads import build_job_workload
+from repro.utils import get_logger
 
 NUM_QUERIES = 3
 PROPOSALS_PER_QUERY = 80
@@ -246,7 +247,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report, handle, indent=2)
-        print(f"  wrote {args.json}")
+        get_logger("bench").info("wrote %s", args.json)
 
     failures = []
     if not report["traces_equivalent"]:

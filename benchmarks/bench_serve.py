@@ -20,6 +20,10 @@ properties a plan server must actually deliver:
   its persisted store serves the remaining arrivals with a trace bit-for-bit
   identical to the uninterrupted run.
 
+``--trace PATH`` records the reference stream through a live
+:class:`~repro.obs.Tracer` and exports it as a Chrome/Perfetto trace JSON
+(the QPS probe runs untraced either way, so the headline is unaffected).
+
 Run:  PYTHONPATH=src python benchmarks/bench_serve.py [--smoke] [--json PATH]
 """
 
@@ -34,6 +38,7 @@ import time
 from collections import defaultdict
 
 from repro.core.protocol import BudgetSpec
+from repro.obs import NULL_TRACER, Tracer, write_chrome_trace
 from repro.serve import (
     DriftEvent,
     PlanServer,
@@ -42,8 +47,11 @@ from repro.serve import (
     TrafficGenerator,
     drive_stream,
 )
+from repro.utils import get_logger
 from repro.workloads.drift import rollback_to_date
 from repro.workloads.stack import STACK_DATE_2017, build_stack_workload
+
+logger = get_logger("bench")
 
 SEED = 0
 FULL_ARRIVALS = 500
@@ -128,7 +136,9 @@ def _drift_recovery(result, drift_index: int) -> dict:
     }
 
 
-def run_benchmark(arrivals: int, num_queries: int, store_dir: str) -> dict:
+def run_benchmark(
+    arrivals: int, num_queries: int, store_dir: str, trace_path: str | None = None
+) -> dict:
     workload = build_stack_workload(
         scale=0.05, seed=SEED, num_templates=8, num_queries=num_queries
     )
@@ -140,7 +150,8 @@ def run_benchmark(arrivals: int, num_queries: int, store_dir: str) -> dict:
     drift_index = traffic.drift_events[0].index
 
     # ------------------------------------------------------------ arm 1: reference stream
-    with PlanServer(past, config=config, workload=workload) as server:
+    tracer = Tracer(capacity=262_144) if trace_path is not None else NULL_TRACER
+    with PlanServer(past, config=config, workload=workload, tracer=tracer) as server:
         start = time.perf_counter()
         reference = drive_stream(
             server, generator, future, maintenance_every=MAINTENANCE_EVERY
@@ -149,6 +160,11 @@ def run_benchmark(arrivals: int, num_queries: int, store_dir: str) -> dict:
         # Snapshot before the QPS probe below, which serves through the same
         # counters object.
         counters = server.counters.snapshot()
+        if trace_path is not None:
+            write_chrome_trace(tracer.spans(), trace_path, process_name="bench_serve")
+            # The probe measures the untraced fast path — the headline number
+            # stays comparable whether or not a trace was requested.
+            server.tracer = NULL_TRACER
 
         # Fast-path purity + throughput: serve known fingerprints against a
         # poisoned database — any planner/optimizer/executor touch raises.
@@ -242,12 +258,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="smaller stream (CI smoke mode)")
     parser.add_argument("--json", metavar="PATH", help="write the result breakdown to PATH")
+    parser.add_argument(
+        "--trace", metavar="PATH", help="export the reference stream as a Chrome/Perfetto trace"
+    )
     args = parser.parse_args(argv)
 
     arrivals = SMOKE_ARRIVALS if args.smoke else FULL_ARRIVALS
     num_queries = SMOKE_QUERIES if args.smoke else FULL_QUERIES
     with tempfile.TemporaryDirectory(prefix="bench_serve_") as store_dir:
-        report = run_benchmark(arrivals, num_queries, store_dir)
+        report = run_benchmark(arrivals, num_queries, store_dir, trace_path=args.trace)
 
     counters = report["counters"]
     print(
@@ -284,10 +303,12 @@ def main(argv: list[str] | None = None) -> int:
         f"bit-for-bit: {report['resume_bitforbit']}"
     )
 
+    if args.trace:
+        logger.info("wrote Chrome trace to %s", args.trace)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report, handle, indent=2)
-        print(f"  wrote {args.json}")
+        logger.info("wrote %s", args.json)
 
     failures = gate_failures(report, args.smoke)
     for failure in failures:

@@ -34,6 +34,7 @@ from scipy import linalg, optimize
 
 from repro.bo.censored import truncated_normal_mean
 from repro.bo.gp import CensoredGP, ExactGP
+from repro.utils import get_logger
 
 N_OBSERVATIONS = 60
 DIM = 8
@@ -281,7 +282,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report, handle, indent=2)
-        print(f"  wrote {args.json}")
+        get_logger("bench").info("wrote %s", args.json)
 
     failures = []
     if report["equivalence"]["update_max_abs_diff"] > ATOL:

@@ -45,6 +45,9 @@ from repro.harness import (
     improvement_distribution,
 )
 from repro.workloads import build_job_workload
+from repro.utils import get_logger
+
+logger = get_logger("examples.compare_techniques")
 
 NUM_QUERIES = 4
 EXECUTIONS = 40
@@ -70,9 +73,11 @@ def main() -> None:
     # a `nan` best latency against the Bao fallback baseline, like any query
     # offline optimization fails to crack.
     queries = workload.queries[:NUM_QUERIES]
-    print(f"Comparing techniques on {len(queries)} {workload.name} queries "
-          f"({EXECUTIONS} plan executions each, backend={args.backend}, "
-          f"policy={args.policy}, workers={args.workers})...")
+    logger.info(
+        "comparing techniques on %d %s queries (%d plan executions each, "
+        "backend=%s, policy=%s, workers=%d)",
+        len(queries), workload.name, EXECUTIONS, args.backend, args.policy, args.workers,
+    )
 
     with WorkloadSession(
         workload,

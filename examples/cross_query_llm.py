@@ -17,6 +17,9 @@ from repro.core import BayesQO, BayesQOConfig, VAETrainingConfig, train_schema_m
 from repro.llm import PlanLM, PlanLMConfig, build_finetune_dataset
 from repro.plans.encoding import sequence_length
 from repro.workloads import build_ceb_workload
+from repro.utils import get_logger
+
+logger = get_logger("examples.cross_query_llm")
 
 
 def main() -> None:
@@ -44,7 +47,7 @@ def main() -> None:
     )
     model = PlanLM(schema_model.vocabulary, max_length, PlanLMConfig(epochs=120, seed=0))
     model.fit(examples)
-    print(f"\nFine-tuned the PlanLM on {len(examples)} (query, plan) examples.")
+    logger.info("fine-tuned the PlanLM on %d (query, plan) examples", len(examples))
 
     # 3. Use the PlanLM to seed BayesQO on an unseen query of a seen template.
     target = workload.queries[4]

@@ -22,6 +22,9 @@ from repro.core import (
     train_schema_model,
 )
 from repro.workloads import STACK_DATE_2017, build_stack_workload, deletion_fraction, rollback_to_date
+from repro.utils import get_logger
+
+logger = get_logger("examples.drift")
 
 
 def main() -> None:
@@ -29,8 +32,8 @@ def main() -> None:
     future_db = workload.database
     past_db = rollback_to_date(future_db, STACK_DATE_2017)
     removed = deletion_fraction(future_db, past_db)
-    print(f"Rolled the Stack database back to day {STACK_DATE_2017}: "
-          f"{removed * 100:.1f}% of rows removed (the 'past' snapshot).")
+    logger.info("rolled the Stack database back to day %d: %.1f%% of rows removed "
+                "(the 'past' snapshot)", STACK_DATE_2017, removed * 100)
 
     query = workload.queries[0]
     vae_config = VAETrainingConfig(training_steps=1200, corpus_queries=100)

@@ -18,7 +18,10 @@ from repro.baselines import BaoOptimizer
 from repro.core import BayesQOConfig, ExecutionServiceConfig, PlanCache, VAETrainingConfig
 from repro.core.protocol import BudgetSpec, drive_state
 from repro.harness import WorkloadSession
+from repro.utils import get_logger
 from repro.workloads import build_job_workload
+
+logger = get_logger("examples.quickstart")
 
 
 def main() -> None:
@@ -28,8 +31,8 @@ def main() -> None:
     workload = build_job_workload(scale=0.15, seed=0, num_queries=20)
     database = workload.database
     query = workload.queries[0]
-    print(f"Optimizing query {query.name} joining {query.num_tables} tables:")
-    print(f"  {query.sql()[:160]}...")
+    logger.info("optimizing query %s joining %d tables: %s...",
+                query.name, query.num_tables, query.sql()[:160])
 
     # 2. Baselines: the default optimizer plan and the best of the 49 Bao hint
     #    sets, driven through the ask/tell protocol.

@@ -38,6 +38,7 @@ from repro.bo.surrogate import BatchFantasizeSurrogate, IncrementalSurrogate, Su
 from repro.bo.svgp import CensoredSVGP, SVGPConfig
 from repro.bo.turbo import TrustRegion
 from repro.exceptions import OptimizationError
+from repro.obs.tracer import NULL_TRACER
 
 #: Names of the supported surrogate models.
 SURROGATES = ("svgp", "censored_gp")
@@ -114,6 +115,16 @@ class BOEngine:
         self._num_in_surrogate = 0
         #: Observations absorbed incrementally since the last full refit.
         self._observations_since_refit = 0
+        #: Observability hook (explicit propagation — set by whoever drives
+        #: the engine; see :mod:`repro.obs`).  Never pickled: engines ride
+        #: inside checkpointed optimizer states and plan stores, and a live
+        #: span buffer has no business there.
+        self.tracer = NULL_TRACER
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["tracer"] = NULL_TRACER
+        return state
 
     # ------------------------------------------------------------------ data handling
     def _normalize(self, x: np.ndarray) -> np.ndarray:
@@ -196,18 +207,25 @@ class BOEngine:
             and isinstance(self._surrogate, IncrementalSurrogate)
             and self._observations_since_refit + pending < self.config.refit_every
         )
-        if incremental:
-            for index in range(self._num_in_surrogate, self.num_observations):
-                self._surrogate.add_observation(
-                    self._normalize(self._x[index])[0], self._y[index], self._censored[index]
-                )
-            self._observations_since_refit += pending
-        else:
-            x, y, censored = self.observations()
-            surrogate = self._build_surrogate()
-            surrogate.fit(self._normalize(x), y, censored)
-            self._surrogate = surrogate
-            self._observations_since_refit = 0
+        with self.tracer.span(
+            "bo.refit",
+            category="bo",
+            mode="incremental" if incremental else "full",
+            observations=self.num_observations,
+            pending=pending,
+        ):
+            if incremental:
+                for index in range(self._num_in_surrogate, self.num_observations):
+                    self._surrogate.add_observation(
+                        self._normalize(self._x[index])[0], self._y[index], self._censored[index]
+                    )
+                self._observations_since_refit += pending
+            else:
+                x, y, censored = self.observations()
+                surrogate = self._build_surrogate()
+                surrogate.fit(self._normalize(x), y, censored)
+                self._surrogate = surrogate
+                self._observations_since_refit = 0
         self._num_in_surrogate = self.num_observations
 
     @property
@@ -282,9 +300,10 @@ class BOEngine:
         if self.num_observations == 0:
             return [self._denormalize(self.rng.random((1, self.dim)))[0] for _ in range(q)]
         self.fit()
-        candidates = self._candidate_pool()
-        if q == 1:
-            indices = [self._acquisition.select(self.surrogate, candidates, self.rng)]
-        else:
-            indices = self._acquisition.select_batch(self.surrogate, candidates, self.rng, q)
+        with self.tracer.span("bo.acquisition", category="bo", q=q):
+            candidates = self._candidate_pool()
+            if q == 1:
+                indices = [self._acquisition.select(self.surrogate, candidates, self.rng)]
+            else:
+                indices = self._acquisition.select_batch(self.surrogate, candidates, self.rng, q)
         return [self._denormalize(candidates[index])[0] for index in indices]

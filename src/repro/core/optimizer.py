@@ -43,6 +43,7 @@ from repro.core.timeout import TimeoutPolicy, build_timeout_policy
 from repro.db.engine import Database
 from repro.db.query import Query
 from repro.exceptions import OptimizationError
+from repro.obs.tracer import NULL_TRACER
 from repro.plans.encoding import PlanCodec
 from repro.plans.jointree import JoinTree
 from repro.plans.vocabulary import PlanVocabulary, vocabulary_for_workload
@@ -168,6 +169,17 @@ class BayesQO:
         self.config = config or BayesQOConfig()
         self.plan_generator = plan_generator
         self.overhead = OverheadBreakdown()
+        #: Observability hook (:mod:`repro.obs`): set by the scheduler/server
+        #: driving this optimizer; forwarded to each per-query engine in
+        #: :meth:`start` so surrogate refits and acquisition rounds appear in
+        #: the trace.  Never pickled (checkpoints and plan stores persist
+        #: optimizers; a live span buffer must not ride along).
+        self.tracer = NULL_TRACER
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["tracer"] = NULL_TRACER
+        return state
 
     # ------------------------------------------------------------------ construction helpers
     @classmethod
@@ -222,6 +234,7 @@ class BayesQO:
             ),
             seed=config.seed,
         )
+        engine.tracer = self.tracer
         policy = build_timeout_policy(
             config.timeout_strategy,
             kappa=config.timeout_kappa,

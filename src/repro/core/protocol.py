@@ -152,6 +152,12 @@ class ExecutionOutcome:
     #: (:class:`~repro.exec.supervisor.SupervisedBackend`); purely
     #: observational — traces and budget charging ignore it.
     attempts: int = 1
+    #: Spans recorded by the executing actor's own tracer
+    #: (:class:`~repro.obs.tracer.SpanRecord` tuple) — how a process-pool
+    #: worker's telemetry rides back to the scheduler, exactly like ``cache``.
+    #: Empty unless tracing is enabled on the executing side; purely
+    #: observational.
+    spans: tuple = ()
 
     @classmethod
     def from_execution(

@@ -105,11 +105,36 @@ __all__ = [
     "ThreadPoolBackend",
     "TransientBackendError",
     "apply_cache_overrides",
+    "backend_health",
     "is_infra_failure",
     "make_backend",
     "make_policy",
     "perform_request",
 ]
+
+
+def backend_health(backend: "ExecutionBackend | None") -> dict:
+    """Health snapshot of a backend stack's wrapper layers.
+
+    Walks supervisor -> fault harness -> router/pool by the ``inner``
+    convention, so any holder of a composed backend (the scheduler's
+    :class:`~repro.harness.runner.WorkloadSession`, the serving layer's
+    :class:`~repro.serve.server.PlanServer`) reports degradation — retries
+    burned, replicas on probation, injected faults — the same way.
+    """
+    report: dict = {}
+    layer = backend
+    seen: set[int] = set()
+    while layer is not None and id(layer) not in seen:
+        seen.add(id(layer))
+        if isinstance(layer, SupervisedBackend):
+            report["supervisor"] = layer.report()
+        elif isinstance(layer, FaultInjectionBackend):
+            report["faults"] = layer.counters.snapshot()
+        elif isinstance(layer, MultiBackendRouter):
+            report["router"] = [status.snapshot() for status in layer.statuses()]
+        layer = getattr(layer, "inner", None)
+    return report
 
 
 def apply_cache_overrides(config: ExecutionServiceConfig, database: "Database") -> "Database":
@@ -144,6 +169,7 @@ def make_backend(
     config: ExecutionServiceConfig,
     database: "Database",
     queries: "list[Query] | None" = None,
+    tracer=None,
 ) -> ExecutionBackend:
     """Build the backend an :class:`ExecutionServiceConfig` describes.
 
@@ -162,19 +188,27 @@ def make_backend(
     them instead.
     """
     database = apply_cache_overrides(config, database)
+    tracing = tracer is not None and getattr(tracer, "enabled", False)
 
     def one_backend() -> ExecutionBackend:
         if config.backend == "inline":
-            return InlineBackend(database)
+            return InlineBackend(database, tracer=tracer if tracing else None)
         if config.backend == "thread":
-            return ThreadPoolBackend(database, max_workers=config.max_workers)
+            return ThreadPoolBackend(
+                database,
+                max_workers=config.max_workers,
+                tracer=tracer if tracing else None,
+            )
         if config.backend == "process":
+            # Workers record into private tracers and ship drained spans back
+            # on outcomes; the parent-side tracer object itself never crosses.
             return ProcessPoolBackend(
                 database,
                 max_workers=config.max_workers,
                 queries=queries,
                 start_method=config.start_method,
                 warmup=config.warmup,
+                trace=tracing,
             )
         raise OptimizationError(f"unknown execution backend {config.backend!r}")
 

@@ -72,15 +72,40 @@ class ExecutionRequest:
     proposal_id: int | None = None
 
 
-def perform_request(database: "Database", request: ExecutionRequest) -> ExecutionOutcome:
+def perform_request(
+    database: "Database", request: ExecutionRequest, tracer=None
+) -> ExecutionOutcome:
     """Execute one request against ``database`` and shape the outcome.
 
     Runs wherever the backend lives (scheduler thread, pool thread, worker
     process) against *that* actor's database — so the outcome's ``cache``
     stats describe the executing actor's private execution cache, which is
     how per-worker memoization activity surfaces to the scheduler.
+
+    With a ``tracer`` (:class:`~repro.obs.tracer.Tracer`), the execution is
+    wrapped in an ``exec.run`` span annotated with the observed latency,
+    censoring and cache hit — recorded into the executing actor's buffer
+    (worker-side spans travel back on the outcome, see
+    :mod:`repro.exec.process_pool`).
     """
-    execution = database.execute(request.query, request.plan, timeout=request.timeout)
+    if tracer is None or not tracer.enabled:
+        execution = database.execute(request.query, request.plan, timeout=request.timeout)
+        return ExecutionOutcome.from_execution(
+            execution, request.timeout, proposal_id=request.proposal_id
+        )
+    with tracer.span(
+        "exec.run",
+        category="exec",
+        query=request.query.name,
+        proposal_id=request.proposal_id,
+    ) as span:
+        execution = database.execute(request.query, request.plan, timeout=request.timeout)
+        cache = getattr(execution, "cache", None)
+        span.annotate(
+            latency=execution.latency,
+            timed_out=execution.timed_out,
+            cache_hit=bool(cache is not None and cache.outcome_hit),
+        )
     return ExecutionOutcome.from_execution(
         execution, request.timeout, proposal_id=request.proposal_id
     )
@@ -116,8 +141,9 @@ class InlineBackend:
 
     name = "inline"
 
-    def __init__(self, database: "Database") -> None:
+    def __init__(self, database: "Database", tracer=None) -> None:
         self.database = database
+        self.tracer = tracer
 
     def capacity(self) -> int:
         return 1
@@ -125,7 +151,7 @@ class InlineBackend:
     def submit(self, request: ExecutionRequest) -> "Future[ExecutionOutcome]":
         future: Future[ExecutionOutcome] = Future()
         try:
-            future.set_result(perform_request(self.database, request))
+            future.set_result(perform_request(self.database, request, tracer=self.tracer))
         except BaseException as exc:  # noqa: BLE001 - delivered via the future
             future.set_exception(exc)
         return future
@@ -148,10 +174,13 @@ class ThreadPoolBackend:
 
     name = "thread"
 
-    def __init__(self, database: "Database", max_workers: int = 4) -> None:
+    def __init__(self, database: "Database", max_workers: int = 4, tracer=None) -> None:
         if max_workers < 1:
             raise OptimizationError("max_workers must be at least 1")
         self.database = database
+        #: Shared with pool threads — :class:`~repro.obs.tracer.Tracer` id
+        #: allocation is lock-protected, so concurrent recording is safe.
+        self.tracer = tracer
         self._max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
@@ -166,7 +195,7 @@ class ThreadPoolBackend:
             self._pool = ThreadPoolExecutor(
                 max_workers=self._max_workers, thread_name_prefix="repro-exec"
             )
-        return self._pool.submit(perform_request, self.database, request)
+        return self._pool.submit(perform_request, self.database, request, self.tracer)
 
     def healthy(self) -> bool:
         return not self._closed

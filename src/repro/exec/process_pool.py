@@ -18,6 +18,7 @@ are bit-for-bit identical to sequential ones.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import traceback
@@ -28,6 +29,7 @@ from repro.core.protocol import ExecutionOutcome
 from repro.db.query import Query
 from repro.exceptions import OptimizationError
 from repro.exec.backend import ExecutionRequest, perform_request
+from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.db.engine import Database
@@ -63,7 +65,9 @@ class RemoteExecutionError(OptimizationError):
         return (self.__class__, (self.args[0], self.remote_traceback))
 
 
-def _init_worker(database: "Database", queries: tuple[Query, ...], warmup: bool) -> None:
+def _init_worker(
+    database: "Database", queries: tuple[Query, ...], warmup: bool, trace: bool = False
+) -> None:
     """Build this worker's warm replica (runs once per worker process).
 
     The replica arrives with a *fresh, private* execution cache
@@ -72,9 +76,15 @@ def _init_worker(database: "Database", queries: tuple[Query, ...], warmup: bool)
     primes it with each query's default plan and the per-execution
     :class:`~repro.db.plan_cache.CacheStats` travel back to the scheduler on
     every :class:`~repro.core.protocol.ExecutionOutcome`.
+
+    With ``trace`` the worker records execution spans into its own private
+    :class:`~repro.obs.tracer.Tracer`; each task drains the buffer onto its
+    outcome's ``spans`` tuple, so telemetry travels back exactly like
+    ``CacheStats`` does and the scheduler re-parents it via ``adopt``.
     """
     _WORKER_STATE["database"] = database
     _WORKER_STATE["queries"] = {query.name: query for query in queries}
+    _WORKER_STATE["tracer"] = Tracer(capacity=4096) if trace else None
     if warmup and hasattr(database, "warmup"):
         database.warmup(list(queries))
 
@@ -94,10 +104,17 @@ def _execute_in_worker(
             query = _WORKER_STATE["queries"][query_or_name]
         else:
             query = query_or_name
-        return perform_request(
+        tracer = _WORKER_STATE.get("tracer")
+        outcome = perform_request(
             database,
             ExecutionRequest(query=query, plan=plan, timeout=timeout, proposal_id=proposal_id),
+            tracer=tracer,
         )
+        if tracer is not None:
+            spans = tracer.drain()
+            if spans:
+                outcome = dataclasses.replace(outcome, spans=tuple(spans))
+        return outcome
     except RemoteExecutionError:
         raise
     except Exception as exc:  # noqa: BLE001 - wrapped with the remote stack
@@ -147,6 +164,7 @@ class ProcessPoolBackend:
         queries: list[Query] | None = None,
         start_method: str | None = None,
         warmup: bool = True,
+        trace: bool = False,
     ) -> None:
         workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         if workers < 1:
@@ -157,6 +175,7 @@ class ProcessPoolBackend:
         self._registered = {query.name for query in self._queries}
         self._start_method = start_method
         self._warmup = warmup
+        self._trace = trace
         self._pool: ProcessPoolExecutor | None = None
         self._closed = False
 
@@ -171,7 +190,7 @@ class ProcessPoolBackend:
                 max_workers=self._max_workers,
                 mp_context=_pick_context(self._start_method),
                 initializer=_init_worker,
-                initargs=(self.database, self._queries, self._warmup),
+                initargs=(self.database, self._queries, self._warmup, self._trace),
             )
         return self._pool
 

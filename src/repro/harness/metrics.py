@@ -145,6 +145,44 @@ class StreamingPercentiles:
         """Observations *seen* (not retained)."""
         return self._count
 
+    def merge(self, other: "StreamingPercentiles") -> None:
+        """Fold another reservoir into this one (per-worker metric merging).
+
+        While the combined stream still fits the capacity the merge is exact:
+        both reservoirs *are* their streams, so concatenating loses nothing
+        and percentiles match numpy on the full data — the property the unit
+        tests pin.  Beyond capacity, the retained values are a deterministic
+        weighted subsample: each retained value stands for ``count / len``
+        stream observations, and a seeded draw (derived from both seeds and
+        both counts, so the same merge always yields the same reservoir)
+        keeps ``capacity`` of them without replacement, weighted accordingly.
+        """
+        if other._count == 0:
+            return
+        combined = self._count + other._count
+        if (
+            combined <= self.capacity
+            and len(self._values) == self._count
+            and len(other._values) == other._count
+        ):
+            self._values.extend(other._values)
+            self._count = combined
+            return
+        pooled = np.asarray(self._values + other._values, dtype=np.float64)
+        weights = np.concatenate(
+            [
+                np.full(len(self._values), self._count / max(len(self._values), 1)),
+                np.full(len(other._values), other._count / max(len(other._values), 1)),
+            ]
+        )
+        keep = min(self.capacity, len(pooled))
+        rng = np.random.default_rng(
+            [self.seed & 0xFFFFFFFF, other.seed & 0xFFFFFFFF, self._count, other._count]
+        )
+        chosen = rng.choice(len(pooled), size=keep, replace=False, p=weights / weights.sum())
+        self._values = [float(value) for value in pooled[chosen]]
+        self._count = combined
+
     def percentile(self, q: float) -> float:
         """The q-th percentile of the (sampled) stream; 0.0 before any data."""
         if not self._values:

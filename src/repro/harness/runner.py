@@ -70,14 +70,15 @@ from repro.harness.checkpoint import CheckpointManager, SessionCheckpoint
 from repro.exec import (
     ExecutionBackend,
     ExecutionRequest,
-    FaultInjectionBackend,
-    MultiBackendRouter,
     SchedulingPolicy,
-    SupervisedBackend,
     apply_cache_overrides,
+    backend_health,
     make_backend,
     make_policy,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import render_report
+from repro.obs.tracer import NULL_TRACER
 from repro.workloads.base import Workload
 
 #: Deprecated alias: the registered technique names at import time.  Prefer
@@ -105,6 +106,10 @@ class ComparisonRun:
     #: injection totals, per-replica router statuses) — degraded runs are
     #: visible in the report instead of silent.
     backend_health: dict = field(default_factory=dict)
+    #: The session's observability report (:func:`repro.obs.report.render_report`):
+    #: top spans by self-time, per-layer latency percentiles, subsystem
+    #: tables.  A short "(no spans...)" stub when tracing was off.
+    obs_report: str = ""
 
     def techniques(self) -> list[str]:
         return sorted(self.results)
@@ -258,6 +263,8 @@ class WorkloadSession:
         interleave: bool | None = None,
         checkpoint_path: str | None = None,
         checkpoint_every: int | None = None,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_workers < 1:
             raise OptimizationError("max_workers must be at least 1")
@@ -278,6 +285,12 @@ class WorkloadSession:
         self.max_workers = max_workers
         self.batch_size = batch_size
         self.exec_config = exec_config
+        # Telemetry is opt-in: the defaults (a no-op tracer, a private
+        # registry) keep every pre-existing call site byte-identical.  Set
+        # before backend resolution so traced sessions thread the tracer all
+        # the way down into the execution service.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._backend = self._resolve_backend(backend)
         self.policy = self._resolve_policy(policy)
         if interleave is not None:
@@ -294,6 +307,10 @@ class WorkloadSession:
         #: Session-wide execution-memoization totals, updated on every
         #: outcome the session observes (any backend, any scheduler mode).
         self.cache_report = ExecutionCacheReport()
+        # Providers unify the read side of counters that live in subsystem
+        # dataclasses; registry snapshots pull them live, pickling drops them.
+        self.metrics.register_provider("execution_cache", self.cache_report.summary)
+        self.metrics.register_provider("backend_health", self.health_report)
 
     # ------------------------------------------------------------------ execution service
     def _resolve_backend(self, backend) -> ExecutionBackend:
@@ -316,7 +333,7 @@ class WorkloadSession:
         # Cache-knob overrides swap in a snapshot rather than mutating the
         # workload's database; the session works against the effective one.
         self.database = apply_cache_overrides(config, self.database)
-        return make_backend(config, self.database, self.queries)
+        return make_backend(config, self.database, self.queries, tracer=self.tracer)
 
     def _resolve_policy(self, policy) -> SchedulingPolicy:
         if policy is not None and not isinstance(policy, str):
@@ -370,6 +387,10 @@ class WorkloadSession:
             return self._results[technique]
         spec = get_technique(technique)
         optimizer = spec.factory(self._context(spec.needs_schema_model))
+        if hasattr(optimizer, "tracer"):
+            # Techniques that emit telemetry (BayesQO -> BOEngine refit /
+            # acquisition spans) record into the session's tracer.
+            optimizer.tracer = self.tracer
         # Techniques with a naturally bounded search space (Bao's 49 hint
         # sets) are charged on the time axis only.
         budget = self.budget.without_execution_cap() if spec.ignores_execution_cap else self.budget
@@ -452,8 +473,29 @@ class WorkloadSession:
 
     def _execute(self, proposal: PlanProposal, query: Query) -> ExecutionOutcome:
         """Execute one proposal through the backend, waiting for its outcome."""
-        outcome = self._backend.submit(self._request(proposal, query)).result()
+        tracer = self.tracer
+        if not tracer.enabled:
+            outcome = self._backend.submit(self._request(proposal, query)).result()
+        else:
+            with tracer.span(
+                "exec.request",
+                category="exec",
+                query=query.name,
+                proposal_id=proposal.proposal_id,
+            ) as span:
+                outcome = self._backend.submit(self._request(proposal, query)).result()
+                span.annotate(
+                    latency=outcome.latency,
+                    timed_out=outcome.timed_out,
+                    attempts=outcome.attempts,
+                    cache_hit=bool(outcome.cache is not None and outcome.cache.outcome_hit),
+                )
+                if outcome.spans:
+                    # Worker-recorded spans (process pool) re-parent under
+                    # this request so the causal chain crosses the pool.
+                    tracer.adopt(outcome.spans, parent=span)
         self.cache_report.note(outcome.cache)
+        self.metrics.histogram("optimize.exec_latency").observe(outcome.latency)
         return outcome
 
     def _outcome_of(self, future: "Future[ExecutionOutcome]", query_name: str) -> ExecutionOutcome:
@@ -470,6 +512,20 @@ class WorkloadSession:
                 f"plan execution failed for query {query_name!r}: {exc}"
             ) from exc
         self.cache_report.note(outcome.cache)
+        tracer = self.tracer
+        if tracer.enabled:
+            record = tracer.instant(
+                "exec.complete",
+                category="exec",
+                query=query_name,
+                latency=outcome.latency,
+                timed_out=outcome.timed_out,
+                attempts=outcome.attempts,
+                cache_hit=bool(outcome.cache is not None and outcome.cache.outcome_hit),
+            )
+            if outcome.spans:
+                tracer.adopt(outcome.spans, parent=record)
+        self.metrics.histogram("optimize.exec_latency").observe(outcome.latency)
         return outcome
 
     # ------------------------------------------------------------------ checkpointing
@@ -518,19 +574,11 @@ class WorkloadSession:
         probation, execution running on the inline fallback — is visible in
         reports next to :attr:`cache_report` instead of silent.
         """
-        report: dict = {}
-        layer = self._backend
-        seen: set[int] = set()
-        while layer is not None and id(layer) not in seen:
-            seen.add(id(layer))
-            if isinstance(layer, SupervisedBackend):
-                report["supervisor"] = layer.report()
-            elif isinstance(layer, FaultInjectionBackend):
-                report["faults"] = layer.counters.snapshot()
-            elif isinstance(layer, MultiBackendRouter):
-                report["router"] = [status.snapshot() for status in layer.statuses()]
-            layer = getattr(layer, "inner", None)
-        return report
+        return backend_health(self._backend)
+
+    def obs_report(self) -> str:
+        """Text snapshot of the session's telemetry (spans + metrics)."""
+        return render_report(self.tracer.spans(), self.metrics.snapshot())
 
     # ------------------------------------------------------------------ schedulers
     def _run_sequential(
@@ -552,8 +600,11 @@ class WorkloadSession:
             results.update(checkpoint.completed)
             if checkpoint.optimizer is not None:
                 # The pickled optimizer carries the mid-run model/RNG state
-                # the freshly built one lacks.
+                # the freshly built one lacks.  Its tracer was nulled on
+                # pickle; re-attach the live one.
                 optimizer = checkpoint.optimizer
+                if hasattr(optimizer, "tracer"):
+                    optimizer.tracer = self.tracer
             resumed_state = checkpoint.state
         for query in self.queries:
             if query.name in results:
@@ -563,10 +614,17 @@ class WorkloadSession:
             else:
                 state = optimizer.start(query, budget=budget)
             while state.budget_left():
-                proposal = optimizer.suggest(state)
+                with self.tracer.span(
+                    "optimize.suggest", category="optimize", query=query.name
+                ):
+                    proposal = optimizer.suggest(state)
                 if proposal is None:
                     break
-                optimizer.observe(state, self._execute(proposal, query))
+                outcome = self._execute(proposal, query)
+                with self.tracer.span(
+                    "optimize.observe", category="optimize", query=query.name
+                ):
+                    optimizer.observe(state, outcome)
                 if self._checkpoint is not None and self._checkpoint.due():
                     self._save_checkpoint(technique, optimizer, results, state=state)
             results[query.name] = optimizer.finish(state)
@@ -585,16 +643,23 @@ class WorkloadSession:
         if checkpoint is not None and checkpoint.state is not None:
             if checkpoint.optimizer is not None:
                 optimizer = checkpoint.optimizer
+                if hasattr(optimizer, "tracer"):
+                    optimizer.tracer = self.tracer
             state = checkpoint.state
         if state is None:
             state = optimizer.start_workload(
                 self.queries, budget=budget.scaled(len(self.queries))
             )
         while state.budget_left():
-            proposal = optimizer.suggest(state)
+            with self.tracer.span("optimize.suggest", category="optimize"):
+                proposal = optimizer.suggest(state)
             if proposal is None:
                 break
-            optimizer.observe(state, self._execute(proposal, proposal.query))
+            outcome = self._execute(proposal, proposal.query)
+            with self.tracer.span(
+                "optimize.observe", category="optimize", query=proposal.query.name
+            ):
+                optimizer.observe(state, outcome)
             if self._checkpoint is not None and self._checkpoint.due():
                 self._save_checkpoint(technique, optimizer, {}, state=state)
         results = optimizer.finish_workload(state)
@@ -644,6 +709,14 @@ class WorkloadSession:
                 q_now = controller.q if controller is not None else q
                 while ready and len(in_flight) < capacity:
                     state = ready.pop(self.policy.select(ready, scored))
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            "schedule.select",
+                            category="schedule",
+                            query=state.query.name,
+                            in_flight=len(in_flight),
+                            ready=len(ready),
+                        )
                     want = min(issue_allowance(state, q_now), capacity - len(in_flight))
                     proposals = suggest_proposals(optimizer, state, want)
                     if not proposals:
@@ -732,11 +805,15 @@ def run_comparison(
     seed: int = 0,
     max_workers: int = 1,
     exec_config: ExecutionServiceConfig | None = None,
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
 ) -> ComparisonRun:
     """Run the Figure 3 style comparison: every technique, same queries, same budget.
 
     Bao (the improvement baseline) is executed once through the session and
-    reused when ``"bao"`` is also in ``techniques``.
+    reused when ``"bao"`` is also in ``techniques``.  Pass a
+    :class:`~repro.obs.tracer.Tracer` to get the telemetry snapshot on
+    :attr:`ComparisonRun.obs_report`.
     """
     with WorkloadSession(
         workload,
@@ -747,6 +824,8 @@ def run_comparison(
         seed=seed,
         max_workers=max_workers,
         exec_config=exec_config,
+        tracer=tracer,
+        metrics=metrics,
     ) as session:
         run = ComparisonRun(workload_name=workload.name)
         run.bao_latencies = session.bao_latencies()
@@ -755,4 +834,5 @@ def run_comparison(
             run.results[technique] = session.run(technique)
         run.cache_summary = session.cache_report.summary()
         run.backend_health = session.health_report()
+        run.obs_report = session.obs_report()
         return run

@@ -1,0 +1,93 @@
+"""Span exporters: JSONL sink and Chrome-trace/Perfetto JSON.
+
+The ring buffer is the in-memory representation; these functions turn a
+span list into artifacts:
+
+* :func:`write_jsonl` — one JSON object per line, append-friendly, the
+  machine-readable archive format (loss-free: :func:`read_jsonl` round-trips
+  back to :class:`~repro.obs.tracer.SpanRecord`).
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome trace-event
+  JSON (``traceEvents`` with complete ``ph: "X"`` events, microsecond
+  timestamps) that https://ui.perfetto.dev and ``chrome://tracing`` open
+  directly.  Span categories become trace categories, span attrs (including
+  the causal ``follows`` ids) land in ``args``, so a serve stream or chaos
+  run can be inspected visually without any custom tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.obs.tracer import SpanRecord
+
+__all__ = ["chrome_trace", "write_chrome_trace", "write_jsonl", "read_jsonl"]
+
+
+def chrome_trace(records: Iterable[SpanRecord], process_name: str = "repro") -> dict:
+    """The Chrome trace-event representation of ``records``.
+
+    Spans of the same category share a track (``tid``), which is how a trace
+    viewer lays the optimize/exec/serve layers out as parallel swimlanes.
+    """
+    tids: dict[str, int] = {}
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for record in records:
+        tid = tids.setdefault(record.category, len(tids))
+        args = {"span_id": record.span_id}
+        if record.parent_id is not None:
+            args["parent_id"] = record.parent_id
+        for key, value in record.attrs.items():
+            args[key] = value if isinstance(value, (int, float, str, bool, type(None))) else repr(value)
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.category,
+                "ph": "X",
+                "ts": record.start * 1e6,
+                "dur": max(record.duration, 0.0) * 1e6,
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    for category, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": category},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[SpanRecord], path: str, process_name: str = "repro") -> None:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(records, process_name), handle)
+
+
+def write_jsonl(records: Iterable[SpanRecord], path: str, append: bool = False) -> None:
+    with open(path, "a" if append else "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict()) + "\n")
+
+
+def read_jsonl(path: str) -> list[SpanRecord]:
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord(**json.loads(line)))
+    return records

@@ -1,0 +1,342 @@
+"""Causal spans: low-overhead tracing with explicit context propagation.
+
+The observability layer's first principle is that it must not perturb what it
+observes: tier-1 determinism (bit-for-bit trace equivalence across backends,
+caching and resume) is load-bearing, so the tracer keeps **no global mutable
+state** — every instrumented object holds an explicit ``tracer`` reference,
+:data:`NULL_TRACER` (a do-nothing singleton) by default.  Hot paths guard on
+``tracer.enabled`` so the disabled cost is one attribute read and a branch.
+
+Spans form two kinds of links:
+
+* **parent links** (``parent_id``) — lexical containment: an executor run
+  recorded inside a re-optimization task, an admission verdict inside a
+  maintenance cycle.
+* **follows links** (``attrs["follows"]``) — causality across time: a serve
+  arrival *follows* the store upsert that produced the plan it was answered
+  with, the upsert follows the admission verdict, the verdict follows the
+  arrival that tripped it.  Walking ``follows`` backwards reconstructs a
+  query's full life (arrival -> admission -> re-optimization -> store upsert
+  -> next fast-path serve) from a flat span list.
+
+Process-pool workers cannot share the scheduler's buffer; they record into
+their own :class:`Tracer` and ship the drained, picklable
+:class:`SpanRecord` list back on the
+:class:`~repro.core.protocol.ExecutionOutcome` (exactly how per-worker
+``CacheStats`` already travel).  The scheduler folds them in with
+:meth:`Tracer.adopt`, which re-issues span ids so worker-local ids can never
+collide with scheduler ids.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from typing import Callable, Iterable
+
+__all__ = ["SpanRecord", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class SpanRecord:
+    """One finished span: a named interval plus its causal links.
+
+    A plain ``__slots__`` object rather than a dataclass — records are
+    created on hot paths and cross process boundaries, so construction cost
+    and picklability both matter.  ``attrs`` is a small dict of primitives
+    (query name, proposal id, cache hit, the ``follows`` link, ...).
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "category", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        category: str,
+        start: float,
+        end: float,
+        attrs: dict,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end = end
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def replace(self, **changes) -> "SpanRecord":
+        fields = {slot: getattr(self, slot) for slot in self.__slots__}
+        fields.update(changes)
+        return SpanRecord(**fields)
+
+    def to_dict(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    # __slots__ classes have no __dict__; spell the pickle protocol out.
+    def __getstate__(self):
+        return self.to_dict()
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SpanRecord):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"dur={self.duration:.6f}, attrs={self.attrs})"
+        )
+
+
+def _link_id(parent) -> int | None:
+    """The span id a ``parent=`` argument refers to (span, record, id or None)."""
+    if parent is None or isinstance(parent, int):
+        return parent
+    return getattr(parent, "span_id", None)
+
+
+class Span:
+    """An open span; closes (and records itself) on ``__exit__`` or :meth:`done`."""
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "category", "start", "attrs")
+
+    def __init__(self, tracer: "Tracer", span_id: int, parent_id: int | None,
+                 name: str, category: str, start: float, attrs: dict) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start = start
+        self.attrs = attrs
+
+    def annotate(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def done(self) -> SpanRecord:
+        record = SpanRecord(
+            self.span_id, self.parent_id, self.name, self.category,
+            self.start, self._tracer._clock(), self.attrs,
+        )
+        self._tracer._records.append(record)
+        return record
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.done()
+
+
+class Tracer:
+    """Records spans into a bounded in-memory ring buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; the oldest records fall off first.  Bounded by
+        construction so a long-lived server cannot leak memory through its
+        own telemetry.
+    clock:
+        Injectable time source (``time.perf_counter`` by default).  Tests
+        inject a fake clock for deterministic durations.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536, clock: Callable[[], float] | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be at least 1")
+        self.capacity = capacity
+        self._clock = clock or time.perf_counter
+        self._records: deque[SpanRecord] = deque(maxlen=capacity)
+        # ``next()`` on an itertools.count is a single C call — atomic under
+        # the GIL, so ids stay unique across threads without a lock on the
+        # hot path.
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------ recording
+    def _new_id(self) -> int:
+        return next(self._ids)
+
+    def now(self) -> float:
+        """The tracer's clock — for callers measuring a start before a branch."""
+        return self._clock()
+
+    def span(self, name: str, *, category: str = "app", parent=None, **attrs) -> Span:
+        """Open a span (use as a context manager or call ``done()``)."""
+        return Span(
+            self, next(self._ids), _link_id(parent), name, category, self._clock(), attrs
+        )
+
+    def record(self, name: str, start: float, *, category: str = "app",
+               parent=None, end: float | None = None, **attrs) -> SpanRecord:
+        """Record a finished span directly — the cheapest enabled-path shape.
+
+        The caller supplies ``start`` (read via :meth:`now` before the traced
+        work); ``end`` defaults to the current clock.  Link helpers are
+        inlined: this is the microsecond serve path.
+        """
+        record = SpanRecord(
+            next(self._ids),
+            parent if parent is None or type(parent) is int else parent.span_id,
+            name, category,
+            start, self._clock() if end is None else end, attrs,
+        )
+        self._records.append(record)
+        return record
+
+    def instant(self, name: str, *, category: str = "app", parent=None, **attrs) -> SpanRecord:
+        """A zero-duration marker (scheduler decisions, admission verdicts)."""
+        now = self._clock()
+        record = SpanRecord(next(self._ids), _link_id(parent), name, category, now, now, attrs)
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------ merging
+    def adopt(self, records: Iterable[SpanRecord], parent=None) -> list[SpanRecord]:
+        """Fold spans recorded by another tracer (a worker) into this buffer.
+
+        Every adopted record gets a fresh id from *this* tracer so worker-local
+        ids can never collide; links *within* the batch are remapped, roots are
+        re-parented under ``parent``.  Returns the adopted records.
+        """
+        parent_id = _link_id(parent)
+        mapping: dict[int, int] = {}
+        adopted = []
+        for record in records:
+            new_id = self._new_id()
+            mapping[record.span_id] = new_id
+            new_parent = mapping.get(record.parent_id, parent_id)
+            attrs = record.attrs
+            follows = attrs.get("follows")
+            if follows is not None and follows in mapping:
+                attrs = dict(attrs, follows=mapping[follows])
+            adopted.append(record.replace(span_id=new_id, parent_id=new_parent, attrs=attrs))
+        self._records.extend(adopted)
+        return adopted
+
+    # ------------------------------------------------------------------ reading
+    def spans(self) -> list[SpanRecord]:
+        """A snapshot of the buffered records, oldest first."""
+        return list(self._records)
+
+    def drain(self) -> list[SpanRecord]:
+        """Pop everything buffered (how workers ship spans on outcomes)."""
+        records = list(self._records)
+        self._records.clear()
+        return records
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------ pickling
+    # Tracers can end up attached to picklable objects (a checkpointed
+    # optimizer); the id counter must not poison those pickles.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_records"] = list(self._records)
+        state["_ids"] = self._peek_next_id()
+        # An injected bound-method/lambda clock would not pickle; fall back.
+        try:
+            import pickle
+
+            pickle.dumps(state["_clock"])
+        except Exception:
+            state["_clock"] = None
+        return state
+
+    def _peek_next_id(self) -> int:
+        # itertools.count has no non-consuming peek; burning one id on
+        # pickle is harmless (ids only need to be unique and increasing).
+        return next(self._ids)
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        if self._clock is None:
+            self._clock = time.perf_counter
+        self._records = deque(state["_records"], maxlen=self.capacity)
+        self._ids = itertools.count(state["_ids"])
+
+
+class _NullSpan:
+    """The shared do-nothing span the null tracer hands out."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def done(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: records nothing, costs (almost) nothing.
+
+    Instrumented hot paths check ``tracer.enabled`` and skip even argument
+    construction; cooler paths may call ``span()``/``instant()``
+    unconditionally and get inert objects back.
+    """
+
+    enabled = False
+    capacity = 0
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name: str, **kwargs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, name: str, start: float, **kwargs) -> None:
+        return None
+
+    def instant(self, name: str, **kwargs) -> None:
+        return None
+
+    def adopt(self, records, parent=None) -> list:
+        return []
+
+    def spans(self) -> list:
+        return []
+
+    def drain(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: The shared default tracer.  Instances of :class:`NullTracer` are all
+#: equivalent; this one exists so default arguments don't allocate.
+NULL_TRACER = NullTracer()

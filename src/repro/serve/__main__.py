@@ -3,7 +3,9 @@
 Builds a small Stack-like workload, starts a :class:`~repro.serve.server.PlanServer`
 on the rolled-back 2017 snapshot, and drives a seeded Zipf/bursty stream with a
 mid-stream drift event to the full database.  Prints the serve counters, the
-maintenance log and the SLO percentiles, then demonstrates checkpoint/resume.
+maintenance log, the SLO percentiles and the telemetry report, then
+demonstrates checkpoint/resume.  ``--trace PATH`` additionally exports the
+stream's spans as a Chrome/Perfetto trace (open in ``ui.perfetto.dev``).
 """
 
 from __future__ import annotations
@@ -13,10 +15,14 @@ import os
 import tempfile
 
 from repro.core.protocol import BudgetSpec
+from repro.obs import Tracer, render_report, write_chrome_trace
 from repro.serve.server import PlanServer, ServeConfig
 from repro.serve.traffic import DriftEvent, TrafficConfig, TrafficGenerator, drive_stream
+from repro.utils import get_logger
 from repro.workloads.drift import rollback_to_date
 from repro.workloads.stack import STACK_DATE_2017, build_stack_workload
+
+logger = get_logger("repro.serve")
 
 
 def main() -> None:
@@ -24,9 +30,12 @@ def main() -> None:
     parser.add_argument("--arrivals", type=int, default=200)
     parser.add_argument("--queries", type=int, default=12)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None, help="write a Chrome/Perfetto trace JSON"
+    )
     args = parser.parse_args()
 
-    print("building workload ...")
+    logger.info("building workload ...")
     workload = build_stack_workload(
         scale=0.05, seed=args.seed, num_templates=6, num_queries=args.queries
     )
@@ -46,11 +55,14 @@ def main() -> None:
     )
     generator = TrafficGenerator(workload.queries, traffic)
 
-    print(
-        f"stream: {len(generator)} arrivals, {generator.distinct_queries()} distinct "
-        f"queries, drift at arrival {args.arrivals // 2}"
+    logger.info(
+        "stream: %d arrivals, %d distinct queries, drift at arrival %d",
+        len(generator),
+        generator.distinct_queries(),
+        args.arrivals // 2,
     )
-    with PlanServer(past, config=config, workload=workload) as server:
+    tracer = Tracer()
+    with PlanServer(past, config=config, workload=workload, tracer=tracer) as server:
         result = drive_stream(server, generator, future, maintenance_every=25)
         summary = server.summary()
 
@@ -72,13 +84,20 @@ def main() -> None:
         for key, value in summary["slo_store"].items():
             print(f"  {key:>8}: {value:.4f}" if isinstance(value, float) else f"  {key:>8}: {value}")
 
+        print()
+        print(render_report(tracer.spans(), server.metrics.snapshot()))
+
+        if args.trace is not None:
+            write_chrome_trace(tracer.spans(), args.trace, process_name="repro.serve")
+            logger.info("wrote Chrome trace to %s (open in ui.perfetto.dev)", args.trace)
+
         with tempfile.TemporaryDirectory() as tmp:
             path = os.path.join(tmp, "plan_store.pkl")
             server.checkpoint(path)
-            print(f"\ncheckpointed store to {path} ({os.path.getsize(path)} bytes)")
+            logger.info("checkpointed store to %s (%d bytes)", path, os.path.getsize(path))
             resumed = PlanServer.resume(path, server.database, config=config, workload=workload)
             print(
-                f"resumed: {len(resumed.store)} entries, "
+                f"\nresumed: {len(resumed.store)} entries, "
                 f"{resumed.counters.arrivals} arrivals on record"
             )
             resumed.close()

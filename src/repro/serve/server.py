@@ -47,8 +47,10 @@ from repro.core.reoptimize import warm_start_plans
 from repro.db.engine import Database
 from repro.db.query import Query
 from repro.exceptions import OptimizationError
-from repro.exec import ExecutionBackend, ExecutionRequest, make_backend
+from repro.exec import ExecutionBackend, ExecutionRequest, backend_health, make_backend
 from repro.harness.metrics import StreamingPercentiles
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.plans.jointree import JoinTree
 from repro.serve.admission import AdmissionConfig, AdmissionPolicy, AdmissionTask
 from repro.serve.store import PlanStore, StoreEntry
@@ -198,6 +200,12 @@ class PlanServer:
     workload / schema_model:
         Optional context for techniques that need them (BayesQO's schema
         model; workload-aware factories).
+    tracer / metrics:
+        Telemetry sinks (:mod:`repro.obs`).  Defaults — a no-op tracer and a
+        private registry — keep the fast path at its untraced cost; with a
+        real tracer every arrival, admission verdict, re-optimization and
+        store upsert emits a span, linked into per-fingerprint causal chains
+        via ``follows`` attributes.
     """
 
     def __init__(
@@ -209,6 +217,8 @@ class PlanServer:
         config: ServeConfig | None = None,
         workload: "Workload | None" = None,
         schema_model: "SchemaModel | None" = None,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.database = database
@@ -224,6 +234,20 @@ class PlanServer:
             self.config.slo_reservoir, seed=self.config.seed + 1
         )
         self._backend: ExecutionBackend | None = None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Last chain event per fingerprint, as ``(span_id, is_arrival)`` — the
+        # `follows` causal link that stitches arrival -> admission ->
+        # re-optimization -> upsert -> next serve into one chain.  The
+        # is_arrival flag is what lets the fast path skip recording repeat
+        # arrivals.  Ephemeral observability state, not persisted.
+        self._follow: dict = {}
+        # Lambdas re-read the attributes live: resume() swaps counter
+        # objects wholesale after construction.  Providers are dropped on
+        # pickle, so the closures never reach a checkpoint.
+        self.metrics.register_provider("serve", lambda: self.counters.snapshot())
+        self.metrics.register_provider("admission", lambda: self.admission.summary())
+        self.metrics.register_provider("backend_health", self.health_report)
 
     # ------------------------------------------------------------------ serving
     def serve(self, query: Query) -> ServeDecision:
@@ -233,12 +257,22 @@ class PlanServer:
         default planner once, plan promoted into the store so every repeat
         arrival of this fingerprint is a fast-path serve.
         """
+        # Hot path: telemetry records only *causally novel* arrivals — the
+        # first serve of a fingerprint, and the first after each admission /
+        # re-optimization / upsert event.  A repeat arrival whose last chain
+        # event is already an arrival adds no causal information, so the
+        # enabled steady state costs one dict probe, no span construction.
+        tracer = self.tracer
         self.counters.arrivals += 1
         entry = self.store.get(query)
         if entry is not None and entry.best_plan is not None:
             entry.serves += 1
             self.counters.fast_path += 1
             self.admission.note_arrival(entry.fingerprint, entry.optimized)
+            if tracer.enabled:
+                last = self._follow.get(entry.fingerprint)
+                if last is None or not last[1]:
+                    self._note_serve(tracer, query, "store", entry.fingerprint, last)
             return ServeDecision(
                 query=query, plan=entry.best_plan, source="store",
                 fingerprint=entry.fingerprint,
@@ -249,10 +283,25 @@ class PlanServer:
         entry.best_plan = self.database.plan(query)
         entry.source = "default"
         self.admission.note_arrival(entry.fingerprint, entry.optimized)
+        if tracer.enabled:
+            last = self._follow.get(entry.fingerprint)
+            if last is None or not last[1]:
+                self._note_serve(tracer, query, "default", entry.fingerprint, last)
         return ServeDecision(
             query=query, plan=entry.best_plan, source="default",
             fingerprint=entry.fingerprint,
         )
+
+    def _note_serve(self, tracer, query: Query, source: str, fingerprint: tuple, last) -> None:
+        """Record one causally novel arrival, chained to the last chain event."""
+        record = tracer.instant(
+            "serve.arrival",
+            category="serve",
+            query=query.name,
+            source=source,
+            follows=None if last is None else last[0],
+        )
+        self._follow[fingerprint] = (record.span_id, True)
 
     def report(self, decision: ServeDecision, latency: float, timed_out: bool = False) -> None:
         """Client telemetry: the served plan ran in ``latency`` seconds.
@@ -267,6 +316,7 @@ class PlanServer:
         if entry is None:
             return
         (self.slo_store if decision.source == "store" else self.slo_default).add(latency)
+        self.metrics.histogram(f"serve.latency.{decision.source}").observe(latency)
         slo_violated = not timed_out and latency > self.config.slo_latency
         if timed_out:
             slo_violated = True
@@ -313,7 +363,9 @@ class PlanServer:
         """The maintenance execution backend, built lazily from the config."""
         if self._backend is None:
             config = self.config.exec_config or ExecutionServiceConfig()
-            self._backend = make_backend(config, self.database, self._known_queries())
+            self._backend = make_backend(
+                config, self.database, self._known_queries(), tracer=self.tracer
+            )
         return self._backend
 
     def close(self) -> None:
@@ -347,6 +399,9 @@ class PlanServer:
         for attr in ("database", "workload", "schema_model"):
             if hasattr(clone, attr):
                 setattr(clone, attr, None)
+        if hasattr(clone, "tracer"):
+            # Live tracer buffers must never ride into store pickles.
+            clone.tracer = NULL_TRACER
         return clone
 
     @staticmethod
@@ -365,18 +420,49 @@ class PlanServer:
         concurrency lives.  Returns one record per finished task.
         """
         records = []
-        for task in self.admission.triage(limit):
-            entry = self.store.get_fingerprint(task.fingerprint)
-            if entry is None:
-                continue
-            records.append(self._optimize_entry(entry, task))
+        tracer = self.tracer
+        with tracer.span("serve.maintenance", category="serve") as mspan:
+            for task in self.admission.triage(limit):
+                entry = self.store.get_fingerprint(task.fingerprint)
+                if entry is None:
+                    continue
+                follows = None
+                if tracer.enabled:
+                    # The admission verdict follows the fingerprint's last
+                    # arrival; the re-optimization span follows the verdict.
+                    last = self._follow.get(task.fingerprint)
+                    verdict = tracer.instant(
+                        "serve.admission",
+                        category="serve",
+                        parent=mspan,
+                        query=entry.query.name,
+                        reason=task.reason,
+                        score=task.score,
+                        follows=None if last is None else last[0],
+                    )
+                    self._follow[task.fingerprint] = (verdict.span_id, False)
+                    follows = verdict.span_id
+                records.append(
+                    self._optimize_entry(entry, task, parent=mspan, follows=follows)
+                )
+            mspan.annotate(tasks=len(records))
         if records:
             self.store.sync_cache(self.database)
         return records
 
-    def _optimize_entry(self, entry: StoreEntry, task: AdmissionTask) -> MaintenanceRecord:
+    def _optimize_entry(
+        self,
+        entry: StoreEntry,
+        task: AdmissionTask,
+        parent=None,
+        follows: "int | None" = None,
+    ) -> MaintenanceRecord:
+        tracer = self.tracer
+        reopt_start = tracer.now() if tracer.enabled else 0.0
         spec = get_technique(self.config.technique)
         optimizer = spec.factory(self._technique_context())
+        if hasattr(optimizer, "tracer"):
+            optimizer.tracer = tracer
         budget = self.config.budget
         if spec.ignores_execution_cap:
             budget = replace(budget, max_executions=None)
@@ -446,6 +532,34 @@ class PlanServer:
         entry.observed.clear()
         self.admission.note_optimized(entry.fingerprint)
         self.counters.optimizations += 1
+        if tracer.enabled:
+            # The span is recorded after the fact (one ring append instead of
+            # re-indenting the task under a context manager); inner bo/exec
+            # spans therefore sit beside it, while the chain links — reopt
+            # follows the admission verdict, the upsert nests under the reopt
+            # and becomes what the fingerprint's next serve follows — are
+            # what the causal reconstruction walks.
+            rspan = tracer.record(
+                "serve.reoptimize",
+                reopt_start,
+                category="serve",
+                parent=parent,
+                query=query.name,
+                reason=task.reason,
+                technique=spec.name,
+                executions=result.num_executions,
+                adopted=adopted,
+                follows=follows,
+            )
+            upsert = tracer.instant(
+                "store.upsert",
+                category="serve",
+                parent=rspan,
+                query=query.name,
+                adopted=adopted,
+                best_latency=best,
+            )
+            self._follow[entry.fingerprint] = (upsert.span_id, False)
         return MaintenanceRecord(
             query_name=query.name,
             reason=task.reason,
@@ -520,6 +634,21 @@ class PlanServer:
         return server
 
     # ------------------------------------------------------------------ reporting
+    def health_report(self) -> dict:
+        """Execution-infrastructure health behind the serve layer.
+
+        The same layer walk the harness session reports
+        (:func:`repro.exec.backend_health`) plus the live database's
+        execution-cache counters — previously gathered during maintenance
+        but absent from every serve snapshot.  Empty sections are simply
+        missing keys: a server that never ran maintenance has no backend.
+        """
+        report = backend_health(self._backend)
+        cache = getattr(self.database, "execution_cache", None)
+        if cache is not None:
+            report["execution_cache"] = cache.counters.snapshot()
+        return report
+
     def summary(self) -> dict:
         return {
             "counters": self.counters.snapshot(),
@@ -527,4 +656,5 @@ class PlanServer:
             "admission": self.admission.summary(),
             "slo_store": self.slo_store.snapshot(),
             "slo_default": self.slo_default.snapshot(),
+            "health": self.health_report(),
         }

@@ -213,9 +213,24 @@ def drive_stream(
             server.update_database(event.realize(base_database))
             result.drift_firings.append(arrival.index)
         decision = server.serve(arrival.query)
-        execution = server.database.execute(
-            arrival.query, decision.plan, timeout=execution_timeout
-        )
+        tracer = server.tracer
+        if not tracer.enabled:
+            execution = server.database.execute(
+                arrival.query, decision.plan, timeout=execution_timeout
+            )
+        else:
+            # The client-side execution of the served plan — the latency the
+            # SLO reservoirs and drift windows actually see.
+            with tracer.span(
+                "serve.execute",
+                category="exec",
+                query=arrival.query.name,
+                source=decision.source,
+            ) as span:
+                execution = server.database.execute(
+                    arrival.query, decision.plan, timeout=execution_timeout
+                )
+                span.annotate(latency=execution.latency, timed_out=execution.timed_out)
         server.report(decision, execution.latency, timed_out=execution.timed_out)
         result.records.append(
             ServeRecord(

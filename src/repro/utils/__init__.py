@@ -1,5 +1,7 @@
-"""Small shared utilities (stable seeding, …) with no repro-internal deps."""
+"""Small shared utilities (stable seeding, stderr logging, …) with no
+repro-internal deps."""
 
+from repro.utils.logging import get_logger
 from repro.utils.seeding import stable_digest
 
-__all__ = ["stable_digest"]
+__all__ = ["get_logger", "stable_digest"]

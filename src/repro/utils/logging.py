@@ -1,0 +1,51 @@
+"""Shared diagnostic logging for scripts, examples and benchmarks.
+
+Benchmarks print machine-parsed result tables on **stdout**; progress and
+diagnostic chatter used to ride the same stream via bare ``print`` calls,
+which breaks anything parsing the output.  :func:`get_logger` routes
+diagnostics to **stderr** instead, behind one process-wide handler:
+
+* level comes from the ``REPRO_LOG_LEVEL`` environment variable
+  (``DEBUG`` / ``INFO`` / ``WARNING`` / ...; default ``INFO``),
+* every logger is a child of the ``repro`` root, so one knob governs all,
+* the root does not propagate, so embedding applications with their own
+  logging config never see duplicate records.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+_ENV_LEVEL = "REPRO_LOG_LEVEL"
+_configured = False
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The ``repro`` stderr logger (or a named child of it).
+
+    The first call installs the stream handler and applies the
+    ``REPRO_LOG_LEVEL`` environment knob; later calls just hand out loggers.
+    ``get_logger("repro.serve")`` and ``get_logger("serve")`` name the same
+    child.
+    """
+    global _configured
+    root = logging.getLogger("repro")
+    if not _configured:
+        handler = logging.StreamHandler()  # sys.stderr
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s", datefmt="%H:%M:%S")
+        )
+        root.addHandler(handler)
+        root.propagate = False
+        level = os.environ.get(_ENV_LEVEL, "INFO").upper()
+        try:
+            root.setLevel(level)
+        except ValueError:
+            root.setLevel(logging.INFO)
+            root.warning("invalid %s=%r, defaulting to INFO", _ENV_LEVEL, level)
+        _configured = True
+    if name is None or name == "repro":
+        return root
+    child = name[len("repro.") :] if name.startswith("repro.") else name
+    return root.getChild(child)
