@@ -41,6 +41,10 @@ HEADLINE_METRICS: dict[str, list[tuple[str, str]]] = {
         ("disabled_overhead_ratio", "lower"),
         ("traced_overhead_ratio", "lower"),
     ],
+    "BENCH_kernels.json": [
+        ("batch_speedup_ratio", "higher"),
+        ("kernel_speedup_ratio", "higher"),
+    ],
 }
 
 

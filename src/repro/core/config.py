@@ -137,6 +137,16 @@ class ExecutionServiceConfig:
     #: per-observation improvement stalls (traces then depend on completion
     #: timing, like any q > 1 run).
     batch_size: int | str = 1
+    #: One-pass batch execution of a query's in-flight q proposals: when a
+    #: state issues more than one proposal in a scheduling round, they are
+    #: submitted as a single backend batch and shared join subtrees execute
+    #: once (``Executor.run_batch``).  Results are bit-for-bit identical to
+    #: per-request submission — batching only dedups work.  At q=1 (one
+    #: proposal per round) there is nothing to group and the scheduler
+    #: transparently falls back to per-request submission.  Wrapper layers
+    #: without a batch path (supervisor, fault injection, router) also fall
+    #: back transparently.
+    batch_execution: bool = True
     #: Execution memoization (see :mod:`repro.db.plan_cache`): replay
     #: repeated ``(query, plan)`` executions and reuse join-subtree
     #: intermediates across overlapping plans of the same query.  Results

@@ -59,6 +59,10 @@ class Database:
         disables it, or pass an :class:`ExecutionCacheConfig` for explicit
         limits.  Caching never changes results — repeated and overlapping
         plan executions just stop paying for work already done.
+    use_kernels:
+        Execute through the columnar kernels of :mod:`repro.db.kernels`
+        (the default).  ``False`` selects the pre-kernel reference executor
+        path; results are bit-for-bit identical either way.
     """
 
     def __init__(
@@ -69,6 +73,7 @@ class Database:
         noise_sigma: float = 0.0,
         seed: int = 0,
         exec_cache: ExecutionCacheConfig | bool = True,
+        use_kernels: bool = True,
     ) -> None:
         missing = [name for name in schema.table_names if name not in relations]
         if missing:
@@ -86,6 +91,7 @@ class Database:
             noise_sigma=noise_sigma,
             seed=seed,
             cache=self._build_cache(self.exec_cache_config),
+            use_kernels=use_kernels,
         )
 
     @staticmethod
@@ -125,6 +131,7 @@ class Database:
             noise_sigma=self.executor.noise_sigma,
             seed=self.executor.seed,
             exec_cache=config,
+            use_kernels=self.executor.use_kernels,
         )
 
     def set_execution_cache(self, config: ExecutionCacheConfig | bool) -> None:
@@ -160,6 +167,19 @@ class Database:
             plan = self.plan(query)
         return self.executor.execute(query, plan, timeout=timeout)
 
+    def execute_batch(
+        self, query: Query, plans: list[JoinTree], timeouts=None
+    ) -> list[ExecutionResult]:
+        """Execute sibling plans for one query in one pass over shared subtrees.
+
+        ``timeouts`` is a per-plan list (or one value applied to all).  The
+        results are bit-for-bit identical to calling :meth:`execute` once per
+        plan in order — including per-plan censoring and work-cap aborts; the
+        batch only dedups shared join-subtree work (see
+        :class:`~repro.db.executor.BatchExecutor`).
+        """
+        return self.executor.run_batch(query, plans, timeouts)
+
     def default_latency(self, query: Query) -> float:
         """Latency of the default-optimizer plan."""
         return self.execute(query).latency
@@ -182,6 +202,7 @@ class Database:
             "noise_sigma": self.executor.noise_sigma,
             "seed": self.executor.seed,
             "exec_cache": self.exec_cache_config,
+            "use_kernels": self.executor.use_kernels,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -193,6 +214,7 @@ class Database:
             seed=state["seed"],
             # Pre-cache pickles (older state dicts) rebuild with the default.
             exec_cache=state.get("exec_cache", True),
+            use_kernels=state.get("use_kernels", True),
         )
 
     #: Timeout used when warmup pre-executes default plans to prime the
@@ -237,6 +259,7 @@ class Database:
             noise_sigma=self.executor.noise_sigma,
             seed=self.executor.seed,
             exec_cache=self.exec_cache_config,
+            use_kernels=self.executor.use_kernels,
         )
 
     def with_relations(self, relations: dict[str, Relation]) -> "Database":
@@ -248,6 +271,7 @@ class Database:
             noise_sigma=self.executor.noise_sigma,
             seed=self.executor.seed,
             exec_cache=self.exec_cache_config,
+            use_kernels=self.executor.use_kernels,
         )
 
     # ------------------------------------------------------------------ metadata

@@ -23,15 +23,34 @@ charges and reuses its materialized intermediate.  Replay repeats the exact
 float additions of the recording run in the exact order, so latencies,
 censoring, node counts and cost breakdowns are bit-for-bit identical with the
 cache on or off.
+
+The hot path is built from the columnar kernels of :mod:`repro.db.kernels`
+(``use_kernels=True``, the default): per-relation predicate-bitmap and
+selection caches, factorized join indexes on scanned build sides, and a fused
+residual filter that gathers each matched (alias, column) once per join.  The
+pre-kernel reference implementations are kept verbatim (``use_kernels=False``)
+— the kernels are charge-for-charge indistinguishable from them (see
+:mod:`repro.db.kernels` for the argument), which the property tests and the
+``bench_exec_kernels`` gate verify.
+
+A batch of sibling plans for one query can be executed in one pass via
+:meth:`Executor.run_batch` (see :class:`BatchExecutor`): shared join subtrees
+— keyed by the same canonical subtree keys the subplan memo uses — execute
+exactly once per batch, and every plan's result is reconstructed by replaying
+its own charge-event stream, so per-plan timeouts, censoring and work-cap
+aborts behave exactly as in sequential execution.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.db import kernels
 from repro.db.catalog import Schema
 from repro.db.cost import CostParams, DEFAULT_COST_PARAMS, index_scan_cost, join_cost, seq_scan_cost
 from repro.db.plan_cache import (
@@ -40,6 +59,7 @@ from repro.db.plan_cache import (
     CacheStats,
     Event,
     ExecutionCache,
+    ExecutionCacheConfig,
     plan_fingerprint,
     query_fingerprint,
 )
@@ -89,11 +109,16 @@ class _Intermediate:
     rest of the plan (no pending join predicate references them) are pruned to
     keep memory proportional to the join columns still needed; ``covered``
     remembers every alias the intermediate logically contains.
+
+    ``scan`` tags kernel-path base-table scans with ``(table, selection key)``
+    so joins against them can reuse the relation's cached factorized join
+    index instead of re-sorting the build side.
     """
 
     positions: dict[str, np.ndarray]
     covered: set[str]
     count: int
+    scan: tuple | None = None
 
     @property
     def aliases(self) -> set[str]:
@@ -130,6 +155,11 @@ class Executor:
         repeated ``(query, plan)`` executions replay their recorded charge
         log and overlapping plans of the same query reuse memoized subtree
         intermediates — results are bit-for-bit identical either way.
+    use_kernels:
+        Execute through the columnar kernels of :mod:`repro.db.kernels`
+        (cached predicate bitmaps/selections, factorized join indexes, fused
+        residual filters).  ``False`` selects the pre-kernel reference path;
+        results are bit-for-bit identical either way.
     """
 
     def __init__(
@@ -140,6 +170,7 @@ class Executor:
         noise_sigma: float = 0.0,
         seed: int = 0,
         cache: ExecutionCache | None = None,
+        use_kernels: bool = True,
     ) -> None:
         self.schema = schema
         self.relations = relations
@@ -147,6 +178,7 @@ class Executor:
         self.noise_sigma = noise_sigma
         self.seed = seed
         self.cache = cache
+        self.use_kernels = use_kernels
 
     # ------------------------------------------------------------------ public API
     def execute(
@@ -155,14 +187,28 @@ class Executor:
         """Execute ``plan`` for ``query``; abort with a censored result after ``timeout``."""
         plan.validate_for_query(query)
         if self.cache is None:
-            return self._execute_scratch(query, plan, timeout, None, None)
+            return self._execute_scratch(query, plan, timeout, None, None, None)
         outcome_key = plan_fingerprint(query, plan)
         entry = self.cache.lookup_outcome(outcome_key, timeout)
         if entry is not None:
-            return self._replay_outcome(plan, entry, timeout)
+            return self._replay_outcome(plan, entry, timeout, self.cache)
         return self._execute_scratch(
-            query, plan, timeout, query_fingerprint(query), outcome_key
+            query, plan, timeout, query_fingerprint(query), outcome_key, self.cache
         )
+
+    def run_batch(
+        self,
+        query: Query,
+        plans: Sequence[JoinTree],
+        timeouts: "Sequence[float | None] | float | None" = None,
+    ) -> list[ExecutionResult]:
+        """Execute a batch of sibling plans in one pass over shared subtrees.
+
+        Results are bit-for-bit identical to calling :meth:`execute` once per
+        plan, in order — including per-plan timeout censoring and work-cap
+        aborts.  See :class:`BatchExecutor`.
+        """
+        return BatchExecutor(self).run(query, plans, timeouts)
 
     def _execute_scratch(
         self,
@@ -171,18 +217,24 @@ class Executor:
         timeout: float | None,
         query_key: tuple | None,
         outcome_key: tuple | None,
+        cache: ExecutionCache | None,
     ) -> ExecutionResult:
-        """Execute for real, recording the charge log when caching is on."""
-        caching = self.cache is not None and query_key is not None
+        """Execute for real, recording the charge log when caching is on.
+
+        ``cache`` is passed explicitly (rather than read from ``self``) so a
+        batch execution can thread its own ephemeral per-batch cache through
+        without mutating executor state shared across threads.
+        """
+        caching = cache is not None and query_key is not None
         state = _ExecutionState(timeout=timeout, events=[] if caching else None)
-        subplan_hits_before = self.cache.counters.subplan_hits if caching else 0
-        subplan_misses_before = self.cache.counters.subplan_misses if caching else 0
+        subplan_hits_before = cache.counters.subplan_hits if caching else 0
+        subplan_misses_before = cache.counters.subplan_misses if caching else 0
         try:
-            intermediate = self._execute_node(query, plan, state, query_key, is_root=True)
+            intermediate = self._execute_node(query, plan, state, cache, query_key, is_root=True)
         except _Timeout:
             assert timeout is not None
             if caching:
-                self.cache.store_outcome(
+                cache.store_outcome(
                     outcome_key, state.events, completed=False,
                     observed_to=timeout, output_rows=None,
                     work_capped=bool(state.events) and state.events[-1][0] == CAP_EVENT,
@@ -194,14 +246,18 @@ class Executor:
                 nodes_executed=state.nodes_executed,
                 timeout=timeout,
                 breakdown=dict(state.breakdown),
-                cache=self._scratch_stats(caching, subplan_hits_before, subplan_misses_before),
+                cache=self._scratch_stats(
+                    cache if caching else None, subplan_hits_before, subplan_misses_before
+                ),
             )
         if caching:
-            self.cache.store_outcome(
+            cache.store_outcome(
                 outcome_key, state.events, completed=True,
                 observed_to=None, output_rows=intermediate.num_rows,
             )
-        stats = self._scratch_stats(caching, subplan_hits_before, subplan_misses_before)
+        stats = self._scratch_stats(
+            cache if caching else None, subplan_hits_before, subplan_misses_before
+        )
         latency = self._apply_noise(plan, state.simulated_time)
         if timeout is not None and latency > timeout:
             return ExecutionResult(
@@ -224,19 +280,19 @@ class Executor:
         )
 
     def _scratch_stats(
-        self, caching: bool, hits_before: int, misses_before: int
+        self, cache: ExecutionCache | None, hits_before: int, misses_before: int
     ) -> CacheStats | None:
-        if not caching:
+        if cache is None:
             return None
         return CacheStats(
             outcome_hit=False,
-            subplan_hits=self.cache.counters.subplan_hits - hits_before,
-            subplan_misses=self.cache.counters.subplan_misses - misses_before,
-            bytes_cached=self.cache.subplan_bytes,
+            subplan_hits=cache.counters.subplan_hits - hits_before,
+            subplan_misses=cache.counters.subplan_misses - misses_before,
+            bytes_cached=cache.subplan_bytes,
         )
 
     def _replay_outcome(
-        self, plan: JoinTree, entry, timeout: float | None
+        self, plan: JoinTree, entry, timeout: float | None, cache: ExecutionCache
     ) -> ExecutionResult:
         """Re-produce an execution from its recorded charge log.
 
@@ -246,7 +302,7 @@ class Executor:
         simulated time goes through the identical sequence of additions.
         """
         state = _ExecutionState(timeout=timeout)
-        stats = CacheStats(outcome_hit=True, bytes_cached=self.cache.subplan_bytes)
+        stats = CacheStats(outcome_hit=True, bytes_cached=cache.subplan_bytes)
         try:
             state.replay(entry.events)
         except _Timeout:
@@ -299,14 +355,15 @@ class Executor:
         query: Query,
         node: JoinTree,
         state: "_ExecutionState",
+        cache: ExecutionCache | None,
         query_key: tuple | None = None,
         is_root: bool = False,
     ) -> _Intermediate:
-        if query_key is None:
+        if query_key is None or cache is None:
             if node.is_leaf:
                 return self._execute_scan(query, node.alias, state)  # type: ignore[arg-type]
-            left = self._execute_node(query, node.left, state)  # type: ignore[arg-type]
-            right = self._execute_node(query, node.right, state)  # type: ignore[arg-type]
+            left = self._execute_node(query, node.left, state, cache)  # type: ignore[arg-type]
+            right = self._execute_node(query, node.right, state, cache)  # type: ignore[arg-type]
             return self._execute_join(query, node, left, right, state)
         # The plan root is deliberately not memoized: a root subtree can only
         # match the identical (query, plan) pair, and a *completed* root is
@@ -315,47 +372,54 @@ class Executor:
         if is_root:
             if node.is_leaf:
                 return self._execute_scan(query, node.alias, state)  # type: ignore[arg-type]
-            left = self._execute_node(query, node.left, state, query_key)  # type: ignore[arg-type]
-            right = self._execute_node(query, node.right, state, query_key)  # type: ignore[arg-type]
+            left = self._execute_node(query, node.left, state, cache, query_key)  # type: ignore[arg-type]
+            right = self._execute_node(query, node.right, state, cache, query_key)  # type: ignore[arg-type]
             return self._execute_join(query, node, left, right, state)
         # Memoized path: a subtree already executed for this query replays its
         # recorded charges (identical floats, identical timeout behaviour) and
         # returns the cached intermediate without touching the relations.
         subplan_key = (query_key, node.canonical())
-        entry = self.cache.get_subplan(subplan_key)
+        entry = cache.get_subplan(subplan_key)
         if entry is not None:
             if entry.intermediate is not None:
-                self.cache.count_subplan_hit()
+                cache.count_subplan_hit()
                 state.replay(entry.events)
                 return entry.intermediate
             if state.would_timeout(entry.events):
                 # Events-only entry (intermediate was over the byte cap), but
                 # its recorded charges alone blow the timeout from here: the
                 # replay censors before any array would have been needed.
-                self.cache.count_subplan_hit()
+                cache.count_subplan_hit()
                 state.replay(entry.events)
                 raise AssertionError("events-only replay must censor")  # pragma: no cover
             # The charges fit under this timeout, so the arrays are genuinely
             # needed: fall through and execute the subtree for real.
-        self.cache.count_subplan_miss()
+        cache.count_subplan_miss()
         start = state.mark()
         if node.is_leaf:
             intermediate = self._execute_scan(query, node.alias, state)  # type: ignore[arg-type]
         else:
-            left = self._execute_node(query, node.left, state, query_key)  # type: ignore[arg-type]
-            right = self._execute_node(query, node.right, state, query_key)  # type: ignore[arg-type]
+            left = self._execute_node(query, node.left, state, cache, query_key)  # type: ignore[arg-type]
+            right = self._execute_node(query, node.right, state, cache, query_key)  # type: ignore[arg-type]
             intermediate = self._execute_join(query, node, left, right, state)
         # Only fully executed subtrees are cached: a _Timeout propagating
         # through here skips the put (its completed children were already
         # cached bottom-up).
-        self.cache.put_subplan(subplan_key, intermediate, state.events_since(start))
+        cache.put_subplan(subplan_key, intermediate, state.events_since(start))
         return intermediate
 
     def _execute_scan(self, query: Query, alias: str, state: "_ExecutionState") -> _Intermediate:
         table = query.table_of(alias)
         relation = self.relations[table]
         filters = query.filters_for(alias)
-        positions = relation.select((flt.column, flt.op, flt.value) for flt in filters)
+        scan: tuple | None = None
+        if self.use_kernels:
+            positions, select_key = relation.select_cached(
+                (flt.column, flt.op, flt.value) for flt in filters
+            )
+            scan = (table, select_key)
+        else:
+            positions = relation.select((flt.column, flt.op, flt.value) for flt in filters)
         indexed = any(self.schema.has_index(table, flt.column) for flt in filters)
         if indexed:
             cost = index_scan_cost(relation.num_rows, len(positions), self.cost_params)
@@ -363,7 +427,7 @@ class Executor:
             cost = seq_scan_cost(relation.num_rows, self.cost_params)
         state.charge("scan", cost)
         state.count_node()
-        return _Intermediate({alias: positions}, covered={alias}, count=len(positions))
+        return _Intermediate({alias: positions}, covered={alias}, count=len(positions), scan=scan)
 
     def _execute_join(
         self,
@@ -390,20 +454,21 @@ class Executor:
         )
         state.charge("join", pre_cost)
         if predicates:
-            left_idx, right_idx = self._match(query, left, right, predicates, state)
+            pairs = self._match(query, left, right, predicates, state)
         else:
             left_idx, right_idx = self._cross_join(n_left, n_right, state)
+            pairs = kernels.PairSet(len(left_idx), left_idx, right_idx)
         state.count_node()
         covered = left.covered | right.covered
         needed = self._needed_aliases(query, covered)
         positions: dict[str, np.ndarray] = {}
         for alias, pos in left.positions.items():
             if alias in needed:
-                positions[alias] = pos[left_idx]
+                positions[alias] = pairs.gather_left(pos)
         for alias, pos in right.positions.items():
             if alias in needed:
-                positions[alias] = pos[right_idx]
-        return _Intermediate(positions, covered=covered, count=len(left_idx))
+                positions[alias] = pairs.gather_right(pos)
+        return _Intermediate(positions, covered=covered, count=pairs.count)
 
     def _needed_aliases(self, query: Query, covered: set[str]) -> set[str]:
         """Aliases inside ``covered`` still referenced by a join predicate to outside it."""
@@ -421,6 +486,15 @@ class Executor:
         relation = self.relations[query.table_of(alias)]
         return relation.take(side.positions[alias], column)
 
+    @staticmethod
+    def _orient(predicate, left: _Intermediate) -> tuple[str, str, str, str]:
+        """Orient one join predicate as (left alias, left column, right alias, right column)."""
+        if predicate.left_alias in left.aliases:
+            return (predicate.left_alias, predicate.left_column,
+                    predicate.right_alias, predicate.right_column)
+        return (predicate.right_alias, predicate.right_column,
+                predicate.left_alias, predicate.left_column)
+
     def _match(
         self,
         query: Query,
@@ -428,8 +502,107 @@ class Executor:
         right: _Intermediate,
         predicates: list,
         state: "_ExecutionState",
+    ) -> "kernels.PairSet":
+        if self.use_kernels:
+            return self._match_kernel(query, left, right, predicates, state)
+        left_idx, right_idx = self._match_reference(query, left, right, predicates, state)
+        return kernels.PairSet(len(left_idx), left_idx, right_idx)
+
+    def _match_kernel(
+        self,
+        query: Query,
+        left: _Intermediate,
+        right: _Intermediate,
+        predicates: list,
+        state: "_ExecutionState",
+    ) -> "kernels.PairSet":
+        """Kernel-backed equi-match: factorized probe + fused residual filter.
+
+        Charge-for-charge identical to :meth:`_match_reference` (same match
+        totals, same charge order — see the determinism contract in
+        :mod:`repro.db.kernels`), but the build side of a scanned relation is
+        sorted once per (filter set, column) instead of once per join, the
+        residual predicates gather only matched positions, each (alias,
+        column) at most once per join, and — absent residual predicates —
+        the left side of the returned pair set stays factorized so position
+        gathers run as sequential repeats (late materialization).
+        """
+        first, *rest = predicates
+        left_alias, left_column, right_alias, right_column = self._orient(first, left)
+        full_values: dict[tuple[int, str, str], np.ndarray] = {}
+        left_keys = self._values_for(query, left, left_alias, left_column)
+        full_values[(0, left_alias, left_column)] = left_keys
+        index = self._scan_join_index(query, right, right_alias, right_column)
+        if index is not None:
+            match = kernels.probe_join_index(index, left_keys)
+        else:
+            right_keys = self._values_for(query, right, right_alias, right_column)
+            full_values[(1, right_alias, right_column)] = right_keys
+            match = kernels.match_counts(left_keys, right_keys)
+        # Check the output size and charge its cost *before* materializing it,
+        # so catastrophic joins hit the timeout without allocating huge arrays.
+        self._check_materialization(match.total, state)
+        state.charge("join", self.cost_params.output_row * match.total)
+        pairs = kernels.expand_pairs(match)
+        if not rest or pairs.count == 0:
+            return pairs
+        left_idx, right_idx = pairs.left_indices(), pairs.right_idx
+        sides = (left, right)
+        idxs = (left_idx, right_idx)
+        rows_memo: dict[tuple[int, str], np.ndarray] = {}
+        values_memo: dict[tuple[int, str, str], np.ndarray] = {}
+
+        def matched_values(side_no: int, alias: str, column: str) -> np.ndarray:
+            values_key = (side_no, alias, column)
+            values = values_memo.get(values_key)
+            if values is not None:
+                return values
+            full = full_values.get(values_key)
+            if full is not None:
+                # The match keys were already gathered in full — slice them.
+                values = full[idxs[side_no]]
+            else:
+                rows_key = (side_no, alias)
+                rows = rows_memo.get(rows_key)
+                if rows is None:
+                    rows = sides[side_no].positions[alias][idxs[side_no]]
+                    rows_memo[rows_key] = rows
+                relation = self.relations[query.table_of(alias)]
+                values = relation.column(column)[rows]
+            values_memo[values_key] = values
+            return values
+
+        value_pairs = []
+        for predicate in rest:
+            la, lc, ra, rc = self._orient(predicate, left)
+            value_pairs.append((matched_values(0, la, lc), matched_values(1, ra, rc)))
+        keep = kernels.fused_equality_filter(value_pairs)
+        if keep is not None:
+            left_idx, right_idx = left_idx[keep], right_idx[keep]
+        return kernels.PairSet(len(left_idx), left_idx, right_idx)
+
+    def _scan_join_index(
+        self, query: Query, side: _Intermediate, alias: str, column: str
+    ) -> "kernels.JoinIndex | None":
+        """The cached factorized index for a base-table-scan side, if any."""
+        if side.scan is None or len(side.covered) != 1:
+            return None
+        table, select_key = side.scan
+        return self.relations[table].join_index(select_key, side.positions[alias], column)
+
+    def _match_reference(
+        self,
+        query: Query,
+        left: _Intermediate,
+        right: _Intermediate,
+        predicates: list,
+        state: "_ExecutionState",
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Equi-match the two sides on the first predicate, then filter the rest."""
+        """Equi-match the two sides on the first predicate, then filter the rest.
+
+        The pre-kernel implementation, kept verbatim as the equivalence
+        reference for the kernel path and the benchmark baseline.
+        """
         first, *rest = predicates
         if first.left_alias in left.aliases:
             left_alias, left_column = first.left_alias, first.left_column
@@ -439,12 +612,12 @@ class Executor:
             right_alias, right_column = first.left_alias, first.left_column
         left_keys = self._values_for(query, left, left_alias, left_column)
         right_keys = self._values_for(query, right, right_alias, right_column)
-        match = _match_counts(left_keys, right_keys)
+        match = kernels.match_counts(left_keys, right_keys)
         # Check the output size and charge its cost *before* materializing it,
         # so catastrophic joins hit the timeout without allocating huge arrays.
         self._check_materialization(match.total, state)
         state.charge("join", self.cost_params.output_row * match.total)
-        left_idx, right_idx = _expand_matches(match)
+        left_idx, right_idx = kernels.expand_matches(match)
         for predicate in rest:
             if predicate.left_alias in left.aliases:
                 la, lc, ra, rc = (
@@ -508,6 +681,78 @@ class Executor:
         digest = stable_digest(self.seed, plan.canonical(), bits=32)
         rng = np.random.default_rng(digest)
         return float(latency * math.exp(rng.normal(0.0, self.noise_sigma)))
+
+
+class BatchExecutor:
+    """One-pass execution of sibling plans for a single query.
+
+    The batch path reuses the machinery PR 5 proved bit-for-bit safe: an
+    **ephemeral per-batch** :class:`~repro.db.plan_cache.ExecutionCache`
+    deduplicates shared join subtrees across the batch (canonical subtree
+    keys), executes each distinct subtree exactly once, and reconstructs
+    every plan's result by replaying its own charge-event stream.  Replay
+    runs under each plan's *own* timeout, so censoring and work-cap aborts
+    trigger per plan even when the shared subtree completed for a sibling
+    (a censored sibling's partially-executed subtrees are simply not cached
+    — only completed segments replay).  Duplicate plans inside one batch
+    dedup through the ephemeral outcome cache under the same
+    timeout-serving rules as the persistent one.
+
+    When the executor already has a persistent cache, that cache *is* the
+    dedup structure (and additionally persists across batches), so the batch
+    reduces to sequential execution against it.
+
+    The per-result :class:`~repro.db.plan_cache.CacheStats` report the
+    shared-subtree savings (``subplan_hits`` against the batch cache) and
+    are flagged ``batched=True``.
+    """
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+
+    def run(
+        self,
+        query: Query,
+        plans: Sequence[JoinTree],
+        timeouts: "Sequence[float | None] | float | None" = None,
+    ) -> list[ExecutionResult]:
+        plans = list(plans)
+        if timeouts is None or isinstance(timeouts, (int, float)):
+            timeouts = [timeouts] * len(plans)
+        else:
+            timeouts = list(timeouts)
+            if len(timeouts) != len(plans):
+                raise ExecutionError(
+                    f"run_batch got {len(plans)} plans but {len(timeouts)} timeouts"
+                )
+        executor = self.executor
+        if executor.cache is not None:
+            results = [
+                executor.execute(query, plan, timeout)
+                for plan, timeout in zip(plans, timeouts)
+            ]
+            return [self._mark_batched(result) for result in results]
+        batch_cache = ExecutionCache(ExecutionCacheConfig())
+        query_key = query_fingerprint(query)
+        results = []
+        for plan, timeout in zip(plans, timeouts):
+            plan.validate_for_query(query)
+            outcome_key = plan_fingerprint(query, plan)
+            entry = batch_cache.lookup_outcome(outcome_key, timeout)
+            if entry is not None:
+                result = executor._replay_outcome(plan, entry, timeout, batch_cache)
+            else:
+                result = executor._execute_scratch(
+                    query, plan, timeout, query_key, outcome_key, batch_cache
+                )
+            results.append(self._mark_batched(result))
+        return results
+
+    @staticmethod
+    def _mark_batched(result: ExecutionResult) -> ExecutionResult:
+        if result.cache is not None:
+            result.cache = dataclasses.replace(result.cache, batched=True)
+        return result
 
 
 @dataclass
@@ -593,44 +838,13 @@ class _ExecutionState:
         return False
 
 
-@dataclass
-class _MatchCounts:
-    """Per-left-row match ranges against the sorted right keys (pre-materialization)."""
-
-    order: np.ndarray
-    lo: np.ndarray
-    counts: np.ndarray
-    total: int
-    num_left: int
-
-
-def _match_counts(left_keys: np.ndarray, right_keys: np.ndarray) -> _MatchCounts:
-    """Compute, without materializing, how many right rows match each left row."""
-    empty = np.array([], dtype=np.int64)
-    if len(left_keys) == 0 or len(right_keys) == 0:
-        return _MatchCounts(order=empty, lo=empty, counts=np.zeros(len(left_keys), dtype=np.int64),
-                            total=0, num_left=len(left_keys))
-    order = np.argsort(right_keys, kind="stable")
-    sorted_keys = right_keys[order]
-    lo = np.searchsorted(sorted_keys, left_keys, side="left")
-    hi = np.searchsorted(sorted_keys, left_keys, side="right")
-    counts = hi - lo
-    return _MatchCounts(order=order, lo=lo, counts=counts, total=int(counts.sum()),
-                        num_left=len(left_keys))
-
-
-def _expand_matches(match: _MatchCounts) -> tuple[np.ndarray, np.ndarray]:
-    """Materialize the matching (left index, right index) pairs."""
-    if match.total == 0:
-        empty = np.array([], dtype=np.int64)
-        return empty, empty
-    left_idx = np.repeat(np.arange(match.num_left), match.counts)
-    starts = np.repeat(match.lo, match.counts)
-    offsets = np.arange(match.total) - np.repeat(np.cumsum(match.counts) - match.counts, match.counts)
-    right_idx = match.order[starts + offsets]
-    return left_idx, right_idx
+# Re-exported kernel entry points: the matching math moved to
+# :mod:`repro.db.kernels`; these aliases keep existing imports working.
+_MatchCounts = kernels.MatchCounts
+_match_counts = kernels.match_counts
+_expand_matches = kernels.expand_matches
 
 
 def _hash_match(left_keys: np.ndarray, right_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Return index arrays (into left, into right) of every equal-key pair."""
-    return _expand_matches(_match_counts(left_keys, right_keys))
+    return kernels.expand_matches(kernels.match_counts(left_keys, right_keys))

@@ -1,0 +1,337 @@
+"""Pure columnar operators for the executor hot path.
+
+Everything in this module is a function (or an immutable index structure)
+over numpy arrays: no executor state, no charge accounting, no cache access.
+The executor composes these kernels into join execution; the split exists so
+the kernels can be property-tested for exact equivalence against the
+reference implementations (see ``tests/test_kernels_batch.py``) and reused
+by future vectorized operators.
+
+Determinism contract
+--------------------
+Every kernel here produces **bit-for-bit the same match pairs in the same
+order** as the reference sort-merge path that shipped with the seed
+executor:
+
+* match pairs are ordered by left row, and within one left row by the
+  *original* position of the right row (guaranteed by the stable argsort in
+  :func:`build_join_index` / :func:`match_counts`);
+* the hash-factorized probe (:func:`probe_join_index`) is a direct-address
+  lookup into exactly the arrays the sort-merge path computes, so its
+  expansion is identical;
+* the fused residual filter ANDs per-predicate equality masks — boolean
+  masking preserves order and equality tests are independent, so fusing is
+  indistinguishable from filtering predicate by predicate.
+
+Because the executor's simulated charges depend only on match *counts*
+(which are order-independent) and the pair ordering is preserved anyway,
+swapping kernels in or out can never change a latency, a censoring decision
+or a charge-event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MatchCounts",
+    "JoinIndex",
+    "PairSet",
+    "match_counts",
+    "expand_matches",
+    "expand_matches_fast",
+    "expand_pairs",
+    "build_join_index",
+    "probe_join_index",
+    "fused_equality_filter",
+    "predicate_key",
+]
+
+#: Ceiling on the dense direct-address table of a :class:`JoinIndex`: the
+#: key domain (max - min + 1) must fit under ``max(this, 4 * num_keys)`` or
+#: the index stays sort-merge only.  Generated columns are small ints, so
+#: real workloads essentially always qualify.
+MAX_DIRECT_DOMAIN = 65536
+
+_EMPTY = np.array([], dtype=np.int64)
+
+
+@dataclass
+class MatchCounts:
+    """Per-left-row match ranges against the sorted right keys (pre-materialization).
+
+    ``order`` is the stable argsort of the right keys, ``lo``/``counts`` the
+    start offset and length of each left row's run inside the sorted keys.
+    ``lo`` is only meaningful where ``counts > 0`` — zero-count rows may
+    carry an arbitrary offset (the direct-address probe leaves 0 where the
+    sort-merge path leaves an insertion point); :func:`expand_matches`
+    never reads them.
+    """
+
+    order: np.ndarray
+    lo: np.ndarray
+    counts: np.ndarray
+    total: int
+    num_left: int
+
+
+def match_counts(left_keys: np.ndarray, right_keys: np.ndarray) -> MatchCounts:
+    """Sort-merge match: how many right rows match each left row (no materialization)."""
+    if len(left_keys) == 0 or len(right_keys) == 0:
+        return MatchCounts(order=_EMPTY, lo=_EMPTY,
+                           counts=np.zeros(len(left_keys), dtype=np.int64),
+                           total=0, num_left=len(left_keys))
+    order = np.argsort(right_keys, kind="stable")
+    sorted_keys = right_keys[order]
+    lo = np.searchsorted(sorted_keys, left_keys, side="left")
+    hi = np.searchsorted(sorted_keys, left_keys, side="right")
+    counts = hi - lo
+    return MatchCounts(order=order, lo=lo, counts=counts, total=int(counts.sum()),
+                       num_left=len(left_keys))
+
+
+def expand_matches(match: MatchCounts) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize the matching (left index, right index) pairs.
+
+    The *reference* expansion — the implementation the seed executor
+    shipped, kept verbatim as the equivalence baseline for
+    :func:`expand_matches_fast` and the ``bench_exec_kernels`` gate.
+    """
+    if match.total == 0:
+        return _EMPTY, _EMPTY
+    left_idx = np.repeat(np.arange(match.num_left), match.counts)
+    starts = np.repeat(match.lo, match.counts)
+    offsets = np.arange(match.total) - np.repeat(
+        np.cumsum(match.counts) - match.counts, match.counts
+    )
+    right_idx = match.order[starts + offsets]
+    return left_idx, right_idx
+
+
+def expand_matches_fast(match: MatchCounts) -> tuple[np.ndarray, np.ndarray]:
+    """Pair expansion with fewer passes; output identical to :func:`expand_matches`.
+
+    Two fast paths replace the reference's three ``np.repeat`` + two
+    ``np.arange`` passes:
+
+    * **unique-match** — when no probe row matches more than one build row
+      (every FK -> PK join, the common case), the pairs are just the
+      nonzero-count rows plus one gather: no repeats, no cumsum;
+    * **run concatenation** — otherwise the sorted-side positions are the
+      concatenation of the runs ``[lo_i, lo_i + counts_i)``, i.e. a single
+      cumulative sum over unit steps with a per-run jump scattered at each
+      run start.
+
+    Both produce the exact reference ordering: pairs grouped by left row, and
+    within one left row ordered by the build row's original position.
+    """
+    if match.total == 0:
+        return _EMPTY, _EMPTY
+    counts = match.counts
+    if int(counts.max()) <= 1:
+        if match.total == match.num_left:
+            # Every probe row matched exactly once: no gather of lo needed.
+            return np.arange(match.num_left), match.order[match.lo]
+        left_idx = np.nonzero(counts)[0]
+        return left_idx, match.order[match.lo[left_idx]]
+    nonzero = np.nonzero(counts)[0]
+    lo = match.lo[nonzero]
+    run_counts = counts[nonzero]
+    run_starts = np.cumsum(run_counts) - run_counts
+    steps = np.ones(match.total, dtype=np.int64)
+    steps[0] = lo[0]
+    if len(nonzero) > 1:
+        # Jump from the last position of run i-1 (lo[i-1] + counts[i-1] - 1)
+        # to the first of run i (lo[i]).
+        steps[run_starts[1:]] = lo[1:] - (lo[:-1] + run_counts[:-1]) + 1
+    right_idx = match.order[np.cumsum(steps)]
+    return np.repeat(nonzero, run_counts), right_idx
+
+
+@dataclass
+class PairSet:
+    """The matched row pairs of one join, in reference order (left-major).
+
+    The left side may stay *factorized* — represented as the matching left
+    rows plus their per-row match counts instead of a materialized index
+    array — so left-side gathers run as a sequential ``np.repeat`` over the
+    gathered row values rather than a random fancy-index through an index
+    array that itself cost a pass to build (late materialization).
+
+    Exactly one representation is active per side:
+
+    * ``left_idx is not None`` — materialized (the reference path, and the
+      kernel path after residual filtering);
+    * ``left_all`` — every left row matched exactly once, in order: the left
+      index is the identity, gathers return the input array *unsliced*
+      (safe: the executor never mutates position arrays);
+    * otherwise ``left_rows`` (+ ``run_counts`` when rows match more than
+      once) hold the factorized form.
+
+    ``gather_left``/``gather_right`` produce bit-for-bit the arrays
+    ``values[left_idx]``/``values[right_idx]`` of the reference expansion.
+    """
+
+    count: int
+    left_idx: np.ndarray | None
+    right_idx: np.ndarray
+    left_rows: np.ndarray | None = None
+    run_counts: np.ndarray | None = None
+    left_all: bool = False
+
+    def gather_left(self, values: np.ndarray) -> np.ndarray:
+        if self.left_idx is not None:
+            return values[self.left_idx]
+        if self.left_all:
+            return values
+        if self.run_counts is None:
+            return values[self.left_rows]
+        return np.repeat(values[self.left_rows], self.run_counts)
+
+    def gather_right(self, values: np.ndarray) -> np.ndarray:
+        return values[self.right_idx]
+
+    def left_indices(self) -> np.ndarray:
+        """Materialize the left index array (identical to the reference's)."""
+        if self.left_idx is not None:
+            return self.left_idx
+        if self.left_all:
+            return np.arange(self.count)
+        if self.run_counts is None:
+            return self.left_rows
+        return np.repeat(self.left_rows, self.run_counts)
+
+
+def expand_pairs(match: MatchCounts) -> PairSet:
+    """Factorized pair expansion: materialize the right side only.
+
+    The right index is computed exactly as :func:`expand_matches_fast`; the
+    left side stays factorized inside the returned :class:`PairSet` so
+    downstream gathers skip the left index array entirely.
+    """
+    if match.total == 0:
+        return PairSet(0, _EMPTY, _EMPTY)
+    counts = match.counts
+    if int(counts.max()) <= 1:
+        if match.total == match.num_left:
+            return PairSet(match.total, None, match.order[match.lo], left_all=True)
+        left_rows = np.nonzero(counts)[0]
+        return PairSet(match.total, None, match.order[match.lo[left_rows]], left_rows=left_rows)
+    nonzero = np.nonzero(counts)[0]
+    lo = match.lo[nonzero]
+    run_counts = counts[nonzero]
+    run_starts = np.cumsum(run_counts) - run_counts
+    steps = np.ones(match.total, dtype=np.int64)
+    steps[0] = lo[0]
+    if len(nonzero) > 1:
+        steps[run_starts[1:]] = lo[1:] - (lo[:-1] + run_counts[:-1]) + 1
+    right_idx = match.order[np.cumsum(steps)]
+    return PairSet(match.total, None, right_idx, left_rows=nonzero, run_counts=run_counts)
+
+
+@dataclass
+class JoinIndex:
+    """A factorized build side: sort once, probe many times.
+
+    Always carries the stable sort (``order`` + ``sorted_keys``); for
+    integer keys over a small domain it additionally carries a dense
+    direct-address table (``starts_table``/``counts_table`` indexed by
+    ``key - key_min``) so probes are O(1) array lookups instead of
+    O(log n) binary searches — the vectorized analogue of a hash join
+    whose hash function is the identity.
+    """
+
+    order: np.ndarray
+    sorted_keys: np.ndarray
+    key_min: int = 0
+    starts_table: np.ndarray | None = None
+    counts_table: np.ndarray | None = None
+
+    @property
+    def num_keys(self) -> int:
+        return len(self.sorted_keys)
+
+
+def build_join_index(keys: np.ndarray) -> JoinIndex:
+    """Factorize ``keys`` for repeated probing (stable — preserves pair order)."""
+    if len(keys) == 0:
+        return JoinIndex(order=_EMPTY, sorted_keys=_EMPTY)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    index = JoinIndex(order=order, sorted_keys=sorted_keys)
+    if np.issubdtype(sorted_keys.dtype, np.integer):
+        key_min = int(sorted_keys[0])
+        domain = int(sorted_keys[-1]) - key_min + 1
+        if domain <= max(MAX_DIRECT_DOMAIN, 4 * len(sorted_keys)):
+            counts_table = np.bincount(sorted_keys - key_min, minlength=domain)
+            starts_table = np.concatenate(
+                ([0], np.cumsum(counts_table)[:-1])
+            ).astype(np.int64)
+            index.key_min = key_min
+            index.starts_table = starts_table
+            index.counts_table = counts_table.astype(np.int64)
+    return index
+
+
+def probe_join_index(index: JoinIndex, left_keys: np.ndarray) -> MatchCounts:
+    """Match ``left_keys`` against a factorized build side.
+
+    Returns exactly what ``match_counts(left_keys, build_keys)`` would for
+    the keys the index was built from — same ``order``, same ``counts``,
+    same expansion — while skipping the per-join argsort (and, with a
+    direct-address table, the binary searches too).
+    """
+    if len(left_keys) == 0 or index.num_keys == 0:
+        return MatchCounts(order=_EMPTY, lo=_EMPTY,
+                           counts=np.zeros(len(left_keys), dtype=np.int64),
+                           total=0, num_left=len(left_keys))
+    if index.starts_table is not None and np.issubdtype(left_keys.dtype, np.integer):
+        relative = left_keys - index.key_min
+        valid = (relative >= 0) & (relative < len(index.counts_table))
+        clipped = np.where(valid, relative, 0)
+        counts = np.where(valid, index.counts_table[clipped], 0)
+        lo = np.where(valid, index.starts_table[clipped], 0)
+    else:
+        lo = np.searchsorted(index.sorted_keys, left_keys, side="left")
+        hi = np.searchsorted(index.sorted_keys, left_keys, side="right")
+        counts = hi - lo
+    return MatchCounts(order=index.order, lo=lo, counts=counts,
+                       total=int(counts.sum()), num_left=len(left_keys))
+
+
+def fused_equality_filter(
+    pairs: list[tuple[np.ndarray, np.ndarray]],
+) -> np.ndarray | None:
+    """AND the equality masks of every (left values, right values) pair.
+
+    One fused boolean reduction over the full matched set — equivalent to
+    filtering predicate by predicate because equality tests are independent
+    and boolean masking preserves order.  Returns ``None`` for no pairs.
+    """
+    keep: np.ndarray | None = None
+    for left_values, right_values in pairs:
+        mask = left_values == right_values
+        keep = mask if keep is None else keep & mask
+    return keep
+
+
+def predicate_key(column: str, op: str, value) -> tuple:
+    """A hashable cache key for one ``(column, op, value)`` filter predicate.
+
+    Values are hashed directly when possible; containers and arrays fall
+    back to a content repr (the same convention
+    :func:`~repro.db.plan_cache.query_fingerprint` uses).  A key collision
+    would only cost a wrong *cached bitmap*, so reprs are built from the
+    full contents, never truncated.
+    """
+    if isinstance(value, np.ndarray):
+        return (column, op, "nd", value.dtype.str, value.tobytes())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return (column, op, "seq", repr(sorted(map(repr, value))))
+    try:
+        hash(value)
+    except TypeError:
+        return (column, op, "repr", repr(value))
+    return (column, op, value)

@@ -119,6 +119,10 @@ class CacheStats:
     subplan_hits: int = 0
     subplan_misses: int = 0
     bytes_cached: int = 0
+    #: The execution ran inside a plan batch (``Executor.run_batch``); its
+    #: ``subplan_hits`` then count shared-subtree savings against the batch's
+    #: dedup cache (ephemeral when persistent caching is off).
+    batched: bool = False
 
 
 @dataclass

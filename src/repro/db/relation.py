@@ -12,11 +12,17 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro.db import kernels
 from repro.db.catalog import Table
 from repro.exceptions import CatalogError, ExecutionError
 
 #: Comparison operators supported by filter predicates.
 FILTER_OPS = ("=", "!=", "<", "<=", ">", ">=", "in")
+
+#: Soft cap on entries in each per-relation kernel cache (predicate bitmaps,
+#: selection positions, join indexes).  Eviction is FIFO; a miss only costs
+#: recomputation, never correctness.
+KERNEL_CACHE_CAP = 256
 
 
 class Relation:
@@ -51,6 +57,13 @@ class Relation:
                 )
             self._columns[column.name] = array
         self._num_rows = int(length or 0)
+        # Kernel caches: pure functions of the (immutable) column arrays, so
+        # sharing hits across Database snapshots is always safe.  Concurrent
+        # readers (thread-pool backends) may race a miss and compute the same
+        # value twice — benign, the values are deterministic.
+        self._mask_cache: dict[tuple, np.ndarray] = {}
+        self._select_cache: dict[tuple, np.ndarray] = {}
+        self._index_cache: dict[tuple, kernels.JoinIndex] = {}
 
     # ------------------------------------------------------------------ accessors
     @property
@@ -107,6 +120,81 @@ class Relation:
         for column, op, value in predicates:
             mask &= self.filter_mask(column, op, value)
         return np.flatnonzero(mask)
+
+    # ------------------------------------------------------------------ kernel caches
+    @staticmethod
+    def _cache_put(cache: dict, key, value) -> None:
+        if len(cache) >= KERNEL_CACHE_CAP:
+            cache.pop(next(iter(cache)))
+        cache[key] = value
+
+    def cached_mask(self, column: str, op: str, value, key: tuple | None = None) -> np.ndarray:
+        """Like :meth:`filter_mask`, memoized per predicate.
+
+        Callers must not mutate the returned mask (use ``mask & other``,
+        never ``mask &= other``).
+        """
+        if key is None:
+            key = kernels.predicate_key(column, op, value)
+        mask = self._mask_cache.get(key)
+        if mask is None:
+            mask = self.filter_mask(column, op, value)
+            self._cache_put(self._mask_cache, key, mask)
+        return mask
+
+    def select_cached(
+        self, predicates: Iterable[tuple[str, str, object]]
+    ) -> tuple[np.ndarray, tuple]:
+        """Memoized :meth:`select` over cached predicate bitmaps.
+
+        Returns ``(positions, selection key)``; the key identifies this
+        filter set for :meth:`join_index` lookups.  The positions array is
+        value-identical to :meth:`select`'s and must not be mutated.
+        """
+        preds = tuple(predicates)
+        key = tuple(kernels.predicate_key(*pred) for pred in preds)
+        positions = self._select_cache.get(key)
+        if positions is None:
+            if preds:
+                mask: np.ndarray | None = None
+                for pred, pred_key in zip(preds, key):
+                    cached = self.cached_mask(*pred, key=pred_key)
+                    mask = cached if mask is None else mask & cached
+                positions = np.flatnonzero(mask)
+            else:
+                positions = np.arange(self._num_rows)
+            self._cache_put(self._select_cache, key, positions)
+        return positions, key
+
+    def join_index(
+        self, select_key: tuple, positions: np.ndarray, column: str
+    ) -> kernels.JoinIndex:
+        """Factorized join index over ``column`` at the given selection.
+
+        Keyed by ``(selection key, column)`` so every plan scanning this
+        relation with the same filters probes one shared sorted/dense index
+        instead of re-sorting the build side per join.
+        """
+        key = (select_key, column)
+        index = self._index_cache.get(key)
+        if index is None:
+            index = kernels.build_join_index(self.column(column)[positions])
+            self._cache_put(self._index_cache, key, index)
+        return index
+
+    # ------------------------------------------------------------------ serialization
+    def __getstate__(self) -> dict:
+        """Ship the columns, not the kernel caches.
+
+        Process-pool workers rebuild caches privately on first use; shipping
+        them would bloat the replica payload for no warm-start benefit worth
+        the bytes.
+        """
+        state = self.__dict__.copy()
+        state["_mask_cache"] = {}
+        state["_select_cache"] = {}
+        state["_index_cache"] = {}
+        return state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Relation({self.name!r}, rows={self._num_rows})"

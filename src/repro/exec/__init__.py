@@ -60,7 +60,9 @@ from repro.exec.backend import (
     ThreadPoolBackend,
     TransientBackendError,
     is_infra_failure,
+    perform_batch,
     perform_request,
+    submit_request_batch,
 )
 from repro.exec.faults import (
     FaultCounters,
@@ -109,7 +111,9 @@ __all__ = [
     "is_infra_failure",
     "make_backend",
     "make_policy",
+    "perform_batch",
     "perform_request",
+    "submit_request_batch",
 ]
 
 

@@ -111,6 +111,129 @@ def perform_request(
     )
 
 
+def _database_executes_batches(database: "Database") -> bool:
+    """Whether ``database``'s own class implements ``execute_batch``.
+
+    Deliberately a *class*-level check: duck-typed wrappers that add
+    per-``execute`` behaviour and forward other attributes via
+    ``__getattr__`` must not be treated as batch-capable — the delegated
+    ``execute_batch`` would bypass their ``execute`` override.  Such
+    databases fall back to per-request execution, which produces identical
+    outcomes (batching only dedups work, never changes results).
+    """
+    return hasattr(type(database), "execute_batch")
+
+
+def perform_batch(
+    database: "Database", requests: list[ExecutionRequest], tracer=None
+) -> list[ExecutionOutcome]:
+    """Execute a same-query request batch in one pass, outcomes in order.
+
+    When the database supports ``execute_batch`` (and the batch really is
+    same-query and larger than one), shared join subtrees across the batch
+    execute once; otherwise this degrades to per-request
+    :func:`perform_request` calls.  Either way the outcomes are bit-for-bit
+    what sequential submission would have produced.
+
+    With a tracer, the batch is wrapped in an ``exec.batch`` span annotated
+    with the shared-subtree savings, and each plan gets an ``exec.run``
+    marker span whose ``follows`` attribute links it to the batch span (the
+    wall-clock lives on the batch span; per-plan simulated latencies ride
+    as attributes).
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    query = requests[0].query
+    shareable = (
+        len(requests) > 1
+        and _database_executes_batches(database)
+        and all(request.query.name == query.name for request in requests[1:])
+    )
+    if not shareable:
+        return [perform_request(database, request, tracer=tracer) for request in requests]
+    plans = [request.plan for request in requests]
+    timeouts = [request.timeout for request in requests]
+    if tracer is None or not tracer.enabled:
+        executions = database.execute_batch(query, plans, timeouts)
+        return [
+            ExecutionOutcome.from_execution(
+                execution, request.timeout, proposal_id=request.proposal_id
+            )
+            for execution, request in zip(executions, requests)
+        ]
+    with tracer.span(
+        "exec.batch", category="exec", query=query.name, batch_size=len(requests)
+    ) as batch_span:
+        executions = database.execute_batch(query, plans, timeouts)
+        stats = [execution.cache for execution in executions if execution.cache is not None]
+        batch_span.annotate(
+            subplan_hits=sum(stat.subplan_hits for stat in stats),
+            subplan_misses=sum(stat.subplan_misses for stat in stats),
+        )
+    outcomes = []
+    for execution, request in zip(executions, requests):
+        cache = getattr(execution, "cache", None)
+        tracer.instant(
+            "exec.run",
+            category="exec",
+            query=request.query.name,
+            proposal_id=request.proposal_id,
+            latency=execution.latency,
+            timed_out=execution.timed_out,
+            cache_hit=bool(cache is not None and cache.outcome_hit),
+            follows=batch_span.span_id,
+        )
+        outcomes.append(
+            ExecutionOutcome.from_execution(
+                execution, request.timeout, proposal_id=request.proposal_id
+            )
+        )
+    return outcomes
+
+
+def submit_request_batch(backend, requests: list[ExecutionRequest]) -> "list[Future[ExecutionOutcome]]":
+    """Submit ``requests`` through ``backend``, batched when it supports it.
+
+    The scheduler-side entry point: backends exposing ``submit_batch``
+    (inline, thread, process) receive the whole batch as one submission so
+    same-query plans share subtree work; wrapper backends that deliberately
+    do not (supervisor, fault injection, router — their per-request
+    semantics are the point) fall back to one ``submit`` per request.
+    Returns one future per request, in request order, either way.
+    """
+    if len(requests) > 1:
+        submit_batch = getattr(backend, "submit_batch", None)
+        if submit_batch is not None:
+            return list(submit_batch(list(requests)))
+    return [backend.submit(request) for request in requests]
+
+
+def fan_out_batch(task: "Future", futures: "list[Future[ExecutionOutcome]]") -> None:
+    """Resolve per-request ``futures`` from one pooled batch task.
+
+    A batch-level failure is delivered to every sibling future — per-plan
+    attribution is lost, but the scheduler aborts the run on the first
+    failed future regardless, and all siblings belong to the same query.
+    Futures the scheduler already cancelled are left alone.
+    """
+
+    def _deliver(done: "Future") -> None:
+        try:
+            error = done.exception()
+        except BaseException as exc:  # noqa: BLE001 - CancelledError and friends
+            error = exc
+        for index, future in enumerate(futures):
+            if future.done():
+                continue
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(done.result()[index])
+
+    task.add_done_callback(_deliver)
+
+
 @runtime_checkable
 class ExecutionBackend(Protocol):
     """Where plan executions physically run."""
@@ -156,6 +279,21 @@ class InlineBackend:
             future.set_exception(exc)
         return future
 
+    def submit_batch(
+        self, requests: list[ExecutionRequest]
+    ) -> "list[Future[ExecutionOutcome]]":
+        """Execute a same-query batch synchronously in one pass (see :func:`perform_batch`)."""
+        futures: list[Future[ExecutionOutcome]] = [Future() for _ in requests]
+        try:
+            outcomes = perform_batch(self.database, requests, tracer=self.tracer)
+        except BaseException as exc:  # noqa: BLE001 - delivered via the futures
+            for future in futures:
+                future.set_exception(exc)
+        else:
+            for future, outcome in zip(futures, outcomes):
+                future.set_result(outcome)
+        return futures
+
     def healthy(self) -> bool:
         return True
 
@@ -196,6 +334,29 @@ class ThreadPoolBackend:
                 max_workers=self._max_workers, thread_name_prefix="repro-exec"
             )
         return self._pool.submit(perform_request, self.database, request, self.tracer)
+
+    def submit_batch(
+        self, requests: list[ExecutionRequest]
+    ) -> "list[Future[ExecutionOutcome]]":
+        """Run a same-query batch as one pool task (one pass over shared subtrees).
+
+        Simulated executions are CPU-bound, so sibling requests would have
+        serialized on the GIL anyway — collapsing them into one task trades
+        no parallelism and buys the batch dedup.
+        """
+        requests = list(requests)
+        if len(requests) == 1:
+            return [self.submit(requests[0])]
+        if self._closed:
+            raise OptimizationError("backend is closed")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers, thread_name_prefix="repro-exec"
+            )
+        futures: list[Future[ExecutionOutcome]] = [Future() for _ in requests]
+        task = self._pool.submit(perform_batch, self.database, requests, self.tracer)
+        fan_out_batch(task, futures)
+        return futures
 
     def healthy(self) -> bool:
         return not self._closed

@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING
 from repro.core.protocol import ExecutionOutcome
 from repro.db.query import Query
 from repro.exceptions import OptimizationError
-from repro.exec.backend import ExecutionRequest, perform_request
+from repro.exec.backend import ExecutionRequest, fan_out_batch, perform_batch, perform_request
 from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -125,6 +125,44 @@ def _execute_in_worker(
         ) from exc
 
 
+def _execute_batch_in_worker(
+    query_or_name: "Query | str", items: list[tuple]
+) -> list[ExecutionOutcome]:
+    """Execute a same-query plan batch against this worker's replica.
+
+    The whole batch runs as one task so shared join subtrees execute once
+    (see :meth:`repro.db.executor.Executor.run_batch`); outcomes return in
+    request order.  The worker's span buffer is drained once per batch and
+    shipped on the *first* outcome — the scheduler adopts it wholesale, so
+    attribution is unaffected.
+    """
+    try:
+        database = _WORKER_STATE["database"]
+        if isinstance(query_or_name, str):
+            query = _WORKER_STATE["queries"][query_or_name]
+        else:
+            query = query_or_name
+        tracer = _WORKER_STATE.get("tracer")
+        requests = [
+            ExecutionRequest(query=query, plan=plan, timeout=timeout, proposal_id=proposal_id)
+            for plan, timeout, proposal_id in items
+        ]
+        outcomes = perform_batch(database, requests, tracer=tracer)
+        if tracer is not None:
+            spans = tracer.drain()
+            if spans and outcomes:
+                outcomes[0] = dataclasses.replace(outcomes[0], spans=tuple(spans))
+        return outcomes
+    except RemoteExecutionError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - wrapped with the remote stack
+        name = query_or_name if isinstance(query_or_name, str) else query_or_name.name
+        raise RemoteExecutionError(
+            f"worker batch execution of query {name!r} failed: {type(exc).__name__}: {exc}",
+            remote_traceback=traceback.format_exc(),
+        ) from exc
+
+
 def _pick_context(start_method: str | None) -> multiprocessing.context.BaseContext:
     """Prefer ``fork`` (workers inherit the database without pickling it per
     worker); fall back to the platform default elsewhere."""
@@ -201,6 +239,30 @@ class ProcessPoolBackend:
         return self._ensure_pool().submit(
             _execute_in_worker, payload, request.plan, request.timeout, request.proposal_id
         )
+
+    def submit_batch(
+        self, requests: list[ExecutionRequest]
+    ) -> "list[Future[ExecutionOutcome]]":
+        """Run a same-query batch as one worker task.
+
+        The batch occupies a single worker, trading fan-out parallelism for
+        one-pass execution over the plans' shared subtrees — the right trade
+        for the simulated executor, where the shared work dominates.  Callers
+        that want per-plan fan-out instead (e.g. CPU-burn benchmarks) submit
+        per request or disable ``batch_execution``.
+        """
+        requests = list(requests)
+        if len(requests) == 1:
+            return [self.submit(requests[0])]
+        query = requests[0].query
+        payload: Query | str = query.name if query.name in self._registered else query
+        items = [
+            (request.plan, request.timeout, request.proposal_id) for request in requests
+        ]
+        futures: list[Future[ExecutionOutcome]] = [Future() for _ in requests]
+        task = self._ensure_pool().submit(_execute_batch_in_worker, payload, items)
+        fan_out_batch(task, futures)
+        return futures
 
     def healthy(self) -> bool:
         if self._closed:

@@ -75,6 +75,7 @@ from repro.exec import (
     backend_health,
     make_backend,
     make_policy,
+    submit_request_batch,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import render_report
@@ -135,11 +136,16 @@ class ExecutionCacheReport:
     subplan_misses: int = 0
     #: Largest subplan-memo footprint any executor reported (bytes).
     peak_bytes: int = 0
+    #: Executions that ran inside a one-pass plan batch (``Executor.run_batch``)
+    #: rather than as an individual submission.
+    batched_executions: int = 0
 
     def note(self, stats: "CacheStats | None") -> None:
         self.executions += 1
         if stats is None:
             return
+        if getattr(stats, "batched", False):
+            self.batched_executions += 1
         self.cached_executions += 1
         if stats.outcome_hit:
             self.outcome_hits += 1
@@ -166,6 +172,7 @@ class ExecutionCacheReport:
             "subplan_misses": self.subplan_misses,
             "subplan_hit_rate": self.subplan_hit_rate,
             "peak_bytes": self.peak_bytes,
+            "batched_executions": self.batched_executions,
         }
 
     def __str__(self) -> str:
@@ -229,6 +236,13 @@ class WorkloadSession:
         :class:`~repro.harness.batching.BatchSizeController` (widen while
         workers idle, narrow when improvement stalls).  Defaults to
         ``exec_config.batch_size`` (1).
+    batch_execution:
+        Submit a query's in-flight q proposals as *one* backend batch so the
+        executor runs their shared join subtrees once
+        (:meth:`~repro.db.executor.Executor.run_batch`).  Results are
+        bit-for-bit identical to per-request submission.  At q=1 there is
+        nothing to group and submission transparently stays per-request.
+        Defaults to ``exec_config.batch_execution`` (True).
     interleave:
         Force interleaving on/off; defaults to backend capacity > 1.
     checkpoint_path / checkpoint_every:
@@ -260,6 +274,7 @@ class WorkloadSession:
         exec_config: ExecutionServiceConfig | None = None,
         max_workers: int = 1,
         batch_size: int | str | None = None,
+        batch_execution: bool | None = None,
         interleave: bool | None = None,
         checkpoint_path: str | None = None,
         checkpoint_every: int | None = None,
@@ -284,6 +299,15 @@ class WorkloadSession:
         self.seed = seed
         self.max_workers = max_workers
         self.batch_size = batch_size
+        # One-pass batch submission of a query's in-flight q proposals
+        # (``ExecutionServiceConfig.batch_execution``, default on).  At q=1
+        # each round issues a single proposal, so there is nothing to group
+        # and submission transparently stays per-request.
+        if batch_execution is None:
+            batch_execution = (
+                exec_config.batch_execution if exec_config is not None else True
+            )
+        self.batch_execution = batch_execution
         self.exec_config = exec_config
         # Telemetry is opt-in: the defaults (a no-op tracer, a private
         # registry) keep every pre-existing call site byte-identical.  Set
@@ -470,6 +494,20 @@ class WorkloadSession:
             timeout=proposal.timeout,
             proposal_id=proposal.proposal_id,
         )
+
+    def _submit_requests(self, requests: "list[ExecutionRequest]") -> "list[Future]":
+        """Submit one scheduling round's requests for a single query.
+
+        With ``batch_execution`` and more than one request, the whole group
+        goes through :func:`~repro.exec.submit_request_batch` so backends
+        with a batch path run it as one :meth:`Executor.run_batch` call
+        (shared subtrees execute once); otherwise — q=1 rounds, batching
+        disabled, or wrapper backends without a batch path — each request is
+        submitted individually, which is bit-for-bit equivalent.
+        """
+        if self.batch_execution and len(requests) > 1:
+            return submit_request_batch(self._backend, requests)
+        return [self._backend.submit(request) for request in requests]
 
     def _execute(self, proposal: PlanProposal, query: Query) -> ExecutionOutcome:
         """Execute one proposal through the backend, waiting for its outcome."""
@@ -729,8 +767,10 @@ class WorkloadSession:
                         # else: parked — it re-enters the ready list when one
                         # of its outstanding outcomes lands.
                         continue
-                    for proposal in proposals:
-                        future = self._backend.submit(self._request(proposal, state.query))
+                    requests = [
+                        self._request(proposal, state.query) for proposal in proposals
+                    ]
+                    for future in self._submit_requests(requests):
                         in_flight[future] = state
                     if len(proposals) == want and issue_allowance(state, q_now) > 0:
                         # The ask was capacity-capped, not technique-capped:
