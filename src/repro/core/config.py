@@ -12,7 +12,7 @@ TIMEOUT_STRATEGIES = ("uncertainty", "none", "percentile", "best_seen", "multipl
 #: Supported initialization strategies (Section 4.4).
 INITIALIZATION_STRATEGIES = ("bao", "default", "random", "llm", "provided")
 #: Execution backends resolvable by name (see :mod:`repro.exec`).
-EXECUTION_BACKENDS = ("inline", "thread", "process")
+EXECUTION_BACKENDS = ("inline", "thread", "process", "fabric")
 #: Cross-query scheduling policies resolvable by name (see :mod:`repro.exec`).
 SCHEDULING_POLICIES = ("round_robin", "budget_aware")
 
@@ -118,8 +118,9 @@ class ExecutionServiceConfig:
     """
 
     #: ``"inline"`` (scheduler thread), ``"thread"`` (overlap DBMS waiting),
-    #: or ``"process"`` (worker processes with warm database replicas, for
-    #: CPU-bound executions).
+    #: ``"process"`` (worker processes with warm database replicas, for
+    #: CPU-bound executions), or ``"fabric"`` (shared-nothing node processes
+    #: behind the lease-based socket coordinator).
     backend: str = "inline"
     #: Concurrent plan executions per backend instance.
     max_workers: int = 1
@@ -173,6 +174,19 @@ class ExecutionServiceConfig:
     #: Whether process workers pre-plan every query at startup so the replica
     #: is warm before the first real execution.
     warmup: bool = True
+    #: Node processes of the ``"fabric"`` backend (localhost shared-nothing
+    #: replicas behind the lease-based coordinator, see
+    #: :mod:`repro.exec.fabric`).
+    fabric_nodes: int = 2
+    #: Heartbeat ping cadence per node link.
+    fabric_heartbeat_interval: float = 0.25
+    #: Liveness deadline: a node silent this long is declared lost and its
+    #: in-flight leases are reassigned.
+    fabric_heartbeat_timeout: float = 2.0
+    #: A :class:`~repro.exec.NetworkFaultConfig` (duck-typed, like
+    #: ``fault_injection``) injecting seeded connection drops, partitions,
+    #: slow links and node kills at the fabric boundary; ``None`` disables.
+    fabric_network_faults: object | None = None
 
     # Fault tolerance ---------------------------------------------------------
     #: Wrap the backend in a :class:`~repro.exec.SupervisedBackend` (hang
@@ -247,6 +261,14 @@ class ExecutionServiceConfig:
             raise OptimizationError("pool_rebuilds must be non-negative")
         if self.probation_seconds is not None and self.probation_seconds <= 0:
             raise OptimizationError("probation_seconds must be positive")
+        if self.fabric_nodes < 1:
+            raise OptimizationError("fabric_nodes must be at least 1")
+        if self.fabric_heartbeat_interval <= 0:
+            raise OptimizationError("fabric_heartbeat_interval must be positive")
+        if self.fabric_heartbeat_timeout <= self.fabric_heartbeat_interval:
+            raise OptimizationError(
+                "fabric_heartbeat_timeout must exceed fabric_heartbeat_interval"
+            )
         if self.checkpoint_every < 1:
             raise OptimizationError("checkpoint_every must be at least 1")
 

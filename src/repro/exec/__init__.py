@@ -21,6 +21,11 @@ scheduler drives:
 * :class:`MultiBackendRouter` — fans executions over several independent
   backends with per-member occupancy and health tracking; infrastructure
   failures are retried on the surviving members.
+* :class:`FabricBackend` — lease-based dispatch over shared-nothing node
+  *processes* speaking the socket protocol of :mod:`repro.exec.remote`:
+  heartbeat liveness, deterministic lease reassignment on node loss,
+  probation/half-open rejoin, cross-node outcome-cache replication and
+  graceful degradation to inline execution.
 
 **Policies** (:class:`SchedulingPolicy`) — pick which ready query state gets
 the next free slot:
@@ -38,7 +43,7 @@ verified by the determinism tests (``tests/test_exec.py``) and the
 
 Configuration: either hand a ``WorkloadSession`` backend/policy instances, or
 describe them with :class:`~repro.core.config.ExecutionServiceConfig` —
-``backend`` ("inline" / "thread" / "process"), ``max_workers``, ``policy``
+``backend`` ("inline" / "thread" / "process" / "fabric"), ``max_workers``, ``policy``
 ("round_robin" / "budget_aware"), ``replicas`` (> 1 puts a router in front),
 ``start_method`` and ``warmup`` — and let :func:`make_backend` /
 :func:`make_policy` build them.
@@ -64,15 +69,19 @@ from repro.exec.backend import (
     perform_request,
     submit_request_batch,
 )
+from repro.exec.fabric import FabricBackend, FabricCounters, start_local_fabric
 from repro.exec.faults import (
     FaultCounters,
     FaultInjectionBackend,
     FaultInjectionConfig,
     InjectedTransientError,
     InjectedWorkerCrash,
+    NetworkFaultConfig,
+    NetworkFaultCounters,
 )
 from repro.exec.policy import BudgetAwarePriority, RoundRobin, SchedulingPolicy
 from repro.exec.process_pool import ProcessPoolBackend, RemoteExecutionError
+from repro.exec.remote import NodeLostError, RemoteNodeBackend
 from repro.exec.router import BackendStatus, BackendUnavailableError, MultiBackendRouter
 from repro.exec.supervisor import HangTimeout, SupervisedBackend, SupervisorCounters
 
@@ -90,6 +99,8 @@ __all__ = [
     "ExecutionOutcome",
     "ExecutionRequest",
     "ExecutionServiceConfig",
+    "FabricBackend",
+    "FabricCounters",
     "FaultCounters",
     "FaultInjectionBackend",
     "FaultInjectionConfig",
@@ -98,8 +109,12 @@ __all__ = [
     "InjectedWorkerCrash",
     "InlineBackend",
     "MultiBackendRouter",
+    "NetworkFaultConfig",
+    "NetworkFaultCounters",
+    "NodeLostError",
     "ProcessPoolBackend",
     "RemoteExecutionError",
+    "RemoteNodeBackend",
     "RoundRobin",
     "SchedulingPolicy",
     "SupervisedBackend",
@@ -113,6 +128,7 @@ __all__ = [
     "make_policy",
     "perform_batch",
     "perform_request",
+    "start_local_fabric",
     "submit_request_batch",
 ]
 
@@ -137,6 +153,11 @@ def backend_health(backend: "ExecutionBackend | None") -> dict:
             report["faults"] = layer.counters.snapshot()
         elif isinstance(layer, MultiBackendRouter):
             report["router"] = [status.snapshot() for status in layer.statuses()]
+        elif isinstance(layer, FabricBackend):
+            # Per-node liveness, lease reassignments, reconnect/backoff
+            # counters and shipped-log cache hits — one section, shared by
+            # WorkloadSession.health_report() and PlanServer health.
+            report["fabric"] = layer.health_snapshot()
         layer = getattr(layer, "inner", None)
     return report
 
@@ -213,6 +234,24 @@ def make_backend(
                 start_method=config.start_method,
                 warmup=config.warmup,
                 trace=tracing,
+            )
+        if config.backend == "fabric":
+            # Localhost node processes behind the fabric coordinator; node
+            # tracers ship spans back on outcomes like the process pool.
+            network_faults = config.fabric_network_faults
+            if network_faults is not None and not isinstance(network_faults, NetworkFaultConfig):
+                network_faults = NetworkFaultConfig(**dict(network_faults))  # type: ignore[arg-type]
+            return start_local_fabric(
+                database,
+                queries=queries,
+                num_nodes=config.fabric_nodes,
+                warmup=config.warmup,
+                trace=tracing,
+                heartbeat_interval=config.fabric_heartbeat_interval,
+                heartbeat_timeout=config.fabric_heartbeat_timeout,
+                start_method=config.start_method,
+                max_failures=config.max_failures,
+                network_faults=network_faults,
             )
         raise OptimizationError(f"unknown execution backend {config.backend!r}")
 

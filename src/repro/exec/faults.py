@@ -42,6 +42,10 @@ from repro.utils.seeding import stable_digest
 #: partition ``[0, 1)``.
 FAULT_KINDS = ("crash", "hang", "transient", "slow")
 
+#: Network-level fault kinds the fabric coordinator injects against node
+#: links (see :mod:`repro.exec.fabric`), in rate-interval order.
+NETWORK_FAULT_KINDS = ("drop", "partition", "slow_link", "kill")
+
 
 class InjectedWorkerCrash(BrokenExecutor):
     """An injected worker-process death (classified as infrastructure)."""
@@ -112,6 +116,108 @@ class FaultInjectionConfig:
             if deviate < edge:
                 return kind
         return None
+
+
+@dataclass(frozen=True)
+class NetworkFaultConfig:
+    """A reproducible network-chaos scenario for the execution fabric.
+
+    Same digest schedule as :class:`FaultInjectionConfig` (salted
+    differently), decided at lease-dispatch time by the fabric coordinator:
+
+    * **drop** — the node link is severed with the lease in flight; every
+      pending request on that node fails over and the link reconnects
+      immediately,
+    * **partition** — both directions blackhole for ``partition_seconds``
+      without closing the socket, so only the heartbeat deadline reclaims
+      the in-flight leases; reconnection stays blocked until the heal,
+    * **slow_link** — the reply is delivered ``slow_link_seconds`` late
+      (a straggler link; must *not* trip a well-tuned liveness deadline),
+    * **kill** — the node process dies (``os._exit``) before seeing the
+      lease; the link's restarter respawns and re-ships the replica.
+
+    ``max_faults_per_request`` bounds faulted attempts per ``(query, plan)``
+    so every lease eventually dispatches clean; ``max_kills`` caps process
+    kills fleet-wide.  Fault *decisions* are a pure function of
+    ``(seed, query, plan, attempt)``; execution outcomes are deterministic in
+    ``(query, plan, timeout)``, so chaos traces are bit-for-bit identical to
+    fault-free ones no matter where each lease finally runs.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    partition_rate: float = 0.0
+    slow_link_rate: float = 0.0
+    kill_rate: float = 0.0
+    #: How long a partition blackholes the link (should exceed the fabric's
+    #: heartbeat timeout so detection genuinely goes through the deadline).
+    partition_seconds: float = 0.5
+    #: How long a slow link delays reply delivery.
+    slow_link_seconds: float = 0.05
+    #: Attempts of one request eligible for faults; ``None`` = every attempt.
+    max_faults_per_request: int | None = 1
+    #: Fleet-wide cap on injected node kills; ``None`` = unbounded.
+    max_kills: int | None = None
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name in ("drop_rate", "partition_rate", "slow_link_rate", "kill_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise OptimizationError(f"{name} must be in [0, 1], got {rate!r}")
+            total += rate
+        if total > 1.0:
+            raise OptimizationError(f"network fault rates must sum to at most 1, got {total}")
+        if self.partition_seconds <= 0:
+            raise OptimizationError("partition_seconds must be positive")
+        if self.slow_link_seconds < 0:
+            raise OptimizationError("slow_link_seconds must be non-negative")
+        if self.max_faults_per_request is not None and self.max_faults_per_request < 0:
+            raise OptimizationError("max_faults_per_request must be non-negative")
+        if self.max_kills is not None and self.max_kills < 0:
+            raise OptimizationError("max_kills must be non-negative")
+
+    def decide(self, request: ExecutionRequest, attempt: int) -> str | None:
+        """The network fault (if any) for ``attempt`` of ``request``."""
+        if self.max_faults_per_request is not None and attempt >= self.max_faults_per_request:
+            return None
+        deviate = stable_digest(
+            "netfault", self.seed, request.query.name, request.plan.canonical(), attempt, bits=53
+        ) / float(1 << 53)
+        edge = 0.0
+        for kind, rate in zip(
+            NETWORK_FAULT_KINDS,
+            (self.drop_rate, self.partition_rate, self.slow_link_rate, self.kill_rate),
+        ):
+            edge += rate
+            if deviate < edge:
+                return kind
+        return None
+
+
+@dataclass
+class NetworkFaultCounters:
+    """What a fabric's network-chaos schedule actually injected."""
+
+    drops: int = 0
+    partitions: int = 0
+    slow_links: int = 0
+    kills: int = 0
+    clean: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return self.drops + self.partitions + self.slow_links + self.kills
+
+    def snapshot(self) -> dict:
+        return {
+            "drops": self.drops,
+            "partitions": self.partitions,
+            "slow_links": self.slow_links,
+            "kills": self.kills,
+            "clean": self.clean,
+            "total_faults": self.total_faults,
+        }
 
 
 @dataclass

@@ -1,0 +1,395 @@
+"""The execution node: a shared-nothing replica process serving socket RPC.
+
+One node process holds one :class:`~repro.db.engine.Database` replica and
+serves plan executions for the fabric coordinator
+(:mod:`repro.exec.fabric`) over the length-prefixed pickle protocol defined
+in :mod:`repro.exec.remote`.  The replica arrives over the wire on the first
+handshake (and is warmed there — every registered query pre-planned), then
+*survives coordinator reconnects*: a coordinator that lost the link and comes
+back finds the replica still installed, verifies its data signature in the
+``hello`` exchange, and skips the re-ship.
+
+Per connection two threads cooperate:
+
+* the **reader** answers ``ping`` frames immediately (so heartbeats flow even
+  while an execution is running), honours ``die`` (chaos kill:
+  ``os._exit(1)``, no cleanup — exactly what a crashed machine looks like)
+  and ``shutdown`` (graceful exit), and queues work frames;
+* the **executor** (the connection's main thread) drains the work queue:
+  installs replicas, imports piggybacked cache events, executes plans and
+  replies with outcomes.
+
+Plan errors never tear the connection: they are wrapped as
+:class:`~repro.exec.process_pool.RemoteExecutionError` with the node-side
+traceback string and shipped back as an ``error`` frame, so the scheduler's
+report shows where on the node the plan actually died.
+
+**Cache-log shipping.**  Every outcome reply carries the *delta* of the
+node's outcome-cache event logs since the last reply (tracked per entry by a
+cheap state tuple), so a plan executed here replays everywhere the
+coordinator replicates the log to.  Events imported *from* the coordinator
+are marked as already-known and are never echoed back; executions served by
+an imported log count as ``shipped_log_hits`` in the stats dict riding on
+every reply — the fabric surfaces them in health reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import queue
+import socket
+import threading
+import traceback
+from typing import TYPE_CHECKING
+
+from repro.core.protocol import ExecutionOutcome
+from repro.db.plan_cache import plan_fingerprint
+from repro.db.query import Query
+from repro.exceptions import OptimizationError
+from repro.exec.backend import ExecutionRequest, perform_batch, perform_request
+from repro.exec.process_pool import RemoteExecutionError, _pick_context
+from repro.exec.remote import PROTOCOL_VERSION, _teardown, recv_frame, send_frame
+from repro.obs.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.engine import Database
+
+
+def _data_signature(database: "Database") -> tuple | None:
+    """The serving layer's data signature, or ``None`` off-spec databases.
+
+    Imported lazily: :mod:`repro.serve` imports :mod:`repro.exec`, so a
+    module-level import here would be circular.  By the time a node computes
+    a signature both packages are fully importable.
+    """
+    try:
+        from repro.serve.server import data_signature
+    except Exception:  # pragma: no cover - serve layer absent/partial
+        return None
+    try:
+        return data_signature(database)
+    except Exception:  # noqa: BLE001 - duck-typed databases without the fields
+        return None
+
+
+class NodeRuntime:
+    """Node-side state that outlives individual coordinator connections."""
+
+    def __init__(self) -> None:
+        self.database: "Database | None" = None
+        self.queries: dict[str, Query] = {}
+        self.tracer: Tracer | None = None
+        self.signature: tuple | None = None
+        #: fingerprint -> last shipped entry state: outcome replies carry
+        #: only entries whose state moved since the coordinator last saw them.
+        self._shipped: dict[tuple, tuple] = {}
+        #: Fingerprints whose logs arrived from the coordinator.
+        self._imported: set[tuple] = set()
+        self.shipped_log_hits = 0
+        self.events_imported = 0
+
+    # ------------------------------------------------------------------ replica lifecycle
+    def install_replica(
+        self, database: "Database", queries: tuple, warmup: bool, trace: bool, events: list
+    ) -> tuple | None:
+        self.database = database
+        self.queries = {query.name: query for query in queries}
+        self.tracer = Tracer(capacity=4096) if trace else None
+        self._shipped = {}
+        self._imported = set()
+        self.shipped_log_hits = 0
+        self.events_imported = 0
+        if warmup and hasattr(database, "warmup"):
+            database.warmup(list(queries))
+        self.import_events(events)
+        # Whatever the cache holds now (warmup plans, the coordinator's
+        # priming logs) is by definition already known upstream.
+        for key, state in self._entry_states():
+            self._shipped[key] = state
+        self.signature = _data_signature(database)
+        return self.signature
+
+    @property
+    def has_replica(self) -> bool:
+        return self.database is not None
+
+    # ------------------------------------------------------------------ cache-log shipping
+    def _cache(self):
+        cache = getattr(self.database, "execution_cache", None)
+        if cache is None or not hasattr(cache, "export_outcomes"):
+            return None
+        return cache
+
+    def _entry_states(self):
+        cache = self._cache()
+        if cache is None:
+            return
+        for entry in cache.export_outcomes():
+            key, events, completed, observed_to, output_rows, work_capped = entry
+            yield tuple(key), (len(events), completed, observed_to, output_rows, work_capped)
+
+    def import_events(self, events: list) -> int:
+        cache = self._cache()
+        if cache is None or not events:
+            return 0
+        count = cache.import_outcomes(events)
+        self.events_imported += count
+        for event in events:
+            key = tuple(event[0])
+            self._imported.add(key)
+        # Imported entries are already known upstream — pin their shipped
+        # state so they are not echoed back (a later local *extension* of an
+        # imported log still ships as a delta).
+        for key, state in self._entry_states():
+            if key in self._imported:
+                self._shipped[key] = state
+        return count
+
+    def delta_events(self) -> list:
+        """Cache entries whose replayable state moved since the last reply."""
+        cache = self._cache()
+        if cache is None:
+            return []
+        delta = []
+        for entry in cache.export_outcomes():
+            key = tuple(entry[0])
+            state = (len(entry[1]), entry[2], entry[3], entry[4], entry[5])
+            if self._shipped.get(key) != state:
+                self._shipped[key] = state
+                delta.append(entry)
+        return delta
+
+    def stats(self) -> dict:
+        return {
+            "shipped_log_hits": self.shipped_log_hits,
+            "events_imported": self.events_imported,
+        }
+
+    # ------------------------------------------------------------------ execution
+    def _resolve_query(self, query_or_name: "Query | str") -> Query:
+        if isinstance(query_or_name, str):
+            try:
+                return self.queries[query_or_name]
+            except KeyError:
+                raise OptimizationError(
+                    f"query {query_or_name!r} is not registered with this node"
+                ) from None
+        return query_or_name
+
+    def _count_shipped_hit(self, query: Query, plan, outcome: ExecutionOutcome) -> None:
+        cache = outcome.cache
+        if cache is None or not cache.outcome_hit:
+            return
+        try:
+            if plan_fingerprint(query, plan) in self._imported:
+                self.shipped_log_hits += 1
+        except Exception:  # noqa: BLE001 - duck-typed plans without canonical()
+            pass
+
+    def execute(
+        self, query_or_name: "Query | str", plan, timeout, proposal_id
+    ) -> ExecutionOutcome:
+        if self.database is None:
+            raise OptimizationError("node has no replica installed")
+        query = self._resolve_query(query_or_name)
+        request = ExecutionRequest(
+            query=query, plan=plan, timeout=timeout, proposal_id=proposal_id
+        )
+        try:
+            outcome = perform_request(self.database, request, tracer=self.tracer)
+        except RemoteExecutionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - wrapped with the node-side stack
+            raise RemoteExecutionError(
+                f"node execution of query {query.name!r} failed: "
+                f"{type(exc).__name__}: {exc}",
+                remote_traceback=traceback.format_exc(),
+            ) from exc
+        if self.tracer is not None:
+            spans = self.tracer.drain()
+            if spans:
+                outcome = dataclasses.replace(outcome, spans=tuple(spans))
+        self._count_shipped_hit(query, plan, outcome)
+        return outcome
+
+    def execute_batch(self, query_or_name: "Query | str", items: list) -> list:
+        if self.database is None:
+            raise OptimizationError("node has no replica installed")
+        query = self._resolve_query(query_or_name)
+        requests = [
+            ExecutionRequest(query=query, plan=plan, timeout=timeout, proposal_id=proposal_id)
+            for plan, timeout, proposal_id in items
+        ]
+        try:
+            outcomes = perform_batch(self.database, requests, tracer=self.tracer)
+        except RemoteExecutionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - wrapped with the node-side stack
+            raise RemoteExecutionError(
+                f"node batch execution of query {query.name!r} failed: "
+                f"{type(exc).__name__}: {exc}",
+                remote_traceback=traceback.format_exc(),
+            ) from exc
+        if self.tracer is not None:
+            spans = self.tracer.drain()
+            if spans and outcomes:
+                outcomes[0] = dataclasses.replace(outcomes[0], spans=tuple(spans))
+        for request, outcome in zip(requests, outcomes):
+            self._count_shipped_hit(query, request.plan, outcome)
+        return outcomes
+
+
+# ---------------------------------------------------------------------- serving
+def _serve_connection(sock: socket.socket, runtime: NodeRuntime) -> bool:
+    """Serve one coordinator connection; returns True on graceful shutdown."""
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    send_lock = threading.Lock()
+    tasks: "queue.Queue" = queue.Queue()
+    shutdown = threading.Event()
+
+    def reader() -> None:
+        while True:
+            try:
+                frame = recv_frame(sock)
+            except Exception:  # noqa: BLE001 - coordinator went away
+                break
+            kind = frame[0] if isinstance(frame, tuple) and frame else None
+            if kind == "ping":
+                # Answered here, not on the executor thread: heartbeats must
+                # flow while a long execution holds the executor.
+                try:
+                    send_frame(sock, ("pong", frame[1]), lock=send_lock)
+                except Exception:  # noqa: BLE001 - link died mid-pong
+                    break
+            elif kind == "die":
+                os._exit(1)
+            elif kind == "shutdown":
+                shutdown.set()
+                break
+            else:
+                tasks.put(frame)
+        tasks.put(None)
+
+    thread = threading.Thread(target=reader, name="node-reader", daemon=True)
+    thread.start()
+
+    try:
+        while True:
+            frame = tasks.get()
+            if frame is None:
+                return shutdown.is_set()
+            kind = frame[0]
+            if kind == "hello":
+                send_frame(
+                    sock,
+                    ("hello_ack", PROTOCOL_VERSION, runtime.has_replica, runtime.signature),
+                    lock=send_lock,
+                )
+            elif kind == "replica":
+                _, database, queries, warmup, trace, events = frame
+                signature = runtime.install_replica(database, queries, warmup, trace, events)
+                send_frame(sock, ("replica_ack", signature), lock=send_lock)
+            elif kind == "execute":
+                _, task_id, query_or_name, plan, timeout, proposal_id, events = frame
+                runtime.import_events(events)
+                try:
+                    outcome = runtime.execute(query_or_name, plan, timeout, proposal_id)
+                except Exception as exc:  # noqa: BLE001 - shipped as an error frame
+                    send_frame(sock, ("error", task_id, _wire_safe(exc)), lock=send_lock)
+                else:
+                    send_frame(
+                        sock,
+                        ("outcome", task_id, outcome, runtime.delta_events(), runtime.stats()),
+                        lock=send_lock,
+                    )
+            elif kind == "execute_batch":
+                _, task_id, query_or_name, items, events = frame
+                runtime.import_events(events)
+                try:
+                    outcomes = runtime.execute_batch(query_or_name, items)
+                except Exception as exc:  # noqa: BLE001 - shipped as an error frame
+                    send_frame(sock, ("error", task_id, _wire_safe(exc)), lock=send_lock)
+                else:
+                    send_frame(
+                        sock,
+                        (
+                            "outcome_batch",
+                            task_id,
+                            outcomes,
+                            runtime.delta_events(),
+                            runtime.stats(),
+                        ),
+                        lock=send_lock,
+                    )
+            # Unknown frame kinds are ignored for forward compatibility.
+    except Exception:  # noqa: BLE001 - link died mid-reply; await reconnect
+        return shutdown.is_set()
+    finally:
+        # shutdown-then-close: the reader may still be blocked in recv, and
+        # a plain close would neither wake it nor send the FIN.
+        _teardown(sock)
+
+
+def _wire_safe(exc: Exception) -> Exception:
+    """An exception guaranteed to survive the pickle round trip.
+
+    :class:`RemoteExecutionError` defines ``__reduce__`` and is safe; any
+    other exception (defensive path) is re-wrapped so an unpicklable error
+    type can never poison the reply stream.
+    """
+    if isinstance(exc, RemoteExecutionError):
+        return exc
+    return RemoteExecutionError(
+        f"node-side failure: {type(exc).__name__}: {exc}",
+        remote_traceback=traceback.format_exc(),
+    )
+
+
+def serve_forever(listener: socket.socket) -> None:
+    """Accept coordinator connections until a graceful shutdown frame.
+
+    One coordinator at a time; the :class:`NodeRuntime` (and its warmed
+    replica) persists across connections, which is what makes reconnects
+    cheap.
+    """
+    runtime = NodeRuntime()
+    with listener:
+        while True:
+            try:
+                sock, _ = listener.accept()
+            except OSError:
+                return
+            if _serve_connection(sock, runtime):
+                return
+
+
+def node_main(port_conn) -> None:
+    """Process entry point: bind an ephemeral localhost port, report it, serve."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    port_conn.send(listener.getsockname())
+    port_conn.close()
+    serve_forever(listener)
+
+
+def start_node_process(start_method: str | None = None, startup_timeout: float = 30.0):
+    """Spawn one node process; returns ``(process, (host, port))``.
+
+    The node starts *empty* — the coordinator ships the replica on the first
+    handshake — so respawned nodes go through exactly the same code path as
+    fresh ones.
+    """
+    ctx = _pick_context(start_method)
+    parent, child = ctx.Pipe()
+    process = ctx.Process(target=node_main, args=(child,), daemon=True)
+    process.start()
+    child.close()
+    if not parent.poll(startup_timeout):
+        process.terminate()
+        raise OptimizationError("node process failed to report its address in time")
+    address = tuple(parent.recv())
+    parent.close()
+    return process, address

@@ -25,6 +25,8 @@ import os
 import pickle
 from dataclasses import dataclass, field
 
+from repro.utils.logging import get_logger
+
 #: Bumped when the checkpoint layout changes; mismatched files are ignored
 #: (the session just starts over) instead of resuming garbage.
 CHECKPOINT_VERSION = 1
@@ -51,13 +53,31 @@ def tolerant_pickle_load(path: str) -> object | None:
 
     Corruption maps to "no artifact", never an error: callers that persist
     recoverable state (checkpoints, plan stores) treat a damaged file exactly
-    like a missing one and rebuild from scratch.
+    like a missing one and rebuild from scratch.  But never *silently*: a
+    discarded artifact means hours of paid executions get re-paid, so what
+    was dropped and why is logged (absence — the normal cold start — only at
+    debug level).
     """
+    logger = get_logger("repro.harness.checkpoint")
     try:
         with open(path, "rb") as handle:
             payload = handle.read()
+    except FileNotFoundError:
+        logger.debug("no artifact at %s (cold start)", path)
+        return None
+    except OSError as exc:
+        logger.warning("discarding unreadable artifact %s: %s: %s", path, type(exc).__name__, exc)
+        return None
+    try:
         return pickle.loads(payload)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
+        logger.warning(
+            "discarding corrupt artifact %s (%d bytes): %s: %s",
+            path,
+            len(payload),
+            type(exc).__name__,
+            exc,
+        )
         return None
 
 

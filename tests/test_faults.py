@@ -630,3 +630,136 @@ class TestPolicyRobustness:
         # The predictor explodes; scheduling falls back to worst-incumbent
         # priority instead of killing the session.
         assert BudgetAwarePriority().select(states, _ExplodingPredictor()) == 1
+
+
+# ------------------------------------------------------------------ supervisor over fabric
+class _ScriptedFabricNode:
+    """Minimal node double for driving a FabricBackend from the supervisor."""
+
+    def __init__(self, name="node[0]", script=None):
+        self.name = name
+        self._script = list(script or [])
+        self.submitted = []
+
+    def capacity(self):
+        return 1
+
+    def healthy(self):
+        return True
+
+    def submit(self, request):
+        self.submitted.append(request)
+        future = Future()
+        entry = self._script.pop(0) if self._script else None
+        if entry is not None:
+            future.set_exception(entry)
+        else:
+            future.set_result(ExecutionOutcome(latency=1.0))
+        return future
+
+    def close(self):
+        pass
+
+
+class TestSupervisedFabric:
+    """The supervisor's per-request semantics survive a fabric underneath."""
+
+    def _supervised_fabric(self, script):
+        from repro.exec import FabricBackend, NodeLostError  # noqa: F401
+
+        fabric = FabricBackend(
+            [_ScriptedFabricNode(script=script)],
+            max_lease_attempts=1,  # fabric-level failover off: supervisor owns retry
+            max_failures=10,
+        )
+        supervised = SupervisedBackend(
+            fabric, max_retries=3, backoff_base=0.001, backoff_max=0.01
+        )
+        return supervised, fabric
+
+    def test_batch_submission_falls_back_per_request_and_retries(self):
+        from repro.exec import NodeLostError
+        from repro.exec.backend import submit_request_batch
+
+        # The node loses the first request's lease; the fabric (failover
+        # disabled) surfaces the infra failure and the *supervisor* retries.
+        supervised, fabric = self._supervised_fabric([NodeLostError("link down")])
+        try:
+            # The supervisor deliberately has no submit_batch: batches must
+            # disband so each request keeps its own retry/fail-over story.
+            assert not hasattr(supervised, "submit_batch")
+            futures = submit_request_batch(supervised, [_request("q_a"), _request("q_b")])
+            outcomes = [future.result(timeout=30.0) for future in futures]
+        finally:
+            supervised.close()
+        assert outcomes[0].attempts == 2  # retried after the lease was lost
+        assert outcomes[1].attempts == 1  # clean sibling: untouched
+        assert supervised.counters.retries == 1
+        assert supervised.counters.give_ups == 0
+        assert fabric.counters.give_ups == 1  # the fabric handed the failure up
+
+    def test_fabric_infra_failure_is_retryable_by_the_supervisor(self):
+        from repro.exec import NodeLostError
+
+        assert is_infra_failure(NodeLostError("down"))
+        supervised, _ = self._supervised_fabric(
+            [NodeLostError("down"), NodeLostError("down")]
+        )
+        try:
+            outcome = supervised.submit(_request()).result(timeout=30.0)
+        finally:
+            supervised.close()
+        assert outcome.attempts == 3
+
+
+# ------------------------------------------------------------------ checkpoint discard logging
+class TestCheckpointDiscardLogging:
+    def _capture(self):
+        import logging
+
+        records = []
+
+        class _Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        handler = _Capture(level=logging.DEBUG)
+        # The repro root logger does not propagate to the stdlib root, so
+        # caplog never sees it; attach directly.
+        logger = logging.getLogger("repro")
+        previous = logger.level
+        logger.addHandler(handler)
+        logger.setLevel(logging.DEBUG)
+        return records, handler, logger, previous
+
+    def test_corrupt_artifact_discard_is_logged(self, tmp_path):
+        from repro.harness.checkpoint import tolerant_pickle_load
+
+        path = tmp_path / "session.ckpt"
+        path.write_bytes(b"not a pickle at all")
+        records, handler, logger, previous = self._capture()
+        try:
+            assert tolerant_pickle_load(str(path)) is None
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(previous)
+        warnings = [r for r in records if r.levelname == "WARNING"]
+        assert len(warnings) == 1
+        message = warnings[0].getMessage()
+        # What was dropped, how big it was, and why.
+        assert "discarding corrupt artifact" in message
+        assert str(path) in message
+        assert f"{len(b'not a pickle at all')} bytes" in message
+        assert "UnpicklingError" in message
+
+    def test_cold_start_is_only_a_debug_line(self, tmp_path):
+        from repro.harness.checkpoint import tolerant_pickle_load
+
+        records, handler, logger, previous = self._capture()
+        try:
+            assert tolerant_pickle_load(str(tmp_path / "absent.ckpt")) is None
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(previous)
+        assert all(r.levelname == "DEBUG" for r in records)
+        assert any("cold start" in r.getMessage() for r in records)
